@@ -1,0 +1,42 @@
+# Common development tasks for the reproduction repository.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench tables examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One iteration of every table/figure benchmark (fast); drop -benchtime for
+# the full statistical run.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every table of the paper at 1/10 trace scale.
+tables:
+	$(GO) run ./cmd/tables -scale 10
+
+# Run every example.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/resourceselect
+	$(GO) run ./examples/metasched
+	$(GO) run ./examples/onlinesched
+	$(GO) run ./examples/coallocation
+
+clean:
+	$(GO) clean ./...

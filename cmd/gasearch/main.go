@@ -1,0 +1,120 @@
+// Command gasearch searches for good template sets for a workload with the
+// paper's genetic algorithm (or the greedy search it was compared against),
+// reporting the best set and how it fares against the baseline predictors.
+//
+// Usage:
+//
+//	gasearch -workload ANL [-scale N] [-policy LWF] [-pop 20] [-gens 15] [-greedy] [-o set.json]
+//
+// With -policy, the fitness is evaluated on the prediction workload that
+// the scheduling algorithm generates (predictions of all waiting and
+// running applications at every submission); without it, on the simple
+// predict-at-submission trace replay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/predict"
+	"repro/internal/predict/downey"
+	"repro/internal/predict/gibbons"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gasearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gasearch", flag.ContinueOnError)
+	name := fs.String("workload", "ANL", "study workload (ANL, CTC, SDSC95, SDSC96)")
+	scale := fs.Int("scale", 20, "divide the Table-1 trace size by this factor")
+	seed := fs.Int64("seed", 42, "generator seed")
+	policy := fs.String("policy", "", "generate the fitness workload from this scheduler (FCFS, LWF, Backfill)")
+	pop := fs.Int("pop", 20, "GA population size")
+	gens := fs.Int("gens", 15, "GA generations")
+	gaSeed := fs.Int64("gaseed", 1, "GA random seed")
+	greedy := fs.Bool("greedy", false, "use the greedy search instead of the GA")
+	out := fs.String("o", "", "write the best template set as JSON (for tables -templates)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := workload.Study(*name, *scale, *seed)
+	if err != nil {
+		return err
+	}
+
+	var pw ga.PredWorkload
+	if *policy != "" {
+		pol := sched.ByName(*policy)
+		if pol == nil {
+			return fmt.Errorf("unknown policy %q", *policy)
+		}
+		pw, err = ga.FromSchedule(w, pol)
+		if err != nil {
+			return err
+		}
+	} else {
+		pw = ga.FromTrace(w)
+	}
+	fmt.Fprintf(stdout, "fitness workload: %d events on %s (%d jobs)\n", len(pw), w.Name, len(w.Jobs))
+
+	enc := ga.NewEncoding(w)
+	eval := ga.RuntimeError(pw)
+
+	var res *ga.SearchResult
+	if *greedy {
+		res, err = ga.GreedySearch(enc, eval, ga.CandidatePool(enc))
+	} else {
+		res, err = ga.Search(enc, eval, ga.Config{
+			PopSize: *pop, Generations: *gens, Seed: *gaSeed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "\nbest template set (mean abs error %.2f minutes, %d evaluations):\n",
+		res.BestError/60, res.Evaluations)
+	for _, t := range res.Best {
+		fmt.Fprintf(stdout, "  %s\n", t)
+	}
+	fmt.Fprint(stdout, "\nconvergence (best error per round, minutes):")
+	for _, e := range res.History {
+		fmt.Fprintf(stdout, " %.1f", e/60)
+	}
+	fmt.Fprintln(stdout)
+
+	if *out != "" {
+		data, err := core.MarshalTemplates(res.Best)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ntemplate set written to %s\n", *out)
+	}
+
+	fmt.Fprintln(stdout, "\nbaselines on the same fitness workload (mean abs error, minutes):")
+	base := ga.BaselineErrors(pw, []predict.Predictor{
+		predict.MaxRuntime{},
+		gibbons.New(),
+		downey.New(downey.ConditionalAverage),
+		downey.New(downey.ConditionalMedian),
+	})
+	for _, n := range []string{"maxrt", "gibbons", "downey-avg", "downey-med"} {
+		fmt.Fprintf(stdout, "  %-12s %.2f\n", n, base[n]/60)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunGA(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+	var sb strings.Builder
+	err := run([]string{"-workload", "ANL", "-scale", "100",
+		"-pop", "8", "-gens", "3", "-o", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"best template set", "convergence", "baselines", "maxrt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := core.UnmarshalTemplates(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 {
+		t.Fatal("empty exported template set")
+	}
+}
+
+func TestRunGreedyWithPolicy(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "SDSC95", "-scale", "200",
+		"-policy", "LWF", "-greedy"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "best template set") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "NERSC"}, &sb); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run([]string{"-policy", "SJF"}, &sb); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := run([]string{"-scale", "100", "-o", "/nonexistent/dir/x.json",
+		"-pop", "6", "-gens", "2"}, &sb); err == nil {
+		t.Error("unwritable output should error")
+	}
+}

@@ -1,0 +1,161 @@
+// Command qsim runs one scheduling simulation: a workload replayed through
+// a scheduling algorithm with a run-time predictor, reporting utilization
+// and mean wait time (the cells of Tables 10–15) and optionally the per-job
+// schedule and the node-usage timeline as CSV.
+//
+// Usage:
+//
+//	qsim -workload ANL -policy Backfill -predictor smith [-scale N] [-seed S] [-csv out.csv]
+//	qsim -in trace.swf -policy LWF -predictor maxrt [-usage usage.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/exp"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qsim", flag.ContinueOnError)
+	name := fs.String("workload", "", "study workload (ANL, CTC, SDSC95, SDSC96)")
+	in := fs.String("in", "", "SWF trace to read instead of generating")
+	nodes := fs.Int("nodes", 0, "machine size when reading SWF (0 = infer)")
+	scale := fs.Int("scale", 10, "divide the Table-1 trace size by this factor")
+	seed := fs.Int64("seed", 42, "generator seed")
+	policy := fs.String("policy", "Backfill", "FCFS, LWF, LWF/blocking, Backfill, or Backfill/EASY")
+	kind := fs.String("predictor", "smith", "actual, maxrt, smith, gibbons, downey-avg, downey-med")
+	compress := fs.Float64("compress", 1, "divide interarrival times by this factor")
+	cancel := fs.Float64("cancel", 0, "make this fraction of jobs cancellable (failure injection)")
+	csvOut := fs.String("csv", "", "write the per-job schedule as CSV to this file")
+	usageOut := fs.String("usage", "", "write the node-usage timeline as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := loadWorkload(*name, *in, *nodes, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	if *compress != 1 {
+		w = workload.Compress(w, *compress)
+	}
+	if *cancel > 0 {
+		w = w.InjectCancellations(*cancel, 1800, *seed)
+	}
+	pol := sched.ByName(*policy)
+	if pol == nil {
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	pred, err := exp.NewPredictor(exp.PredictorKind(*kind), w)
+	if err != nil {
+		return err
+	}
+
+	res, err := sim.Run(w, pol, pred, sim.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workload    %s (%d jobs, %d nodes)\n", w.Name, len(w.Jobs), w.MachineNodes)
+	fmt.Fprintf(stdout, "policy      %s\n", res.Policy)
+	fmt.Fprintf(stdout, "predictor   %s\n", res.Predictor)
+	fmt.Fprintf(stdout, "utilization %.2f%%\n", 100*res.Utilization)
+	fmt.Fprintf(stdout, "mean wait   %.2f minutes\n", res.MeanWaitMinutes())
+	fmt.Fprintf(stdout, "wait p50/p90/p99  %.1f / %.1f / %.1f minutes\n",
+		res.WaitDist.P50/60, res.WaitDist.P90/60, res.WaitDist.P99/60)
+	fmt.Fprintf(stdout, "max wait    %.2f minutes\n", float64(res.MaxWaitSec)/60)
+	fmt.Fprintf(stdout, "makespan    %.2f hours\n", float64(res.MakespanSec)/3600)
+	fmt.Fprintf(stdout, "predictions %d\n", res.Predictions)
+	if res.Cancelled > 0 {
+		fmt.Fprintf(stdout, "cancelled   %d jobs withdrawn from the queue\n", res.Cancelled)
+	}
+
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "schedule written to %s\n", *csvOut)
+	}
+	if *usageOut != "" {
+		if err := writeUsageCSV(*usageOut, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "usage timeline written to %s\n", *usageOut)
+	}
+	return nil
+}
+
+func loadWorkload(name, in string, nodes, scale int, seed int64) (*workload.Workload, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadSWF(f, workload.SWFOptions{Name: in, MachineNodes: nodes})
+	}
+	if name == "" {
+		return nil, fmt.Errorf("need -workload or -in")
+	}
+	return workload.Study(name, scale, seed)
+}
+
+func writeCSV(path string, res *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"id", "user", "queue", "nodes", "submit", "start", "end", "wait", "runtime", "cancelled"}); err != nil {
+		return err
+	}
+	for _, j := range res.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID), j.User, j.Queue, strconv.Itoa(j.Nodes),
+			strconv.FormatInt(j.SubmitTime, 10), strconv.FormatInt(j.StartTime, 10),
+			strconv.FormatInt(j.EndTime, 10), strconv.FormatInt(j.WaitTime(), 10),
+			strconv.FormatInt(j.RunTime, 10), strconv.FormatBool(j.Cancelled),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeUsageCSV(path string, res *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"time", "busy_nodes"}); err != nil {
+		return err
+	}
+	for _, p := range sim.NodeUsage(res.Jobs) {
+		if err := cw.Write([]string{
+			strconv.FormatInt(p.Time, 10), strconv.Itoa(p.Nodes),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

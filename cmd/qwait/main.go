@@ -1,0 +1,130 @@
+// Command qwait runs one wait-time prediction experiment: a workload is
+// replayed through a scheduling algorithm (scheduling with maximum run
+// times, the deployed configuration), and the wait time of every
+// application is predicted at submission by forward-simulating the
+// scheduler with the chosen run-time predictor. It reports the mean error
+// in minutes and as a percentage of the mean wait time — the cells of
+// Tables 4–9 — and optionally the per-job predictions as CSV.
+//
+// Usage:
+//
+//	qwait -workload ANL -policy Backfill -predictor smith [-scale N] [-seed S]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"repro/internal/exp"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/waitpred"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qwait:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qwait", flag.ContinueOnError)
+	name := fs.String("workload", "ANL", "study workload (ANL, CTC, SDSC95, SDSC96)")
+	scale := fs.Int("scale", 10, "divide the Table-1 trace size by this factor")
+	seed := fs.Int64("seed", 42, "generator seed")
+	policy := fs.String("policy", "Backfill", "FCFS, LWF, Backfill, or Backfill/EASY")
+	kind := fs.String("predictor", "smith", "actual, maxrt, smith, gibbons, downey-avg, downey-med")
+	csvOut := fs.String("csv", "", "write per-job (predicted, actual) waits as CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := workload.Study(*name, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	pol := sched.ByName(*policy)
+	if pol == nil {
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	cfg := exp.Config{Scale: *scale, Seed: *seed}
+
+	if *csvOut == "" {
+		r, err := exp.WaitTimeExperiment(w, pol, exp.PredictorKind(*kind), cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "workload      %s (%d jobs)\n", r.Workload, r.N)
+		fmt.Fprintf(stdout, "policy        %s\n", r.Policy)
+		fmt.Fprintf(stdout, "predictor     %s\n", r.Predictor)
+		fmt.Fprintf(stdout, "mean wait     %.2f minutes\n", r.MeanWaitMin)
+		fmt.Fprintf(stdout, "mean error    %.2f minutes\n", r.MeanErrMin)
+		fmt.Fprintf(stdout, "pct mean wait %.0f%%\n", r.PctMeanWait)
+		return nil
+	}
+
+	// CSV mode re-runs the experiment recording per-job detail.
+	underTest, err := exp.NewPredictor(exp.PredictorKind(*kind), w)
+	if err != nil {
+		return err
+	}
+	type rec struct {
+		job  *workload.Job
+		pred int64
+	}
+	var recs []rec
+	var hookErr error
+	opts := sim.Options{
+		OnSubmit: func(now int64, j *workload.Job, queue, running []*workload.Job) {
+			if hookErr != nil {
+				return
+			}
+			wait, err := waitpred.PredictWait(now, j, queue, running,
+				w.MachineNodes, pol, underTest, predict.MaxRuntime{}, 0)
+			if err != nil {
+				hookErr = err
+				return
+			}
+			recs = append(recs, rec{j, wait})
+		},
+		OnFinish: func(now int64, j *workload.Job) { underTest.Observe(j) },
+	}
+	if _, err := sim.Run(w, pol, predict.MaxRuntime{}, opts); err != nil {
+		return err
+	}
+	if hookErr != nil {
+		return hookErr
+	}
+	f, err := os.Create(*csvOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"id", "submit", "predicted_wait", "actual_wait"}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.job.ID),
+			strconv.FormatInt(r.job.SubmitTime, 10),
+			strconv.FormatInt(r.pred, 10),
+			strconv.FormatInt(r.job.WaitTime(), 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d predictions to %s\n", len(recs), *csvOut)
+	return nil
+}

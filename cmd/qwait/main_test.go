@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "SDSC95", "-scale", "100", "-policy", "FCFS",
+		"-predictor", "actual"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "mean error    0.00 minutes") {
+		t.Fatalf("FCFS+actual should be exact:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "preds.csv")
+	var sb strings.Builder
+	err := run([]string{"-workload", "SDSC95", "-scale", "100", "-policy", "FCFS",
+		"-predictor", "actual", "-csv", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 10 {
+		t.Fatalf("only %d rows", len(recs))
+	}
+	// Exactness carries to the CSV: predicted == actual for every row.
+	for _, r := range recs[1:] {
+		p, _ := strconv.ParseInt(r[2], 10, 64)
+		a, _ := strconv.ParseInt(r[3], 10, 64)
+		if p != a {
+			t.Fatalf("row %v: predicted %d != actual %d", r, p, a)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "NERSC"}, &sb); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run([]string{"-policy", "SJF"}, &sb); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := run([]string{"-scale", "100", "-predictor", "psychic"}, &sb); err == nil {
+		t.Error("unknown predictor should error")
+	}
+}

@@ -1,0 +1,120 @@
+// Command qwaitd serves run-time and queue wait-time predictions over
+// HTTP/JSON — the deployment surface for the paper's resource-selection and
+// co-allocation use cases (§1). A scheduler reports completions and asks
+// for predictions:
+//
+//	qwaitd -addr :8642 -nodes 512 [-templates set.json] [-warm trace.swf] [-state file]
+//
+//	POST /v1/observe      {"job": {...}}                 record a completion
+//	POST /v1/predict      {"job": {...}, "age": 120}     run-time prediction
+//	POST /v1/predictwait  {"now":..., "policy":"Backfill",
+//	                       "target":{...}, "queue":[...], "running":[...]}
+//	POST /v1/checkpoint                                   save state (-state)
+//	GET  /v1/stats                                        service counters
+//
+// Job objects carry the Table-2 characteristics (user, executable, queue,
+// ...), nodes, and maxRunTime; see internal/service for the full schema.
+// With -state, the predictor history is restored at boot and saved on
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	srv, addr, statePath, err := build(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qwaitd:", err)
+		os.Exit(1)
+	}
+	if statePath != "" {
+		// Save on shutdown.
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			if err := srv.Checkpoint(); err != nil {
+				log.Printf("qwaitd: checkpoint on shutdown failed: %v", err)
+			} else {
+				fmt.Printf("state saved to %s\n", statePath)
+			}
+			os.Exit(0)
+		}()
+	}
+	fmt.Printf("qwaitd listening on %s\n", addr)
+	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
+}
+
+// build constructs the configured server without starting to listen, so it
+// is testable end to end.
+func build(args []string, stdout io.Writer) (*service.Server, string, string, error) {
+	fs := flag.NewFlagSet("qwaitd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8642", "listen address")
+	nodes := fs.Int("nodes", 512, "machine size in nodes (for wait predictions)")
+	templates := fs.String("templates", "", "JSON template set (from gasearch -o); default: a generic set")
+	warm := fs.String("warm", "", "SWF trace to pre-train the predictor with")
+	state := fs.String("state", "", "checkpoint file: restored at boot, saved on SIGINT/SIGTERM and POST /v1/checkpoint")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", "", err
+	}
+
+	var ts []core.Template
+	if *templates != "" {
+		data, err := os.ReadFile(*templates)
+		if err != nil {
+			return nil, "", "", err
+		}
+		ts, err = core.UnmarshalTemplates(data)
+		if err != nil {
+			return nil, "", "", err
+		}
+	} else {
+		// A generic template set over the characteristics SWF traces carry.
+		ts = core.DefaultTemplates(
+			workload.MaskOf(workload.CharUser, workload.CharExec, workload.CharQueue), true)
+	}
+	pred := core.New(ts)
+
+	if *warm != "" {
+		f, err := os.Open(*warm)
+		if err != nil {
+			return nil, "", "", err
+		}
+		w, err := workload.ReadSWF(f, workload.SWFOptions{Name: *warm})
+		f.Close()
+		if err != nil {
+			return nil, "", "", err
+		}
+		for _, j := range w.Jobs {
+			pred.Observe(j)
+		}
+		fmt.Fprintf(stdout, "warmed with %d jobs from %s (%d categories)\n",
+			len(w.Jobs), *warm, pred.Categories())
+	}
+
+	srv := service.New(pred, *nodes)
+	if *state != "" {
+		srv.SetStatePath(*state)
+		restored, err := service.LoadStateFile(pred, *state)
+		if err != nil {
+			return nil, "", "", fmt.Errorf("restoring %s: %w", *state, err)
+		}
+		if restored {
+			fmt.Fprintf(stdout, "restored %d categories from %s\n", pred.Categories(), *state)
+		}
+	}
+	fmt.Fprintf(stdout, "configured: %d templates, %d-node machine\n", len(ts), *nodes)
+	return srv, *addr, *state, nil
+}

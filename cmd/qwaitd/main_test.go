@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// writeTestSWF produces a small SWF trace for warming.
+func writeTestSWF(t *testing.T, path string) int {
+	t.Helper()
+	w, err := workload.Study("ANL", 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteSWF(f, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return len(w.Jobs)
+}
+
+func TestBuildDefault(t *testing.T) {
+	var sb strings.Builder
+	srv, addr, state, err := build([]string{"-addr", ":9999", "-nodes", "128"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil || addr != ":9999" || state != "" {
+		t.Fatalf("build = %v %q %q", srv, addr, state)
+	}
+	if !strings.Contains(sb.String(), "128-node machine") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestBuildWithWarmAndState(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "warm.swf")
+	state := filepath.Join(dir, "state.jsonl")
+	n := writeTestSWF(t, trace)
+
+	var sb strings.Builder
+	srv, _, statePath, err := build([]string{"-warm", trace, "-state", state}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statePath != state {
+		t.Fatalf("state path = %q", statePath)
+	}
+	if !strings.Contains(sb.String(), "warmed with") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	_ = n
+
+	// Serve, checkpoint, rebuild from state: predictions survive.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/checkpoint", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+
+	sb.Reset()
+	srv2, _, _, err := build([]string{"-state", state}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "restored") {
+		t.Fatalf("restore output:\n%s", sb.String())
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	statsResp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st service.StatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Categories == 0 {
+		t.Fatal("restored server has no categories")
+	}
+}
+
+func TestBuildWithTemplates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+	if err := os.WriteFile(path, []byte(`[{"chars":["u"],"pred":"mean"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, _, _, err := build([]string{"-templates", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1 templates") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, _, _, err := build([]string{"-templates", "/missing.json"}, &sb); err == nil {
+		t.Error("missing templates should error")
+	}
+	if _, _, _, err := build([]string{"-warm", "/missing.swf"}, &sb); err == nil {
+		t.Error("missing warm trace should error")
+	}
+	if _, _, _, err := build([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,91 @@
+// Command wlgen generates the calibrated synthetic study workloads (or
+// summarizes an existing SWF trace) and writes them in Standard Workload
+// Format so they can be inspected or fed to external tools.
+//
+// Usage:
+//
+//	wlgen -workload ANL [-scale N] [-seed S] [-o trace.swf] [-users] [-summary]
+//	wlgen -in trace.swf [-nodes N] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wlgen", flag.ContinueOnError)
+	name := fs.String("workload", "", "study workload to generate (ANL, CTC, SDSC95, SDSC96)")
+	scale := fs.Int("scale", 1, "divide the Table-1 trace size by this factor")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("o", "", "write the workload in SWF to this file")
+	in := fs.String("in", "", "read an SWF trace instead of generating")
+	nodes := fs.Int("nodes", 0, "machine size when reading SWF (0 = infer)")
+	users := fs.Bool("users", false, "print the user-activity distribution")
+	summary := fs.Bool("summary", true, "print the Table-1-style summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w *workload.Workload
+	var err error
+	switch {
+	case *in != "":
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w, err = workload.ReadSWF(f, workload.SWFOptions{Name: *in, MachineNodes: *nodes})
+	case *name != "":
+		w, err = workload.Study(*name, *scale, *seed)
+	default:
+		return fmt.Errorf("need -workload or -in (see -h)")
+	}
+	if err != nil {
+		return err
+	}
+
+	if *summary {
+		if err := workload.WriteTable(stdout, []*workload.Workload{w}); err != nil {
+			return err
+		}
+	}
+	if *users {
+		names, counts := workload.UserActivity(w)
+		n := len(names)
+		if n > 20 {
+			n = 20
+		}
+		fmt.Fprintf(stdout, "top %d users by job count:\n", n)
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(stdout, "  %-12s %6d\n", names[i], counts[i])
+		}
+	}
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		if err := workload.WriteSWF(f, w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d jobs to %s\n", len(w.Jobs), *out)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndSummary(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "ANL", "-scale", "100", "-users"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ANL") || !strings.Contains(out, "top") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestExportAndReimport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.swf")
+	var sb strings.Builder
+	if err := run([]string{"-workload", "SDSC95", "-scale", "200", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"-in", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "trace.swf") {
+		t.Fatalf("reimport output:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no source should error")
+	}
+	if err := run([]string{"-workload", "NERSC"}, &sb); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if err := run([]string{"-in", "/nonexistent/file.swf"}, &sb); err == nil {
+		t.Error("missing input should error")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,80 @@
+// Command wlstat characterizes a workload: the distributions and structure
+// that decide whether history-based run-time prediction can work on it
+// (run-time and node distributions, user concentration, repetition of
+// (user, application) keys, arrival cycles, and the user overestimation
+// profile).
+//
+// Usage:
+//
+//	wlstat -workload ANL [-scale N] [-seed S]
+//	wlstat -in trace.swf [-nodes N]
+//	wlstat -in trace.swf -simulate Backfill   # adds realized wait stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wlstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("wlstat", flag.ContinueOnError)
+	name := fs.String("workload", "", "study workload (ANL, CTC, SDSC95, SDSC96)")
+	in := fs.String("in", "", "SWF trace to read instead of generating")
+	nodes := fs.Int("nodes", 0, "machine size when reading SWF (0 = infer)")
+	scale := fs.Int("scale", 10, "divide the Table-1 trace size by this factor")
+	seed := fs.Int64("seed", 42, "generator seed")
+	simulate := fs.String("simulate", "", "run this policy (with max run times) to add wait statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w *workload.Workload
+	var err error
+	switch {
+	case *in != "":
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			return ferr
+		}
+		w, err = workload.ReadSWF(f, workload.SWFOptions{Name: *in, MachineNodes: *nodes})
+		f.Close()
+	case *name != "":
+		w, err = workload.Study(*name, *scale, *seed)
+	default:
+		return fmt.Errorf("need -workload or -in (see -h)")
+	}
+	if err != nil {
+		return err
+	}
+
+	if *simulate != "" {
+		pol := sched.ByName(*simulate)
+		if pol == nil {
+			return fmt.Errorf("unknown policy %q", *simulate)
+		}
+		res, err := sim.Run(w, pol, predict.MaxRuntime{}, sim.Options{})
+		if err != nil {
+			return err
+		}
+		w = &workload.Workload{
+			Name: w.Name + "/" + pol.Name(), MachineNodes: w.MachineNodes,
+			Jobs: res.Jobs, Chars: w.Chars, HasMaxRT: w.HasMaxRT,
+		}
+	}
+
+	return workload.Analyze(w).Report(stdout)
+}

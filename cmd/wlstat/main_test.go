@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReport(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "CTC", "-scale", "100"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"workload CTC", "run time", "arrivals by hour"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Without simulation there are no wait statistics.
+	if strings.Contains(out, "wait ") {
+		t.Fatalf("unexpected wait stats:\n%s", out)
+	}
+}
+
+func TestReportWithSimulation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "ANL", "-scale", "50", "-simulate", "Backfill"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ANL/Backfill") || !strings.Contains(out, "wait") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no source should error")
+	}
+	if err := run([]string{"-workload", "ANL", "-scale", "100", "-simulate", "SJF"}, &sb); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := run([]string{"-in", "/missing.swf"}, &sb); err == nil {
+		t.Error("missing trace should error")
+	}
+}

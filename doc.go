@@ -1,0 +1,23 @@
+// Package repro reproduces "Using Run-Time Predictions to Estimate Queue
+// Wait Times and Improve Scheduler Performance" (Smith, Taylor, Foster —
+// IPPS/SPDP 1999) as a production-quality Go library.
+//
+// The repository contains:
+//
+//   - internal/core — the paper's template-based run-time predictor;
+//   - internal/predict — the predictor interface with the oracle and
+//     maximum-run-time baselines, plus Gibbons's and Downey's predictors in
+//     subpackages;
+//   - internal/ga — the genetic-algorithm (and greedy) template-set search;
+//   - internal/sim, internal/sched — a discrete-event scheduling simulator
+//     with FCFS, LWF, and conservative/EASY backfill;
+//   - internal/waitpred — queue wait-time prediction by forward simulation;
+//   - internal/workload — the job model, SWF trace codec, and synthetic
+//     workload generators calibrated to the paper's four traces;
+//   - internal/exp — drivers regenerating every table of the paper;
+//   - cmd/... — command-line tools; examples/... — runnable examples.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-versus-paper results.
+package repro

@@ -1,0 +1,64 @@
+// Online scheduling with predicted run times: §4 of the paper plugs the
+// run-time predictors into the LWF and backfill algorithms and measures
+// utilization and mean wait time. This example does the same on one
+// synthetic workload, printing a live comparison of every predictor on
+// both algorithms — the library usage behind Tables 10–15.
+//
+// Run with:
+//
+//	go run ./examples/onlinesched
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/exp"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	w, err := workload.Study("ANL", 10, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d jobs on %d nodes, offered load %.2f\n\n",
+		w.Name, len(w.Jobs), w.MachineNodes, w.OfferedLoad())
+
+	kinds := []exp.PredictorKind{
+		exp.KindActual, exp.KindMaxRT, exp.KindSmith,
+		exp.KindGibbons, exp.KindDowneyAvg, exp.KindDowneyMed,
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "predictor\tpolicy\tutilization\tmean wait (min)\tmax wait (min)\tpredictions")
+	for _, kind := range kinds {
+		for _, pol := range []sim.Policy{sched.LWF{}, sched.Backfill{}} {
+			pred, err := exp.NewPredictor(kind, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Run(w, pol, pred, sim.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.2f%%\t%.2f\t%.1f\t%d\n",
+				kind, pol.Name(), 100*res.Utilization, res.MeanWaitMinutes(),
+				float64(res.MaxWaitSec)/60, res.Predictions)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nwhat to look for (the paper's findings):")
+	fmt.Println(" - utilization barely moves with the predictor;")
+	fmt.Println(" - the oracle bounds achievable mean wait;")
+	fmt.Println(" - the template predictor (smith) approaches the oracle and beats")
+	fmt.Println("   maximum run times, most visibly on this high-load workload;")
+	fmt.Println(" - backfill depends on prediction accuracy more than LWF, which only")
+	fmt.Println("   needs to order jobs by size.")
+}

@@ -1,0 +1,100 @@
+// Quickstart: train the template-based run-time predictor on a synthetic
+// workload, predict a job's run time, and predict how long a new submission
+// would wait in the queue.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/waitpred"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A workload. Study("ANL", 20, 7) generates a 1/20-scale synthetic
+	// stand-in for the paper's Argonne SP trace: ~400 jobs from a Zipf user
+	// population, each user re-running a few applications with similar run
+	// times — the structure history-based prediction exploits. To use a
+	// real trace instead, see workload.ReadSWF.
+	w, err := workload.Study("ANL", 20, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s, %d jobs on %d nodes\n\n", w.Name, len(w.Jobs), w.MachineNodes)
+
+	// 2. A predictor. DefaultTemplates builds a sensible template set for
+	// the characteristics this trace records; cmd/gasearch finds better
+	// ones with the paper's genetic algorithm.
+	pred := core.NewDefault(w)
+
+	// 3. Train on the first 80% of the trace (observing each completed
+	// job), then predict the rest.
+	split := len(w.Jobs) * 8 / 10
+	for _, j := range w.Jobs[:split] {
+		pred.Observe(j)
+	}
+
+	var hits, misses int
+	var smithErr, maxErr float64
+	for _, j := range w.Jobs[split:] {
+		det, ok := pred.PredictDetailed(j, 0)
+		if !ok {
+			misses++
+			continue
+		}
+		hits++
+		smithErr += abs(det.Seconds - j.RunTime)
+		maxErr += abs(j.MaxRunTime - j.RunTime)
+	}
+	fmt.Printf("predicted %d of %d held-out jobs (%d had no similar history)\n",
+		hits, hits+misses, misses)
+	fmt.Printf("mean |error|: template predictor %.1f min, user max run times %.1f min\n\n",
+		smithErr/float64(hits)/60, maxErr/float64(hits)/60)
+
+	// 4. One prediction in detail: which template won and how confident it is.
+	j := w.Jobs[len(w.Jobs)-1]
+	det, ok := pred.PredictDetailed(j, 0)
+	if ok {
+		tpl := pred.Templates()[det.Template]
+		fmt.Printf("job %d (user %s, %d nodes): predicted %d s, actual %d s\n",
+			j.ID, j.User, j.Nodes, det.Seconds, j.RunTime)
+		fmt.Printf("  winning template %s, category of %d similar jobs, 90%% CI ±%.0f s\n\n",
+			tpl, det.N, det.Interval)
+	}
+
+	// 5. Queue wait-time prediction (§3 of the paper): simulate the
+	// scheduler forward with predicted run times. Here: a busy 4-job state.
+	running := []*workload.Job{
+		{ID: 9001, User: "user000", Nodes: 60, RunTime: 7200, MaxRunTime: 10800, StartTime: 0},
+	}
+	queued := []*workload.Job{
+		{ID: 9002, User: "user001", Nodes: 40, RunTime: 3600, MaxRunTime: 7200, SubmitTime: 600},
+	}
+	newJob := &workload.Job{ID: 9003, User: "user002", Nodes: 50, RunTime: 1800, MaxRunTime: 3600, SubmitTime: 900}
+	queue := append(queued, newJob)
+
+	for _, pol := range sched.All() {
+		wait, err := waitpred.PredictWait(900, newJob, queue, running,
+			w.MachineNodes, pol, pred, predict.MaxRuntime{}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predicted wait for job %d under %-8s: %5.1f minutes\n",
+			newJob.ID, pol.Name(), float64(wait)/60)
+	}
+}
+
+func abs(x int64) float64 {
+	if x < 0 {
+		return float64(-x)
+	}
+	return float64(x)
+}

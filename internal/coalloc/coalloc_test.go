@@ -1,0 +1,134 @@
+package coalloc
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func res(name string, total int) *Resource {
+	return &Resource{Name: name, Total: total, Book: &sched.ReservationBook{}}
+}
+
+func TestNegotiateImmediate(t *testing.T) {
+	a, b := res("a", 64), res("b", 32)
+	start, grants, err := Negotiate([]Component{
+		{Resource: a, Nodes: 32},
+		{Resource: b, Nodes: 16},
+	}, 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("start = %d, want 0 (both idle)", start)
+	}
+	if len(grants) != 2 || a.Book.Len() != 1 || b.Book.Len() != 1 {
+		t.Fatalf("grants not booked: %v", grants)
+	}
+}
+
+func TestNegotiateRendezvous(t *testing.T) {
+	a, b := res("a", 64), res("b", 32)
+	// a is fully reserved until 1000; b until 2000.
+	if _, err := a.Book.Add(0, 1000, 64, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Book.Add(0, 2000, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	start, grants, err := Negotiate([]Component{
+		{Resource: a, Nodes: 64},
+		{Resource: b, Nodes: 32},
+	}, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 2000 {
+		t.Fatalf("start = %d, want 2000 (the later machine)", start)
+	}
+	Release(grants)
+	if a.Book.Len() != 1 || b.Book.Len() != 1 {
+		t.Fatal("release did not cancel the grants")
+	}
+}
+
+func TestNegotiatePingPong(t *testing.T) {
+	// Alternating busy windows force several rendezvous rounds:
+	// a busy [0,100) and [200,300); b busy [100,200) and [300,400).
+	a, b := res("a", 8), res("b", 8)
+	for _, w := range [][2]int64{{0, 100}, {200, 300}} {
+		if _, err := a.Book.Add(w[0], w[1], 8, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range [][2]int64{{100, 200}, {300, 400}} {
+		if _, err := b.Book.Add(w[0], w[1], 8, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start, _, err := Negotiate([]Component{
+		{Resource: a, Nodes: 8},
+		{Resource: b, Nodes: 8},
+	}, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 400 {
+		t.Fatalf("start = %d, want 400 (first window free on both)", start)
+	}
+}
+
+func TestNegotiatePartialNodes(t *testing.T) {
+	// Half-machine components can overlap existing half-machine
+	// reservations.
+	a, b := res("a", 8), res("b", 8)
+	if _, err := a.Book.Add(0, 1000, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	start, _, err := Negotiate([]Component{
+		{Resource: a, Nodes: 4},
+		{Resource: b, Nodes: 4},
+	}, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("start = %d, want 0", start)
+	}
+}
+
+func TestNegotiateValidation(t *testing.T) {
+	a := res("a", 8)
+	if _, _, err := Negotiate(nil, 0, 100); err == nil {
+		t.Error("no components should error")
+	}
+	if _, _, err := Negotiate([]Component{{Resource: a, Nodes: 4}}, 0, 0); err == nil {
+		t.Error("zero duration should error")
+	}
+	if _, _, err := Negotiate([]Component{{Resource: a, Nodes: 16}}, 0, 100); err == nil {
+		t.Error("oversize component should error")
+	}
+	if _, _, err := Negotiate([]Component{{Nodes: 4}}, 0, 100); err == nil {
+		t.Error("nil resource should error")
+	}
+}
+
+func TestNegotiateBookingsVisibleToBackfill(t *testing.T) {
+	// End to end with the scheduler: after a negotiation, ReservingBackfill
+	// on each machine keeps the window clear.
+	a := res("a", 4)
+	start, _, err := Negotiate([]Component{{Resource: a, Nodes: 4}}, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 100 {
+		t.Fatalf("start = %d", start)
+	}
+	got, err := a.Book.EarliestSlot(0, 150, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 200 {
+		t.Fatalf("slot through the booked window = %d, want 200", got)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// naiveCategory is the obviously correct reference implementation: keep the
+// last maxHistory jobs in a slice and recompute everything from scratch.
+type naiveCategory struct {
+	maxHistory int
+	jobs       []*workload.Job
+}
+
+func (n *naiveCategory) insert(j *workload.Job) {
+	n.jobs = append(n.jobs, j)
+	if n.maxHistory > 0 && len(n.jobs) > n.maxHistory {
+		n.jobs = n.jobs[1:]
+	}
+}
+
+func (n *naiveCategory) meanEstimate(t Template, nodes int, age int64, level float64) (float64, float64, bool) {
+	var ys []float64
+	for _, j := range n.jobs {
+		if t.UseAge && age > 0 && float64(j.RunTime) <= float64(age) {
+			continue
+		}
+		if t.Relative {
+			if j.MaxRunTime <= 0 {
+				continue
+			}
+			ys = append(ys, float64(j.RunTime)/float64(j.MaxRunTime))
+		} else {
+			ys = append(ys, float64(j.RunTime))
+		}
+	}
+	if len(ys) < 2 {
+		return 0, 0, false
+	}
+	mean, half, err := stats.MeanCI(ys, level)
+	if err != nil {
+		return 0, 0, false
+	}
+	return mean, half, true
+}
+
+// TestCategoryMatchesNaiveModel drives the optimized ring-buffer category
+// and the naive model with identical random operation sequences and
+// compares every estimate.
+func TestCategoryMatchesNaiveModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		maxHist := 0
+		if rng.Intn(2) == 0 {
+			maxHist = 1 << rng.Intn(5) // 1..16
+		}
+		for _, tpl := range []Template{
+			{Pred: PredMean, MaxHistory: maxHist},
+			{Pred: PredMean, MaxHistory: maxHist, Relative: true},
+			{Pred: PredMean, MaxHistory: maxHist, UseAge: true},
+		} {
+			fast := newCategory(maxHist)
+			naive := &naiveCategory{maxHistory: maxHist}
+			for op := 0; op < 80; op++ {
+				j := &workload.Job{
+					Nodes:   1 + rng.Intn(32),
+					RunTime: int64(10 + rng.Intn(5000)),
+				}
+				if rng.Intn(4) > 0 {
+					j.MaxRunTime = j.RunTime * int64(1+rng.Intn(4))
+				}
+				fast.insert(j)
+				naive.insert(j)
+
+				age := int64(0)
+				if tpl.UseAge && rng.Intn(2) == 0 {
+					age = int64(rng.Intn(4000))
+				}
+				gm, gh, gok := fast.estimate(tpl, 8, age, 0.9)
+				wm, wh, wok := naive.meanEstimate(tpl, 8, age, 0.9)
+				if gok != wok {
+					t.Fatalf("trial %d op %d tpl %s: ok %v vs %v (hist %d)",
+						trial, op, tpl, gok, wok, maxHist)
+				}
+				if !gok {
+					continue
+				}
+				if math.Abs(gm-wm) > 1e-6*(1+math.Abs(wm)) ||
+					math.Abs(gh-wh) > 1e-6*(1+math.Abs(wh)) {
+					t.Fatalf("trial %d op %d tpl %s: estimate (%v ± %v) vs naive (%v ± %v)",
+						trial, op, tpl, gm, gh, wm, wh)
+				}
+			}
+		}
+	}
+}
+
+// TestCategoryAggregatesStayConsistent hammers one bounded category and
+// verifies the O(1) aggregates equal a from-scratch recomputation at the
+// end (guarding against drift from incremental add/remove).
+func TestCategoryAggregatesStayConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := newCategory(32)
+	for i := 0; i < 10_000; i++ {
+		j := &workload.Job{Nodes: 1, RunTime: int64(1 + rng.Intn(100000))}
+		if rng.Intn(3) > 0 {
+			j.MaxRunTime = j.RunTime + int64(rng.Intn(100000))
+		}
+		c.insert(j)
+	}
+	var sum, sum2 float64
+	n := 0
+	c.forEach(func(p point) {
+		sum += p.runTime
+		sum2 += p.runTime * p.runTime
+		n++
+	})
+	if n != c.absAgg.n {
+		t.Fatalf("aggregate n = %d, recount %d", c.absAgg.n, n)
+	}
+	if math.Abs(sum-c.absAgg.sum) > 1e-6*math.Abs(sum) {
+		t.Fatalf("aggregate sum drifted: %v vs %v", c.absAgg.sum, sum)
+	}
+	if math.Abs(sum2-c.absAgg.sum2) > 1e-6*math.Abs(sum2) {
+		t.Fatalf("aggregate sum2 drifted: %v vs %v", c.absAgg.sum2, sum2)
+	}
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The predictor learns from completed jobs and predicts new ones from the
+// most confident matching category.
+func ExamplePredictor() {
+	templates := []core.Template{
+		{Chars: workload.MaskOf(workload.CharUser, workload.CharExec), Pred: core.PredMean},
+		{Chars: workload.MaskOf(workload.CharUser), Pred: core.PredMean},
+	}
+	p := core.New(templates)
+
+	// alice runs "render" three times with similar run times.
+	for _, rt := range []int64{580, 600, 620} {
+		p.Observe(&workload.Job{User: "alice", Executable: "render", Nodes: 8, RunTime: rt})
+	}
+	// ...and one unrelated long job.
+	p.Observe(&workload.Job{User: "alice", Executable: "train", Nodes: 8, RunTime: 90000})
+	p.Observe(&workload.Job{User: "alice", Executable: "train", Nodes: 8, RunTime: 90000})
+
+	// A new "render" job matches the tight (u,e) category, not the mixed
+	// (u) category.
+	det, ok := p.PredictDetailed(&workload.Job{User: "alice", Executable: "render", Nodes: 8}, 0)
+	fmt.Println(ok, det.Seconds, det.N)
+	// Output: true 600 3
+}
+
+// Templates render in the paper's notation.
+func ExampleTemplate_String() {
+	t := core.Template{
+		Chars:      workload.MaskOf(workload.CharUser, workload.CharExec),
+		UseNodes:   true,
+		NodeRange:  4,
+		MaxHistory: 1024,
+		Relative:   true,
+		Pred:       core.PredMean,
+	}
+	fmt.Println(t)
+	// Output: (u,e,n=4,h=1024,rel,mean)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTemplateJSONRoundTrip(t *testing.T) {
+	ts := []Template{
+		{Pred: PredMean},
+		{Pred: PredLog, Relative: true, UseAge: true,
+			Chars: workload.MaskOf(workload.CharUser, workload.CharExec)},
+		{Pred: PredLinear, UseNodes: true, NodeRange: 4, MaxHistory: 1024},
+		{Pred: PredInverse, UseNodes: true, NodeRange: 512, MaxHistory: 65536,
+			Chars: workload.MaskOf(workload.CharQueue)},
+	}
+	data, err := MarshalTemplates(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTemplates(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ts) {
+		t.Fatalf("round trip lost templates: %d -> %d", len(ts), len(back))
+	}
+	for i := range ts {
+		if back[i] != ts[i] {
+			t.Fatalf("template %d: %+v -> %+v", i, ts[i], back[i])
+		}
+	}
+}
+
+func TestTemplateJSONHumanReadable(t *testing.T) {
+	data, err := MarshalTemplates([]Template{{
+		Pred: PredMean, Chars: workload.MaskOf(workload.CharUser),
+		UseNodes: true, NodeRange: 8,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"u"`, `"nodeRange": 8`, `"pred": "mean"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnmarshalTemplatesValidation(t *testing.T) {
+	cases := []string{
+		`[{"pred":"banana"}]`,
+		`[{"pred":"mean","chars":["zz"]}]`,
+		`[{"pred":"mean","nodeRange":1024}]`,
+		`[{"pred":"mean","maxHistory":-1}]`,
+		`[{"pred":"mean","maxHistory":131072}]`,
+		`{not json`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalTemplates([]byte(c)); err == nil {
+			t.Errorf("accepted invalid input %s", c)
+		}
+	}
+	// Empty set is legal.
+	ts, err := UnmarshalTemplates([]byte(`[]`))
+	if err != nil || len(ts) != 0 {
+		t.Errorf("empty set: %v, %v", ts, err)
+	}
+}
+
+func TestTemplateJSONDefaultsOmitted(t *testing.T) {
+	data, err := MarshalTemplates([]Template{{Pred: PredMean}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, absent := range []string{"relative", "useAge", "nodeRange", "maxHistory", "chars"} {
+		if strings.Contains(s, absent) {
+			t.Errorf("zero-valued field %q should be omitted:\n%s", absent, s)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint/restore for the predictor's category database, so a
+// long-running deployment (cmd/qwaitd) can restart without losing its
+// history. The format is line-oriented JSON: a header line binding the
+// checkpoint to a template set, then one line per category. Restoring into
+// a predictor with a different template set is refused — category keys
+// embed template indices, so histories are only meaningful to the set that
+// created them.
+
+// stateHeader is the first line of a checkpoint.
+type stateHeader struct {
+	Version    int    `json:"version"`
+	Templates  string `json:"templates"` // canonical rendering of the template set
+	Categories int    `json:"categories"`
+}
+
+// statePoint mirrors point with JSON tags. Ratio uses -1 for "absent"
+// (NaN is not valid JSON).
+type statePoint struct {
+	RunTime float64 `json:"rt"`
+	Ratio   float64 `json:"ratio"`
+	Nodes   float64 `json:"nodes"`
+}
+
+// stateCategory is one category line.
+type stateCategory struct {
+	Key        string       `json:"key"`
+	MaxHistory int          `json:"maxHistory,omitempty"`
+	Head       int          `json:"head,omitempty"`
+	Points     []statePoint `json:"points"`
+}
+
+// templateFingerprint canonically renders the template set for checkpoint
+// compatibility checks.
+func (p *Predictor) templateFingerprint() string {
+	s := ""
+	for i, t := range p.templates {
+		s += fmt.Sprintf("%d:%s;", i, t)
+	}
+	return s
+}
+
+// SaveState writes the predictor's full category database.
+func (p *Predictor) SaveState(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(stateHeader{
+		Version:    1,
+		Templates:  p.templateFingerprint(),
+		Categories: len(p.cats),
+	}); err != nil {
+		return err
+	}
+	for key, c := range p.cats {
+		sc := stateCategory{
+			Key:        key,
+			MaxHistory: c.maxHistory,
+			Head:       c.head,
+			Points:     make([]statePoint, 0, len(c.points)),
+		}
+		for _, pt := range c.points {
+			sp := statePoint{RunTime: pt.runTime, Ratio: pt.ratio, Nodes: pt.nodes}
+			if math.IsNaN(sp.Ratio) {
+				sp.Ratio = -1
+			}
+			sc.Points = append(sc.Points, sp)
+		}
+		if err := enc.Encode(sc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadState replaces the predictor's category database with a checkpoint
+// previously written by SaveState. It fails (leaving the predictor
+// unchanged) if the checkpoint was produced under a different template set.
+func (p *Predictor) LoadState(r io.Reader) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr stateHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("core: checkpoint header: %v", err)
+	}
+	if hdr.Version != 1 {
+		return fmt.Errorf("core: unsupported checkpoint version %d", hdr.Version)
+	}
+	if hdr.Templates != p.templateFingerprint() {
+		return fmt.Errorf("core: checkpoint was created under a different template set")
+	}
+	cats := make(map[string]*category, hdr.Categories)
+	for i := 0; i < hdr.Categories; i++ {
+		var sc stateCategory
+		if err := dec.Decode(&sc); err != nil {
+			return fmt.Errorf("core: checkpoint category %d: %v", i, err)
+		}
+		c := newCategory(sc.MaxHistory)
+		if sc.MaxHistory > 0 && (sc.Head < 0 || sc.Head >= sc.MaxHistory+1) {
+			return fmt.Errorf("core: checkpoint category %q: head %d out of range", sc.Key, sc.Head)
+		}
+		if sc.MaxHistory > 0 && len(sc.Points) > sc.MaxHistory {
+			return fmt.Errorf("core: checkpoint category %q: %d points exceed history %d",
+				sc.Key, len(sc.Points), sc.MaxHistory)
+		}
+		c.head = sc.Head
+		for _, sp := range sc.Points {
+			pt := point{runTime: sp.RunTime, ratio: sp.Ratio, nodes: sp.Nodes}
+			if sp.Ratio < 0 {
+				pt.ratio = math.NaN()
+			}
+			if pt.runTime <= 0 || pt.nodes <= 0 {
+				return fmt.Errorf("core: checkpoint category %q: invalid point %+v", sc.Key, sp)
+			}
+			c.points = append(c.points, pt)
+			c.absAgg.add(pt.runTime)
+			c.ratAgg.add(pt.ratio)
+		}
+		cats[sc.Key] = c
+	}
+	p.cats = cats
+	return nil
+}

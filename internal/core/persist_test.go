@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	w, err := workload.Study("ANL", 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := DefaultTemplates(w.Chars, w.HasMaxRT)
+	orig := New(ts)
+	for _, j := range w.Jobs {
+		orig.Observe(j)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(ts)
+	if err := restored.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Categories() != orig.Categories() {
+		t.Fatalf("categories %d -> %d", orig.Categories(), restored.Categories())
+	}
+	// Every prediction must be identical.
+	for _, j := range w.Jobs[len(w.Jobs)-30:] {
+		for _, age := range []int64{0, 600} {
+			a, aok := orig.PredictDetailed(j, age)
+			b, bok := restored.PredictDetailed(j, age)
+			if aok != bok || a.Seconds != b.Seconds || a.Template != b.Template {
+				t.Fatalf("prediction diverged after restore: %+v vs %+v (job %d age %d)",
+					a, b, j.ID, age)
+			}
+		}
+	}
+	// Bounded-history eviction continues correctly after restore: observe
+	// more jobs into both and compare again.
+	for _, j := range w.Jobs[:40] {
+		orig.Observe(j)
+		restored.Observe(j)
+	}
+	probe := w.Jobs[10]
+	a, _ := orig.PredictDetailed(probe, 0)
+	b, _ := restored.PredictDetailed(probe, 0)
+	if a.Seconds != b.Seconds {
+		t.Fatalf("post-restore observation diverged: %d vs %d", a.Seconds, b.Seconds)
+	}
+}
+
+func TestLoadStateRejectsDifferentTemplates(t *testing.T) {
+	ts1 := []Template{{Chars: workload.MaskOf(workload.CharUser), Pred: PredMean}}
+	ts2 := []Template{{Chars: workload.MaskOf(workload.CharExec), Pred: PredMean}}
+	p1 := New(ts1)
+	p1.Observe(&workload.Job{User: "a", Nodes: 1, RunTime: 10})
+	var buf bytes.Buffer
+	if err := p1.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2 := New(ts2)
+	if err := p2.LoadState(&buf); err == nil {
+		t.Fatal("mismatched template set accepted")
+	}
+	// The failed load must leave p2 untouched.
+	if p2.Categories() != 0 {
+		t.Fatal("failed load modified the predictor")
+	}
+}
+
+func TestLoadStateValidation(t *testing.T) {
+	p := New([]Template{{Pred: PredMean}})
+	cases := []string{
+		``,
+		`{"version":9,"templates":"","categories":0}`,
+		`{"version":1,"templates":"` + p.templateFingerprint() + `","categories":1}` + "\n" +
+			`{"key":"0","points":[{"rt":-5,"nodes":1}]}`,
+		`{"version":1,"templates":"` + p.templateFingerprint() + `","categories":2}` + "\n" +
+			`{"key":"0","points":[]}`, // truncated: missing second category
+	}
+	for i, c := range cases {
+		if err := p.LoadState(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: invalid checkpoint accepted", i)
+		}
+	}
+}
+
+func TestSaveStateEmptyPredictor(t *testing.T) {
+	p := New([]Template{{Pred: PredMean}})
+	var buf bytes.Buffer
+	if err := p.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := New([]Template{{Pred: PredMean}})
+	if err := q.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Categories() != 0 {
+		t.Fatal("empty checkpoint produced categories")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// DefaultConfidence is the confidence level of the interval used to rank
+// category estimates.
+const DefaultConfidence = 0.90
+
+// Prediction is a detailed prediction outcome, exposed for analysis tools
+// and tests; scheduling code uses the plain Predictor interface.
+type Prediction struct {
+	Seconds  int64   // predicted total run time
+	Interval float64 // confidence-interval half-width, seconds
+	Template int     // index of the winning template
+	Category string  // winning category key
+	N        int     // points in the winning category
+}
+
+// Predictor is the paper's run-time predictor: it maintains a category
+// database per template and predicts via the smallest-confidence-interval
+// category estimate (§2.1, steps 1–3).
+//
+// Predictor is not safe for concurrent use; simulations are single-threaded
+// and parallel experiments each own a Predictor.
+type Predictor struct {
+	templates  []Template
+	level      float64
+	cats       map[string]*category
+	name       string
+	firstMatch bool
+}
+
+// Option configures a Predictor.
+type Option func(*Predictor)
+
+// WithConfidence sets the confidence level (0 < level < 1) used for the
+// interval that ranks category estimates.
+func WithConfidence(level float64) Option {
+	return func(p *Predictor) {
+		if level > 0 && level < 1 {
+			p.level = level
+		}
+	}
+}
+
+// WithName overrides the predictor's reported name (useful when comparing
+// several template sets in one experiment).
+func WithName(name string) Option {
+	return func(p *Predictor) { p.name = name }
+}
+
+// WithFirstMatch switches the estimate selection from the paper's
+// smallest-confidence-interval rule to Gibbons-style first-match: templates
+// are tried in order and the first valid estimate wins. This exists for the
+// ablation of DESIGN.md §5.2.
+func WithFirstMatch() Option {
+	return func(p *Predictor) { p.firstMatch = true }
+}
+
+// New creates a Predictor with the given template set. An empty template
+// set is legal but never predicts.
+func New(templates []Template, opts ...Option) *Predictor {
+	p := &Predictor{
+		templates: append([]Template(nil), templates...),
+		level:     DefaultConfidence,
+		cats:      make(map[string]*category),
+		name:      "smith",
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// NewDefault creates a Predictor with DefaultTemplates for a workload.
+func NewDefault(w *workload.Workload, opts ...Option) *Predictor {
+	return New(DefaultTemplates(w.Chars, w.HasMaxRT), opts...)
+}
+
+// Name implements predict.Predictor.
+func (p *Predictor) Name() string { return p.name }
+
+// Templates returns a copy of the predictor's template set.
+func (p *Predictor) Templates() []Template {
+	return append([]Template(nil), p.templates...)
+}
+
+// Categories returns the number of categories currently stored.
+func (p *Predictor) Categories() int { return len(p.cats) }
+
+// Predict implements predict.Predictor: apply every template to the job,
+// compute an estimate with a confidence interval from each category that
+// can provide a valid one, and return the estimate with the smallest
+// interval (paper step 2).
+func (p *Predictor) Predict(j *workload.Job, age int64) (int64, bool) {
+	pr, ok := p.PredictDetailed(j, age)
+	if !ok {
+		return 0, false
+	}
+	return pr.Seconds, true
+}
+
+// PredictDetailed is Predict with full diagnostic detail.
+func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, bool) {
+	best := Prediction{Interval: math.Inf(1), Template: -1}
+	found := false
+	for i, t := range p.templates {
+		if t.Relative && j.MaxRunTime <= 0 {
+			continue
+		}
+		key := t.Key(i, j)
+		c, exists := p.cats[key]
+		if !exists {
+			continue
+		}
+		val, half, ok := c.estimate(t, j.Nodes, age, p.level)
+		if !ok {
+			continue
+		}
+		// Map the estimate back to seconds.
+		sec, halfSec := val, half
+		if t.Relative {
+			sec *= float64(j.MaxRunTime)
+			halfSec *= float64(j.MaxRunTime)
+		}
+		if sec <= 0 || math.IsNaN(sec) {
+			continue
+		}
+		// A candidate the job has already outlived is certainly wrong, not
+		// merely uncertain; prefer age-consistent estimates (the templates
+		// with the running-time attribute provide them).
+		if age > 0 && int64(sec) <= age {
+			continue
+		}
+		if !found || halfSec < best.Interval {
+			found = true
+			best = Prediction{
+				Seconds:  int64(math.Round(sec)),
+				Interval: halfSec,
+				Template: i,
+				Category: key,
+				N:        c.size(),
+			}
+		}
+		if found && p.firstMatch {
+			break
+		}
+	}
+	if !found {
+		return Prediction{}, false
+	}
+	if best.Seconds < 1 {
+		best.Seconds = 1
+	}
+	return best, true
+}
+
+// Observe implements predict.Predictor: insert the completed job into the
+// category of every template, creating categories as needed (paper step 3).
+func (p *Predictor) Observe(j *workload.Job) {
+	for i, t := range p.templates {
+		key := t.Key(i, j)
+		c, ok := p.cats[key]
+		if !ok {
+			c = newCategory(t.MaxHistory)
+			p.cats[key] = c
+		}
+		c.insert(j)
+	}
+}
+
+// Static check.
+var _ predict.Predictor = (*Predictor)(nil)

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func uj(user string, nodes int, rt int64) *workload.Job {
+	return &workload.Job{User: user, Executable: user + "/app", Nodes: nodes, RunTime: rt}
+}
+
+func meanTemplate(chars ...workload.Char) Template {
+	return Template{Chars: workload.MaskOf(chars...), Pred: PredMean}
+}
+
+func TestPredictorRampUp(t *testing.T) {
+	p := New([]Template{meanTemplate(workload.CharUser)})
+	if _, ok := p.Predict(uj("alice", 4, 100), 0); ok {
+		t.Fatal("no history: must not predict")
+	}
+	p.Observe(uj("alice", 4, 100))
+	if _, ok := p.Predict(uj("alice", 4, 100), 0); ok {
+		t.Fatal("one point: mean template needs two for a confidence interval")
+	}
+	p.Observe(uj("alice", 4, 120))
+	got, ok := p.Predict(uj("alice", 4, 100), 0)
+	if !ok || got != 110 {
+		t.Fatalf("Predict = %d, %v; want 110", got, ok)
+	}
+}
+
+func TestPredictorCategoryIsolation(t *testing.T) {
+	p := New([]Template{meanTemplate(workload.CharUser)})
+	p.Observe(uj("alice", 4, 100))
+	p.Observe(uj("alice", 4, 100))
+	p.Observe(uj("bob", 4, 9000))
+	p.Observe(uj("bob", 4, 9000))
+	got, _ := p.Predict(uj("alice", 4, 0), 0)
+	if got != 100 {
+		t.Fatalf("alice prediction contaminated: %d", got)
+	}
+	got, _ = p.Predict(uj("bob", 4, 0), 0)
+	if got != 9000 {
+		t.Fatalf("bob prediction = %d", got)
+	}
+	if _, ok := p.Predict(uj("carol", 4, 0), 0); ok {
+		t.Fatal("unknown user must not predict with a user-only template")
+	}
+}
+
+func TestPredictorSmallestCIWins(t *testing.T) {
+	// Template 0: user — tight history (low variance).
+	// Template 1: () — everything, high variance.
+	p := New([]Template{
+		meanTemplate(workload.CharUser),
+		meanTemplate(),
+	})
+	for i := 0; i < 10; i++ {
+		p.Observe(uj("alice", 4, 1000)) // alice is perfectly consistent
+		p.Observe(uj("bob", 4, int64(10+i*2000)))
+	}
+	pr, ok := p.PredictDetailed(uj("alice", 4, 0), 0)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if pr.Template != 0 {
+		t.Fatalf("winning template = %d, want the tight user template", pr.Template)
+	}
+	if pr.Seconds != 1000 {
+		t.Fatalf("prediction = %d", pr.Seconds)
+	}
+	if pr.Interval != 0 {
+		t.Fatalf("interval = %v, want 0 for identical history", pr.Interval)
+	}
+
+	// A fresh user has no user category: the () template must carry.
+	pr, ok = p.PredictDetailed(uj("carol", 4, 0), 0)
+	if !ok || pr.Template != 1 {
+		t.Fatalf("fallback template = %d (ok=%v), want 1", pr.Template, ok)
+	}
+}
+
+func TestPredictorRelativeTemplates(t *testing.T) {
+	tpl := Template{Chars: workload.MaskOf(workload.CharUser), Relative: true, Pred: PredMean}
+	p := New([]Template{tpl})
+	// Alice always uses half her requested time.
+	for i := 0; i < 5; i++ {
+		j := uj("alice", 4, 600)
+		j.MaxRunTime = 1200
+		p.Observe(j)
+	}
+	// New job with a different maximum: prediction scales.
+	q := uj("alice", 4, 0)
+	q.MaxRunTime = 4000
+	got, ok := p.Predict(q, 0)
+	if !ok || got != 2000 {
+		t.Fatalf("relative prediction = %d, %v; want 2000", got, ok)
+	}
+	// A job with no maximum cannot use a relative template.
+	if _, ok := p.Predict(uj("alice", 4, 0), 0); ok {
+		t.Fatal("relative template must not fire without a max run time")
+	}
+}
+
+func TestPredictorAgeConditioning(t *testing.T) {
+	tpl := Template{Chars: workload.MaskOf(workload.CharUser), UseAge: true, Pred: PredMean}
+	p := New([]Template{tpl})
+	// History: many short runs and a few long ones.
+	for i := 0; i < 8; i++ {
+		p.Observe(uj("alice", 4, 60))
+	}
+	for i := 0; i < 4; i++ {
+		p.Observe(uj("alice", 4, 7200))
+	}
+	// At age 0 the mean is pulled down by the short runs.
+	got0, _ := p.Predict(uj("alice", 4, 0), 0)
+	// Once the job has survived 600s, only the 7200s points remain.
+	got600, ok := p.Predict(uj("alice", 4, 0), 600)
+	if !ok {
+		t.Fatal("age-conditioned prediction failed")
+	}
+	if got600 != 7200 {
+		t.Fatalf("age-conditioned prediction = %d, want 7200", got600)
+	}
+	if got0 >= got600 {
+		t.Fatalf("unconditioned %d should be below conditioned %d", got0, got600)
+	}
+}
+
+func TestPredictorMaxHistoryEviction(t *testing.T) {
+	tpl := Template{Chars: workload.MaskOf(workload.CharUser), MaxHistory: 4, Pred: PredMean}
+	p := New([]Template{tpl})
+	// Old regime: 100s. New regime: 500s.
+	for i := 0; i < 10; i++ {
+		p.Observe(uj("alice", 4, 100))
+	}
+	for i := 0; i < 4; i++ {
+		p.Observe(uj("alice", 4, 500))
+	}
+	got, ok := p.Predict(uj("alice", 4, 0), 0)
+	if !ok || got != 500 {
+		t.Fatalf("bounded history should only see the new regime: %d, %v", got, ok)
+	}
+}
+
+func TestPredictorRegressionTemplates(t *testing.T) {
+	tpl := Template{Chars: workload.MaskOf(workload.CharUser), Pred: PredLinear}
+	p := New([]Template{tpl})
+	// Run time grows linearly with nodes: rt = 100*n.
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		p.Observe(uj("alice", n, int64(100*n)))
+	}
+	got, ok := p.Predict(uj("alice", 32, 0), 0)
+	if !ok {
+		t.Fatal("linear template failed")
+	}
+	if got != 3200 {
+		t.Fatalf("linear extrapolation = %d, want 3200", got)
+	}
+}
+
+func TestPredictorInverseAndLog(t *testing.T) {
+	for _, pt := range []PredType{PredInverse, PredLog} {
+		tpl := Template{Chars: workload.MaskOf(workload.CharUser), Pred: pt}
+		p := New([]Template{tpl})
+		for _, n := range []int{1, 2, 4, 8} {
+			var rt int64
+			if pt == PredInverse {
+				rt = int64(1000/n + 500)
+			} else {
+				rt = int64(300*math.Log(float64(n)) + 100)
+			}
+			p.Observe(uj("alice", n, rt))
+		}
+		if _, ok := p.Predict(uj("alice", 16, 0), 0); !ok {
+			t.Errorf("%v template failed to predict", pt)
+		}
+	}
+}
+
+func TestPredictorNegativePredictionRejected(t *testing.T) {
+	// A steep negative regression can extrapolate below zero; such
+	// estimates must be discarded.
+	tpl := Template{Chars: workload.MaskOf(workload.CharUser), Pred: PredLinear}
+	p := New([]Template{tpl})
+	for _, n := range []int{1, 2, 3, 4} {
+		p.Observe(uj("alice", n, int64(1000-200*n)))
+	}
+	if _, ok := p.Predict(uj("alice", 16, 0), 0); ok {
+		t.Fatal("negative extrapolation should be rejected")
+	}
+}
+
+func TestPredictorObserveCreatesCategories(t *testing.T) {
+	p := New(DefaultTemplates(workload.MaskOf(workload.CharUser, workload.CharExec), true))
+	if p.Categories() != 0 {
+		t.Fatal("fresh predictor should have no categories")
+	}
+	j := uj("alice", 4, 100)
+	j.MaxRunTime = 200
+	p.Observe(j)
+	if p.Categories() == 0 {
+		t.Fatal("Observe should create categories")
+	}
+}
+
+func TestPredictorOptionsAndName(t *testing.T) {
+	p := New(nil, WithName("custom"), WithConfidence(0.5))
+	if p.Name() != "custom" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if p.level != 0.5 {
+		t.Errorf("level = %v", p.level)
+	}
+	// Invalid levels are ignored.
+	p2 := New(nil, WithConfidence(2))
+	if p2.level != DefaultConfidence {
+		t.Errorf("invalid level accepted: %v", p2.level)
+	}
+	// Nil template set never predicts but must not panic.
+	if _, ok := p.Predict(uj("a", 1, 10), 0); ok {
+		t.Error("empty predictor predicted")
+	}
+	p.Observe(uj("a", 1, 10))
+}
+
+func TestPredictorConfidenceAffectsRanking(t *testing.T) {
+	// Narrower confidence levels shrink every interval equally in t-quantile
+	// terms, so ranking is stable; this is a smoke check that level is used.
+	p90 := New([]Template{meanTemplate(workload.CharUser)}, WithConfidence(0.90))
+	p99 := New([]Template{meanTemplate(workload.CharUser)}, WithConfidence(0.99))
+	for i := 0; i < 5; i++ {
+		j := uj("alice", 4, int64(100+i*10))
+		p90.Observe(j)
+		p99.Observe(j)
+	}
+	a, _ := p90.PredictDetailed(uj("alice", 4, 0), 0)
+	b, _ := p99.PredictDetailed(uj("alice", 4, 0), 0)
+	if a.Seconds != b.Seconds {
+		t.Errorf("point predictions differ: %d vs %d", a.Seconds, b.Seconds)
+	}
+	if b.Interval <= a.Interval {
+		t.Errorf("99%% interval (%v) should exceed 90%% interval (%v)", b.Interval, a.Interval)
+	}
+}
+
+func TestPredictorTemplatesCopy(t *testing.T) {
+	ts := []Template{meanTemplate(workload.CharUser)}
+	p := New(ts)
+	got := p.Templates()
+	got[0].MaxHistory = 777
+	if p.templates[0].MaxHistory == 777 {
+		t.Error("Templates() must return a copy")
+	}
+}
+
+// The predictor should beat a max-run-time baseline on a repetitive
+// synthetic workload once warmed up — the paper's headline property.
+func TestPredictorBeatsMaxRTOnSyntheticWorkload(t *testing.T) {
+	w, err := workload.Study("ANL", 10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDefault(w)
+	var smithErr, maxErr float64
+	var n int
+	for _, j := range w.Jobs {
+		if got, ok := p.Predict(j, 0); ok {
+			smithErr += math.Abs(float64(got - j.RunTime))
+			maxErr += math.Abs(float64(j.MaxRunTime - j.RunTime))
+			n++
+		}
+		p.Observe(j)
+	}
+	if n < len(w.Jobs)/2 {
+		t.Fatalf("predicted only %d of %d jobs", n, len(w.Jobs))
+	}
+	if smithErr >= maxErr {
+		t.Fatalf("template predictor (%.0f) did not beat max run times (%.0f)",
+			smithErr/float64(n), maxErr/float64(n))
+	}
+	t.Logf("mean abs error: smith %.1f min, maxrt %.1f min over %d predictions",
+		smithErr/float64(n)/60, maxErr/float64(n)/60, n)
+}

@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Replication: the paper reports single-trace numbers (its traces are
+// fixed); our synthetic stand-ins let us re-draw the workload and check
+// that the headline comparison — scheduling with the template predictor vs
+// actual and maximum run times — is stable across seeds rather than an
+// artifact of one draw.
+
+// ReplicateSeeds is the number of workload seeds per cell.
+const ReplicateSeeds = 5
+
+// CellStats summarizes one (workload, policy, predictor) cell across seeds.
+type CellStats struct {
+	Workload  string
+	Policy    string
+	Predictor PredictorKind
+	// MeanWaitMin are the per-seed mean waits (minutes).
+	MeanWaitMin []float64
+	Mean        float64
+	StdDev      float64
+}
+
+// ReplicateScheduling reruns the scheduling experiment for each predictor
+// kind over ReplicateSeeds independently drawn workloads per study profile.
+// Cells run concurrently.
+func ReplicateScheduling(kinds []PredictorKind, cfg Config) ([]CellStats, error) {
+	type cellKey struct {
+		wi, pi, ki int
+	}
+	policies := lwfBF()
+	cells := make([]CellStats, 0, len(workload.StudyNames)*len(policies)*len(kinds))
+	idx := map[cellKey]int{}
+	for wi, name := range workload.StudyNames {
+		for pi, pol := range policies {
+			for ki, kind := range kinds {
+				idx[cellKey{wi, pi, ki}] = len(cells)
+				cells = append(cells, CellStats{
+					Workload: name, Policy: pol.Name(), Predictor: kind,
+					MeanWaitMin: make([]float64, ReplicateSeeds),
+				})
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(cells)*ReplicateSeeds)
+	slot := 0
+	for wi, name := range workload.StudyNames {
+		for s := 0; s < ReplicateSeeds; s++ {
+			// One workload draw serves all (policy, kind) pairs of this
+			// seed so comparisons are paired.
+			seed := cfg.Seed + int64(wi)*1000 + int64(s)*7777
+			for pi, pol := range policies {
+				for ki, kind := range kinds {
+					wg.Add(1)
+					go func(slot int, name string, seed int64, wi, pi, ki, s int, pol sim.Policy, kind PredictorKind) {
+						defer wg.Done()
+						w, err := workload.Study(name, cfg.Scale, seed)
+						if err != nil {
+							errs[slot] = err
+							return
+						}
+						r, err := SchedulingExperiment(w, pol, kind, cfg)
+						if err != nil {
+							errs[slot] = err
+							return
+						}
+						cells[idx[cellKey{wi, pi, ki}]].MeanWaitMin[s] = r.MeanWaitMin
+					}(slot, name, seed, wi, pi, ki, s, pol, kind)
+					slot++
+				}
+			}
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range cells {
+		m, v := stats.MeanVar(cells[i].MeanWaitMin)
+		cells[i].Mean = m
+		if v > 0 {
+			cells[i].StdDev = stats.StdDev(cells[i].MeanWaitMin)
+		}
+	}
+	return cells, nil
+}
+
+// ReplicationTable renders mean wait (mean ± sd over ReplicateSeeds seeds)
+// for the oracle, maximum run times, and the template predictor.
+func ReplicationTable(cfg Config) (*Table, error) {
+	kinds := []PredictorKind{KindActual, KindMaxRT, KindSmith}
+	cells, err := ReplicateScheduling(kinds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "Replication",
+		Caption: fmt.Sprintf("Mean wait (minutes, mean±sd over %d workload seeds; paired p for smith vs maxrt)",
+			ReplicateSeeds),
+		Headers: []string{"Workload", "Scheduling Algorithm", "actual", "maxrt", "smith", "p(smith≠maxrt)"},
+	}
+	// Cells arrive grouped by (workload, policy, kind) in construction
+	// order: for each workload, for each policy, the three kinds.
+	for i := 0; i < len(cells); i += len(kinds) {
+		row := []string{cells[i].Workload, cells[i].Policy}
+		for k := 0; k < len(kinds); k++ {
+			c := cells[i+k]
+			row = append(row, fmt.Sprintf("%.2f±%.2f", c.Mean, c.StdDev))
+		}
+		// The seeds are paired draws (same workload per seed), so the
+		// paired test isolates the predictor effect from draw-to-draw
+		// variance. kinds[1] = maxrt, kinds[2] = smith.
+		pStr := "-"
+		if r, err := stats.PairedT(cells[i+2].MeanWaitMin, cells[i+1].MeanWaitMin); err == nil {
+			pStr = fmt.Sprintf("%.3f", r.P)
+		}
+		row = append(row, pStr)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

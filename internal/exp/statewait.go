@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/waitpred"
+	"repro/internal/workload"
+)
+
+// This file runs the experiment the paper proposes as future work (§5):
+// predicting queue wait times from historical waits observed in similar
+// scheduler STATES, instead of simulating the scheduler forward. The paper
+// hoped the state-based method would "improve wait-time prediction error,
+// particularly for the LWF algorithm, which has a large built-in error".
+
+// StateWaitResult compares the two wait-prediction methods on one
+// workload/policy pair.
+type StateWaitResult struct {
+	Workload    string
+	Policy      string
+	MeanWaitMin float64
+	// SimErrMin / SimPct: the paper's simulation-based method with the
+	// template run-time predictor (Table 6 configuration).
+	SimErrMin float64
+	SimPct    float64
+	// StateErrMin / StatePct: the future-work state-based method.
+	StateErrMin float64
+	StatePct    float64
+	N           int
+}
+
+// StateWaitExperiment runs both predictors side by side over the
+// ground-truth schedule (scheduling with maximum run times, as everywhere
+// in the wait-time study).
+func StateWaitExperiment(w *workload.Workload, pol sim.Policy, cfg Config) (StateWaitResult, error) {
+	underTest, err := NewPredictor(KindSmith, w)
+	if err != nil {
+		return StateWaitResult{}, err
+	}
+	statePred := waitpred.NewStatePredictor(
+		waitpred.DefaultStateTemplates(w.Chars.Has(workload.CharQueue)))
+	defaultRT := cfg.DefaultRT
+	if defaultRT <= 0 {
+		defaultRT = predict.DefaultRuntime
+	}
+	decisionEst := func(j *workload.Job, age int64) int64 {
+		return predict.Estimate(predict.MaxRuntime{}, j, age, defaultRT)
+	}
+
+	type pending struct {
+		state   waitpred.State
+		jobWork int64
+	}
+	simPred := make(map[*workload.Job]int64, len(w.Jobs))
+	statePredOut := make(map[*workload.Job]int64, len(w.Jobs))
+	states := make(map[*workload.Job]pending, len(w.Jobs))
+	var predErr error
+
+	opts := sim.Options{
+		OnSubmit: func(now int64, j *workload.Job, queue, running []*workload.Job) {
+			if predErr != nil {
+				return
+			}
+			// Simulation-based prediction (§3 technique).
+			wait, err := waitpred.PredictWait(now, j, queue, running,
+				w.MachineNodes, pol, underTest, predict.MaxRuntime{}, defaultRT)
+			if err != nil {
+				predErr = err
+				return
+			}
+			simPred[j] = wait
+
+			// State-based prediction (§5 future work).
+			st := waitpred.CaptureState(now, queue, running, w.MachineNodes, decisionEst)
+			jobWork := int64(j.Nodes) * decisionEst(j, 0)
+			states[j] = pending{state: st, jobWork: jobWork}
+			if sw, ok := statePred.PredictWait(st, j, jobWork); ok {
+				statePredOut[j] = sw
+			} else {
+				// Ramp-up fallback: predict the current queue drain time, a
+				// crude state summary (queued work over machine size).
+				statePredOut[j] = st.QueuedWork / int64(w.MachineNodes)
+			}
+		},
+		OnStart: func(now int64, j *workload.Job) {
+			if p, ok := states[j]; ok {
+				statePred.ObserveWait(p.state, j, p.jobWork, j.WaitTime())
+				delete(states, j)
+			}
+		},
+		OnFinish: func(now int64, j *workload.Job) { underTest.Observe(j) },
+	}
+	if _, err := sim.Run(w, pol, predict.MaxRuntime{}, opts); err != nil {
+		return StateWaitResult{}, err
+	}
+	if predErr != nil {
+		return StateWaitResult{}, predErr
+	}
+
+	var simAbs, stateAbs, waitSum float64
+	var n int
+	for j, sw := range simPred {
+		simAbs += math.Abs(float64(sw - j.WaitTime()))
+		stateAbs += math.Abs(float64(statePredOut[j] - j.WaitTime()))
+		waitSum += float64(j.WaitTime())
+		n++
+	}
+	if n == 0 {
+		return StateWaitResult{}, fmt.Errorf("exp: no predictions recorded")
+	}
+	out := StateWaitResult{
+		Workload:    w.Name,
+		Policy:      pol.Name(),
+		MeanWaitMin: waitSum / float64(n) / 60,
+		SimErrMin:   simAbs / float64(n) / 60,
+		StateErrMin: stateAbs / float64(n) / 60,
+		N:           n,
+	}
+	if waitSum > 0 {
+		out.SimPct = 100 * simAbs / waitSum
+		out.StatePct = 100 * stateAbs / waitSum
+	}
+	return out, nil
+}
+
+// FutureWorkStateWait renders the comparison for every workload under LWF
+// and backfill.
+func FutureWorkStateWait(cfg Config) (*Table, error) {
+	ws, err := studyWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "Future Work",
+		Caption: "Simulation-based (§3) vs state-based (§5) wait-time prediction, % of mean wait",
+		Headers: []string{"Workload", "Scheduling Algorithm", "Simulation %", "State-based %"},
+	}
+	for _, w := range ws {
+		for _, pol := range lwfBF() {
+			r, err := StateWaitExperiment(w, pol, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("future-work %s/%s: %w", w.Name, pol.Name(), err)
+			}
+			t.Rows = append(t.Rows, []string{
+				r.Workload, r.Policy,
+				fmt.Sprintf("%.0f", r.SimPct),
+				fmt.Sprintf("%.0f", r.StatePct),
+			})
+		}
+	}
+	return t, nil
+}

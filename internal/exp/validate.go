@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// Walk-forward validation: train a predictor on a time prefix of the trace,
+// then score it on the NEXT segment without letting it observe the test
+// jobs. Unlike the online protocol of the paper's experiments (observe
+// every completion immediately), this measures how quickly a history goes
+// stale — the question an operator asks before trusting a predictor whose
+// feed has gaps.
+
+// FoldResult is one fold of a walk-forward validation.
+type FoldResult struct {
+	Fold       int
+	TrainJobs  int
+	TestJobs   int
+	Covered    int     // test jobs the predictor could answer (before fallback)
+	MeanErrMin float64 // mean |pred − actual| over the fold, minutes (with fallback)
+	PctMeanRT  float64 // as % of the fold's mean run time
+}
+
+// WalkForward splits the trace (in submit order) into folds+1 equal
+// segments: fold i trains on segments [0, i] and tests on segment i+1.
+func WalkForward(w *workload.Workload, kind PredictorKind, folds int, cfg Config) ([]FoldResult, error) {
+	if folds < 1 {
+		return nil, fmt.Errorf("exp: need at least one fold")
+	}
+	n := len(w.Jobs)
+	if n < (folds+1)*2 {
+		return nil, fmt.Errorf("exp: %d jobs is too few for %d folds", n, folds)
+	}
+	defaultRT := cfg.DefaultRT
+	if defaultRT <= 0 {
+		defaultRT = predict.DefaultRuntime
+	}
+	seg := n / (folds + 1)
+	out := make([]FoldResult, 0, folds)
+	for f := 1; f <= folds; f++ {
+		pred, err := NewPredictor(kind, w)
+		if err != nil {
+			return nil, err
+		}
+		trainEnd := f * seg
+		testEnd := (f + 1) * seg
+		if f == folds {
+			testEnd = n
+		}
+		for _, j := range w.Jobs[:trainEnd] {
+			pred.Observe(j)
+		}
+		var absErr, rtSum float64
+		covered := 0
+		for _, j := range w.Jobs[trainEnd:testEnd] {
+			if _, ok := pred.Predict(j, 0); ok {
+				covered++
+			}
+			est := predict.Estimate(pred, j, 0, defaultRT)
+			absErr += math.Abs(float64(est - j.RunTime))
+			rtSum += float64(j.RunTime)
+		}
+		tested := testEnd - trainEnd
+		fr := FoldResult{
+			Fold:       f,
+			TrainJobs:  trainEnd,
+			TestJobs:   tested,
+			Covered:    covered,
+			MeanErrMin: absErr / float64(tested) / 60,
+		}
+		if rtSum > 0 {
+			fr.PctMeanRT = 100 * absErr / rtSum
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// WalkForwardTable renders a 4-fold walk-forward validation of the history
+// predictors on every study workload.
+func WalkForwardTable(cfg Config) (*Table, error) {
+	ws, err := studyWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []PredictorKind{KindSmith, KindGibbons, KindDowneyAvg, KindDowneyMed}
+	t := &Table{
+		ID:      "Validation",
+		Caption: "Walk-forward holdout: run-time error as % of mean run time, averaged over 4 folds (coverage in parentheses)",
+		Headers: []string{"Workload", "smith", "gibbons", "downey-avg", "downey-med"},
+	}
+	for _, w := range ws {
+		row := []string{w.Name}
+		for _, kind := range kinds {
+			frs, err := WalkForward(w, kind, 4, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("walk-forward %s/%s: %w", w.Name, kind, err)
+			}
+			var pct, cov float64
+			var tested int
+			for _, fr := range frs {
+				pct += fr.PctMeanRT
+				cov += float64(fr.Covered)
+				tested += fr.TestJobs
+			}
+			row = append(row, fmt.Sprintf("%.0f (%.0f%%)",
+				pct/float64(len(frs)), 100*cov/float64(tested)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

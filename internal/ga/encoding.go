@@ -1,0 +1,220 @@
+// Package ga implements the paper's template-set search: a genetic
+// algorithm over variable-length chromosomes encoding sets of 1–10
+// templates (§2.1, "Template Definition and Search"), plus the greedy
+// search the paper compared against in earlier work.
+package ga
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Encoding describes the binary layout of one template for a particular
+// workload: which categorical characteristics exist determines the bit
+// count. Following the paper, each template encodes
+//
+//  1. the prediction type (mean or one of three regressions) — 2 bits,
+//  2. absolute vs relative run times — 1 bit,
+//  3. one enable bit per recorded categorical characteristic,
+//  4. node bucketing: 1 enable bit + 4 bits selecting a range size from
+//     1 to 512 in powers of two,
+//  5. history bound: 1 enable bit + 4 bits selecting a limit from 2 to
+//     65536 in powers of two,
+//
+// plus one additional bit for the running-time attribute (the paper defines
+// "running time" per template alongside history and data type; we give it
+// an explicit bit).
+type Encoding struct {
+	Chars    []workload.Char // recorded categorical characteristics
+	HasMaxRT bool            // relative run times allowed?
+}
+
+// NewEncoding builds the encoding for a workload.
+func NewEncoding(w *workload.Workload) Encoding {
+	return Encoding{Chars: w.Chars.Chars(), HasMaxRT: w.HasMaxRT}
+}
+
+// TemplateBits returns the number of bits one template occupies.
+func (e Encoding) TemplateBits() int {
+	return 2 + 1 + 1 + len(e.Chars) + 5 + 5
+}
+
+// MaxTemplates is the paper's bound on templates per set.
+const MaxTemplates = 10
+
+// Genome is a chromosome: a bit string whose length is a multiple of
+// TemplateBits, between 1 and MaxTemplates templates.
+type Genome []bool
+
+// Templates returns the number of templates the genome encodes.
+func (e Encoding) Templates(g Genome) int { return len(g) / e.TemplateBits() }
+
+// Decode converts a genome into a template set. Relative-run-time templates
+// are forced absolute when the workload records no maximum run times.
+func (e Encoding) Decode(g Genome) []core.Template {
+	b := e.TemplateBits()
+	n := len(g) / b
+	out := make([]core.Template, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, e.decodeOne(g[i*b:(i+1)*b]))
+	}
+	return out
+}
+
+func (e Encoding) decodeOne(bits Genome) core.Template {
+	var t core.Template
+	at := 0
+	read := func(n int) int {
+		v := 0
+		for k := 0; k < n; k++ {
+			v <<= 1
+			if bits[at] {
+				v |= 1
+			}
+			at++
+		}
+		return v
+	}
+	t.Pred = core.PredType(read(2)) // 4 values, all valid
+	t.Relative = read(1) == 1 && e.HasMaxRT
+	t.UseAge = read(1) == 1
+	var mask workload.CharMask
+	for _, c := range e.Chars {
+		if read(1) == 1 {
+			mask |= workload.MaskOf(c)
+		}
+	}
+	t.Chars = mask
+	if read(1) == 1 {
+		t.UseNodes = true
+		t.NodeRange = 1 << (read(4) % 10) // 1..512
+	} else {
+		read(4)
+	}
+	if read(1) == 1 {
+		t.MaxHistory = 1 << (1 + read(4)) // 2..65536
+	} else {
+		read(4)
+	}
+	return t
+}
+
+// Encode converts a template set into a genome (the inverse of Decode, up
+// to canonicalization of out-of-range values).
+func (e Encoding) Encode(ts []core.Template) Genome {
+	b := e.TemplateBits()
+	g := make(Genome, 0, len(ts)*b)
+	for _, t := range ts {
+		g = append(g, e.encodeOne(t)...)
+	}
+	return g
+}
+
+func (e Encoding) encodeOne(t core.Template) Genome {
+	bits := make(Genome, 0, e.TemplateBits())
+	write := func(v, n int) {
+		for k := n - 1; k >= 0; k-- {
+			bits = append(bits, v&(1<<k) != 0)
+		}
+	}
+	write(int(t.Pred), 2)
+	write(b2i(t.Relative), 1)
+	write(b2i(t.UseAge), 1)
+	for _, c := range e.Chars {
+		write(b2i(t.Chars.Has(c)), 1)
+	}
+	write(b2i(t.UseNodes), 1)
+	write(log2in(t.NodeRange, 0, 9), 4)
+	write(b2i(t.MaxHistory > 0), 1)
+	write(log2in(t.MaxHistory, 1, 16)-1, 4)
+	return bits
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// log2in returns log2(v) clamped into [lo, hi]; nonpositive v maps to lo.
+func log2in(v, lo, hi int) int {
+	p := lo
+	for (1<<(p+1)) <= v && p < hi {
+		p++
+	}
+	return p
+}
+
+// RandomGenome draws a genome with 1..MaxTemplates random templates.
+func (e Encoding) RandomGenome(rng *rand.Rand) Genome {
+	n := 1 + rng.Intn(MaxTemplates)
+	g := make(Genome, n*e.TemplateBits())
+	for i := range g {
+		g[i] = rng.Intn(2) == 1
+	}
+	return g
+}
+
+// Mutate flips each bit independently with the given probability, returning
+// a new genome.
+func Mutate(g Genome, rate float64, rng *rand.Rand) Genome {
+	out := append(Genome(nil), g...)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = !out[i]
+		}
+	}
+	return out
+}
+
+// Crossover mates two genomes with the paper's template-boundary scheme:
+// pick template i and bit position p in the first parent and template j in
+// the second such that neither child exceeds MaxTemplates; child 1 is the
+// first parent's templates before i, a hybrid template splicing t1[i]'s
+// first p bits with t2[j]'s last bits, then the second parent's templates
+// after j — and symmetrically for child 2.
+func (e Encoding) Crossover(g1, g2 Genome, rng *rand.Rand) (Genome, Genome) {
+	b := e.TemplateBits()
+	n1, n2 := len(g1)/b, len(g2)/b
+	if n1 == 0 || n2 == 0 {
+		return append(Genome(nil), g1...), append(Genome(nil), g2...)
+	}
+	// Choose i, j so child sizes i + (n2-j) and j + (n1-i) stay in
+	// [1, MaxTemplates]. Rejection-sample; the space always contains
+	// i=j which yields sizes n2 and n1 (both already legal).
+	var i, j int
+	for tries := 0; ; tries++ {
+		i = rng.Intn(n1)
+		j = rng.Intn(n2)
+		c1 := i + (n2 - j)
+		c2 := j + (n1 - i)
+		if c1 >= 1 && c1 <= MaxTemplates && c2 >= 1 && c2 <= MaxTemplates {
+			break
+		}
+		if tries > 64 {
+			j = i % n2
+			if i+(n2-j) > MaxTemplates || j+(n1-i) > MaxTemplates {
+				i, j = 0, 0
+			}
+			break
+		}
+	}
+	p := rng.Intn(b)
+	t1 := g1[i*b : (i+1)*b]
+	t2 := g2[j*b : (j+1)*b]
+	hybrid1 := append(append(Genome(nil), t1[:p]...), t2[p:]...)
+	hybrid2 := append(append(Genome(nil), t2[:p]...), t1[p:]...)
+
+	var c1 Genome
+	c1 = append(c1, g1[:i*b]...)
+	c1 = append(c1, hybrid1...)
+	c1 = append(c1, g2[(j+1)*b:]...)
+	var c2 Genome
+	c2 = append(c2, g2[:j*b]...)
+	c2 = append(c2, hybrid2...)
+	c2 = append(c2, g1[(i+1)*b:]...)
+	return c1, c2
+}

@@ -1,0 +1,216 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes the genetic algorithm. Zero values select the
+// paper-faithful defaults.
+type Config struct {
+	PopSize      int     // population size (default 20)
+	Generations  int     // stopping condition: fixed generation count (default 15)
+	MutationRate float64 // per-bit flip probability (default 0.01, the paper's value)
+	FMin         float64 // minimum scaled fitness (default 1; FMax = 4·FMin per the paper)
+	Elite        int     // individuals surviving unmutated (default 2, the paper's value)
+	Seed         int64   // RNG seed (default 1)
+	// Parallelism bounds concurrent fitness evaluations (each evaluation
+	// replays the prediction workload through an independent predictor, so
+	// they parallelize perfectly). 0 means GOMAXPROCS; 1 disables
+	// concurrency. The search result is identical at any setting.
+	Parallelism int
+}
+
+func (c *Config) fill() {
+	if c.PopSize <= 0 {
+		c.PopSize = 20
+	}
+	if c.Generations <= 0 {
+		c.Generations = 15
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.01
+	}
+	if c.FMin <= 0 {
+		c.FMin = 1
+	}
+	if c.Elite <= 0 {
+		c.Elite = 2
+	}
+	if c.Elite > c.PopSize {
+		c.Elite = c.PopSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// scaledFitness implements the paper's fitness scaling,
+//
+//	F = Fmin + (Emax − E)/(Emax − Emin) · (Fmax − Fmin),  Fmax = 4·Fmin,
+//
+// which keeps the best individual at exactly four times the worst's
+// reproductive weight regardless of whether the error spread is large or
+// small. Degenerate cases: a flat population gets uniform FMin; an
+// individual with infinite error (a template set that cannot predict)
+// gets FMin/4, a sliver of reproductive chance.
+func scaledFitness(errs []float64, fMin float64) []float64 {
+	fMax := 4 * fMin
+	eMin, eMax := math.Inf(1), math.Inf(-1)
+	for _, e := range errs {
+		if math.IsInf(e, 1) {
+			continue
+		}
+		if e < eMin {
+			eMin = e
+		}
+		if e > eMax {
+			eMax = e
+		}
+	}
+	out := make([]float64, len(errs))
+	for i, e := range errs {
+		switch {
+		case math.IsInf(e, 1):
+			out[i] = fMin / 4
+		case eMax > eMin:
+			out[i] = fMin + (eMax-e)/(eMax-eMin)*(fMax-fMin)
+		default:
+			out[i] = fMin
+		}
+	}
+	return out
+}
+
+// Individual pairs a genome with its evaluated error.
+type Individual struct {
+	Genome Genome
+	Error  float64
+}
+
+// SearchResult reports the outcome of a template search.
+type SearchResult struct {
+	Best      []core.Template
+	BestError float64
+	// History records the best error after each generation (or greedy
+	// round), for convergence reporting.
+	History []float64
+	// Evaluations counts evaluator invocations.
+	Evaluations int
+}
+
+// Search runs the genetic algorithm: scaled fitness (the paper's linear
+// scaling between FMin and FMax = 4·FMin on error rank), stochastic
+// sampling with replacement, template-boundary crossover, per-bit mutation,
+// and 2-elitism. Fitness evaluations within a generation run concurrently
+// (Config.Parallelism); the result is bit-identical at any parallelism
+// because random decisions never depend on evaluation order.
+func Search(enc Encoding, eval Evaluator, cfg Config) (*SearchResult, error) {
+	cfg.fill()
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &SearchResult{}
+	// evalBatch scores a slice of genomes with a bounded worker pool.
+	evalBatch := func(gs []Genome) []float64 {
+		res.Evaluations += len(gs)
+		out := make([]float64, len(gs))
+		if workers == 1 || len(gs) == 1 {
+			for i, g := range gs {
+				out[i] = eval(enc.Decode(g))
+			}
+			return out
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, g := range gs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, g Genome) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				out[i] = eval(enc.Decode(g))
+			}(i, g)
+		}
+		wg.Wait()
+		return out
+	}
+
+	genomes := make([]Genome, cfg.PopSize)
+	for i := range genomes {
+		genomes[i] = enc.RandomGenome(rng)
+	}
+	errs := evalBatch(genomes)
+	pop := make([]Individual, cfg.PopSize)
+	for i := range pop {
+		pop[i] = Individual{Genome: genomes[i], Error: errs[i]}
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Error < pop[b].Error })
+		res.History = append(res.History, pop[0].Error)
+
+		errsNow := make([]float64, len(pop))
+		for i, ind := range pop {
+			errsNow[i] = ind.Error
+		}
+		fit := scaledFitness(errsNow, cfg.FMin)
+		var sum float64
+		for _, f := range fit {
+			sum += f
+		}
+
+		// Stochastic sampling with replacement.
+		pick := func() Individual {
+			r := rng.Float64() * sum
+			var acc float64
+			for i := range pop {
+				acc += fit[i]
+				if r < acc {
+					return pop[i]
+				}
+			}
+			return pop[len(pop)-1]
+		}
+
+		// Elitism: the best Elite individuals survive unmutated; crossover
+		// produces the rest. Children are generated first (consuming the
+		// RNG deterministically) and scored as one parallel batch.
+		next := make([]Individual, 0, cfg.PopSize)
+		for i := 0; i < cfg.Elite && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		var children []Genome
+		for len(next)+len(children) < cfg.PopSize {
+			p1, p2 := pick(), pick()
+			c1, c2 := enc.Crossover(p1.Genome, p2.Genome, rng)
+			children = append(children, Mutate(c1, cfg.MutationRate, rng))
+			if len(next)+len(children) < cfg.PopSize {
+				children = append(children, Mutate(c2, cfg.MutationRate, rng))
+			}
+		}
+		childErrs := evalBatch(children)
+		for i, g := range children {
+			next = append(next, Individual{Genome: g, Error: childErrs[i]})
+		}
+		pop = next
+	}
+
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].Error < pop[b].Error })
+	res.History = append(res.History, pop[0].Error)
+	if math.IsInf(pop[0].Error, 1) {
+		return nil, fmt.Errorf("ga: search produced no predictive template set")
+	}
+	res.Best = enc.Decode(pop[0].Genome)
+	res.BestError = pop[0].Error
+	return res, nil
+}

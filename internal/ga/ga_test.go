@@ -1,0 +1,229 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func smallWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.Study("ANL", 100, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFromTrace(t *testing.T) {
+	w := smallWorkload(t)
+	pw := FromTrace(w)
+	if len(pw) != 2*len(w.Jobs) {
+		t.Fatalf("events = %d, want %d", len(pw), 2*len(w.Jobs))
+	}
+	if pw[0].Kind != EvPredict || pw[1].Kind != EvInsert {
+		t.Fatal("trace workload should alternate predict/insert")
+	}
+}
+
+func TestFromSchedule(t *testing.T) {
+	w := smallWorkload(t)
+	pw, err := FromSchedule(w, sched.LWF{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preds, inserts int
+	agedPreds := 0
+	for _, ev := range pw {
+		switch ev.Kind {
+		case EvPredict:
+			preds++
+			if ev.Age > 0 {
+				agedPreds++
+			}
+		case EvInsert:
+			inserts++
+		}
+	}
+	if inserts != len(w.Jobs) {
+		t.Fatalf("inserts = %d, want one per job", inserts)
+	}
+	if preds < len(w.Jobs) {
+		t.Fatalf("too few predictions: %d", preds)
+	}
+	if agedPreds == 0 {
+		t.Fatal("schedule workload should include predictions of running jobs")
+	}
+}
+
+func TestRuntimeErrorEvaluator(t *testing.T) {
+	w := smallWorkload(t)
+	eval := RuntimeError(FromTrace(w))
+	good := eval(core.DefaultTemplates(w.Chars, w.HasMaxRT))
+	if math.IsInf(good, 1) || good <= 0 {
+		t.Fatalf("default templates error = %v", good)
+	}
+	// The empty template set degenerates to the max-run-time fallback and
+	// must be no better than a real template set on this workload.
+	empty := eval(nil)
+	if empty < good {
+		t.Fatalf("empty set (%.0f) beat default templates (%.0f)", empty, good)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	w := smallWorkload(t)
+	pw := FromTrace(w)
+	errs := BaselineErrors(pw, []predict.Predictor{predict.Oracle{}, predict.MaxRuntime{}})
+	if errs["actual"] != 0 {
+		t.Fatalf("oracle error = %v, want 0", errs["actual"])
+	}
+	if errs["maxrt"] <= 0 {
+		t.Fatalf("maxrt error = %v, want > 0", errs["maxrt"])
+	}
+}
+
+func TestSearchImprovesOverRandom(t *testing.T) {
+	w := smallWorkload(t)
+	enc := NewEncoding(w)
+	eval := RuntimeError(FromTrace(w))
+	res, err := Search(enc, eval, Config{PopSize: 10, Generations: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 || len(res.Best) > MaxTemplates {
+		t.Fatalf("best set has %d templates", len(res.Best))
+	}
+	if res.BestError <= 0 || math.IsInf(res.BestError, 1) {
+		t.Fatalf("best error = %v", res.BestError)
+	}
+	// Convergence history is non-increasing at the recorded points
+	// (elitism guarantees the best never regresses).
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-9 {
+			t.Fatalf("best error regressed despite elitism: %v", res.History)
+		}
+	}
+	if res.Evaluations < 10 {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	w := smallWorkload(t)
+	enc := NewEncoding(w)
+	eval := RuntimeError(FromTrace(w))
+	a, err := Search(enc, eval, Config{PopSize: 8, Generations: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(enc, eval, Config{PopSize: 8, Generations: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestError != b.BestError || len(a.Best) != len(b.Best) {
+		t.Fatalf("same seed, different outcomes: %v vs %v", a.BestError, b.BestError)
+	}
+}
+
+func TestGreedySearch(t *testing.T) {
+	w := smallWorkload(t)
+	enc := NewEncoding(w)
+	eval := RuntimeError(FromTrace(w))
+	pool := CandidatePool(enc)
+	if len(pool) == 0 {
+		t.Fatal("empty candidate pool")
+	}
+	res, err := GreedySearch(enc, eval, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 || len(res.Best) > MaxTemplates {
+		t.Fatalf("greedy chose %d templates", len(res.Best))
+	}
+	// Greedy history strictly improves by construction.
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] >= res.History[i-1] {
+			t.Fatalf("greedy error did not improve: %v", res.History)
+		}
+	}
+	// The greedy result must beat the max-run-time baseline on this
+	// repetitive workload.
+	base := BaselineErrors(FromTrace(w), []predict.Predictor{predict.MaxRuntime{}})
+	if res.BestError >= base["maxrt"] {
+		t.Fatalf("greedy (%.0f) did not beat maxrt (%.0f)", res.BestError, base["maxrt"])
+	}
+}
+
+func TestGreedySearchErrors(t *testing.T) {
+	if _, err := GreedySearch(testEncoding(), func([]core.Template) float64 { return 0 }, nil); err == nil {
+		t.Fatal("empty pool should error")
+	}
+}
+
+func TestSearchParallelismInvariant(t *testing.T) {
+	// The search result must be bit-identical regardless of the worker
+	// count: randomness never depends on evaluation order.
+	w := smallWorkload(t)
+	enc := NewEncoding(w)
+	eval := RuntimeError(FromTrace(w))
+	serial, err := Search(enc, eval, Config{PopSize: 10, Generations: 4, Seed: 5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Search(enc, eval, Config{PopSize: 10, Generations: 4, Seed: 5, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.BestError != parallel.BestError {
+		t.Fatalf("parallelism changed the result: %v vs %v",
+			serial.BestError, parallel.BestError)
+	}
+	if len(serial.Best) != len(parallel.Best) {
+		t.Fatalf("different template counts: %d vs %d", len(serial.Best), len(parallel.Best))
+	}
+	for i := range serial.Best {
+		if serial.Best[i] != parallel.Best[i] {
+			t.Fatalf("template %d differs", i)
+		}
+	}
+	if serial.Evaluations != parallel.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", serial.Evaluations, parallel.Evaluations)
+	}
+}
+
+func TestScaledFitnessPaperProperties(t *testing.T) {
+	// Best error gets Fmax = 4·Fmin; worst gets Fmin; midpoint gets the
+	// linear interpolant — independent of the error spread.
+	for _, spread := range []float64{1, 1000, 1e-6} {
+		errs := []float64{10, 10 + spread/2, 10 + spread}
+		f := scaledFitness(errs, 1)
+		if !almost(f[0], 4) || !almost(f[2], 1) || !almost(f[1], 2.5) {
+			t.Fatalf("spread %v: fitness = %v", spread, f)
+		}
+	}
+	// Flat population: uniform Fmin.
+	f := scaledFitness([]float64{7, 7, 7}, 2)
+	for _, v := range f {
+		if v != 2 {
+			t.Fatalf("flat population fitness = %v", f)
+		}
+	}
+	// Infinite error gets a sliver, finite ones still scale.
+	f = scaledFitness([]float64{5, math.Inf(1), 15}, 1)
+	if !almost(f[0], 4) || !almost(f[2], 1) || !almost(f[1], 0.25) {
+		t.Fatalf("with Inf: fitness = %v", f)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6
+}

@@ -1,0 +1,90 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// GreedySearch is the greedy template-set search the paper's earlier work
+// compared against the GA (and found inferior): starting from the empty
+// set, repeatedly add the candidate template that most reduces the
+// prediction error, stopping when no candidate improves it or MaxTemplates
+// is reached.
+func GreedySearch(enc Encoding, eval Evaluator, candidates []core.Template) (*SearchResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("ga: greedy search needs candidates")
+	}
+	res := &SearchResult{BestError: math.Inf(1)}
+	var chosen []core.Template
+	used := make([]bool, len(candidates))
+	for len(chosen) < MaxTemplates {
+		bestIdx := -1
+		bestErr := res.BestError
+		for i, c := range candidates {
+			if used[i] {
+				continue
+			}
+			trial := append(append([]core.Template(nil), chosen...), c)
+			res.Evaluations++
+			if e := eval(trial); e < bestErr {
+				bestErr = e
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, candidates[bestIdx])
+		res.BestError = bestErr
+		res.History = append(res.History, bestErr)
+	}
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("ga: greedy search found no predictive template")
+	}
+	res.Best = chosen
+	return res, nil
+}
+
+// CandidatePool builds a pool of single templates for the greedy search:
+// every characteristic subset of size ≤ 2 (plus the full set), crossed with
+// a few node-range and history options, mean predictions, absolute and
+// relative data.
+func CandidatePool(enc Encoding) []core.Template {
+	var charSets []workload.CharMask
+	charSets = append(charSets, 0)
+	for i, a := range enc.Chars {
+		charSets = append(charSets, workload.MaskOf(a))
+		for _, b := range enc.Chars[i+1:] {
+			charSets = append(charSets, workload.MaskOf(a, b))
+		}
+	}
+	if len(enc.Chars) > 2 {
+		charSets = append(charSets, workload.MaskOf(enc.Chars...))
+	}
+	nodeOpts := []int{0, 1, 8, 64} // 0 = nodes unused
+	histOpts := []int{0, 4096}
+	relOpts := []bool{false}
+	if enc.HasMaxRT {
+		relOpts = append(relOpts, true)
+	}
+	var pool []core.Template
+	for _, cs := range charSets {
+		for _, nr := range nodeOpts {
+			for _, h := range histOpts {
+				for _, rel := range relOpts {
+					t := core.Template{Chars: cs, MaxHistory: h, Relative: rel, Pred: core.PredMean}
+					if nr > 0 {
+						t.UseNodes = true
+						t.NodeRange = nr
+					}
+					pool = append(pool, t)
+				}
+			}
+		}
+	}
+	return pool
+}

@@ -1,0 +1,60 @@
+package predict
+
+import (
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Chain composes predictors as a fallback sequence: Predict returns the
+// first constituent's valid prediction, and Observe feeds every
+// constituent. It is how a deployment combines a sharp-but-sparse
+// predictor (the template predictor early in its ramp-up) with an
+// always-available one (maximum run times or a global mean), and how the
+// Gibbons-style "try templates in order" strategy is expressed with
+// independent predictors.
+type Chain []Predictor
+
+// NewChain builds a chain, flattening nested chains.
+func NewChain(ps ...Predictor) Chain {
+	var out Chain
+	for _, p := range ps {
+		if c, ok := p.(Chain); ok {
+			out = append(out, c...)
+			continue
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Name joins the constituent names: "smith>maxrt".
+func (c Chain) Name() string {
+	names := make([]string, len(c))
+	for i, p := range c {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, ">")
+}
+
+// Predict returns the first valid positive prediction in chain order.
+func (c Chain) Predict(j *workload.Job, age int64) (int64, bool) {
+	for _, p := range c {
+		if est, ok := p.Predict(j, age); ok && est > 0 {
+			return est, true
+		}
+	}
+	return 0, false
+}
+
+// Observe feeds the completion to every constituent.
+func (c Chain) Observe(j *workload.Job) {
+	for _, p := range c {
+		p.Observe(j)
+	}
+}
+
+// Static check.
+var _ Predictor = Chain(nil)

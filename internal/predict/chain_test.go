@@ -1,0 +1,57 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestChainFallbackOrder(t *testing.T) {
+	var mean RunningMean
+	c := NewChain(&mean, MaxRuntime{})
+	j := &workload.Job{RunTime: 100, MaxRunTime: 900}
+	// Empty mean: falls through to maxrt.
+	got, ok := c.Predict(j, 0)
+	if !ok || got != 900 {
+		t.Fatalf("fallback = %d, %v", got, ok)
+	}
+	// After observations the mean takes precedence.
+	c.Observe(&workload.Job{RunTime: 100})
+	c.Observe(&workload.Job{RunTime: 300})
+	got, ok = c.Predict(j, 0)
+	if !ok || got != 200 {
+		t.Fatalf("primary = %d, %v", got, ok)
+	}
+}
+
+func TestChainObserveFeedsAll(t *testing.T) {
+	var a, b RunningMean
+	c := NewChain(&a, &b)
+	c.Observe(&workload.Job{RunTime: 500})
+	if a.n != 1 || b.n != 1 {
+		t.Fatalf("observations not propagated: %d, %d", a.n, b.n)
+	}
+}
+
+func TestChainName(t *testing.T) {
+	c := NewChain(Oracle{}, MaxRuntime{})
+	if c.Name() != "actual>maxrt" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestChainFlattensAndSkipsNil(t *testing.T) {
+	inner := NewChain(Oracle{})
+	c := NewChain(nil, inner, MaxRuntime{})
+	if len(c) != 2 {
+		t.Fatalf("chain length = %d, want 2", len(c))
+	}
+}
+
+func TestChainEmpty(t *testing.T) {
+	c := NewChain()
+	if _, ok := c.Predict(&workload.Job{RunTime: 1}, 0); ok {
+		t.Fatal("empty chain predicted")
+	}
+	c.Observe(&workload.Job{RunTime: 1}) // must not panic
+}

@@ -1,0 +1,245 @@
+// Package gibbons implements Gibbons's historical run-time predictor
+// (Gibbons 1997, as summarized in §2.2 of the reproduced paper), the first
+// baseline the paper compares against.
+//
+// Gibbons uses the fixed template/predictor chain of the paper's Table 3:
+//
+//  1. (u,e,n,rtime)  mean
+//  2. (u,e)          linear regression
+//  3. (e,n,rtime)    mean
+//  4. (e)            linear regression
+//  5. (n,rtime)      mean
+//  6. ()             linear regression
+//
+// Categories are examined in that order until one can provide a valid
+// prediction. Node counts use the fixed exponential ranges 1, 2–3, 4–7,
+// 8–15, … (unlike the paper's tunable equal-width ranges). The rtime
+// attribute conditions a mean on how long the application has already been
+// executing: only historical points that ran longer contribute. The linear
+// regressions at (u,e), (e), and () are weighted regressions over the
+// (mean nodes, mean run time) of each node-range subcategory, each pair
+// weighted by the inverse of the run-time variance of its subcategory.
+package gibbons
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/predict"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// point is one completed job.
+type point struct {
+	runTime float64
+	nodes   float64
+}
+
+// subcat is the node-range subcategory holding raw points.
+type subcat struct {
+	points []point
+}
+
+func (s *subcat) add(p point) { s.points = append(s.points, p) }
+
+// meanWithAge returns the mean run time over points that ran longer than
+// age, with the count used.
+func (s *subcat) meanWithAge(age int64) (float64, int) {
+	var sum float64
+	var n int
+	for _, p := range s.points {
+		if age > 0 && p.runTime <= float64(age) {
+			continue
+		}
+		sum += p.runTime
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// moments returns the subcategory's mean nodes, mean run time, run-time
+// variance, and size (unconditioned — the regression templates of Table 3
+// carry no rtime attribute).
+func (s *subcat) moments() (meanNodes, meanRT, varRT float64, n int) {
+	n = len(s.points)
+	if n == 0 {
+		return 0, 0, 0, 0
+	}
+	for _, p := range s.points {
+		meanNodes += p.nodes
+		meanRT += p.runTime
+	}
+	meanNodes /= float64(n)
+	meanRT /= float64(n)
+	for _, p := range s.points {
+		d := p.runTime - meanRT
+		varRT += d * d
+	}
+	if n > 1 {
+		varRT /= float64(n - 1)
+	}
+	return meanNodes, meanRT, varRT, n
+}
+
+// nodeBucket returns Gibbons's exponential node range index:
+// 1 → 0, 2–3 → 1, 4–7 → 2, 8–15 → 3, …
+func nodeBucket(nodes int) int {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return bits.Len(uint(nodes)) - 1
+}
+
+// family is one of the three category families ((u,e), (e), ()), holding
+// node-range subcategories per parent key.
+type family struct {
+	subs map[string]map[int]*subcat
+}
+
+func newFamily() *family { return &family{subs: make(map[string]map[int]*subcat)} }
+
+func (f *family) add(key string, bucket int, p point) {
+	m, ok := f.subs[key]
+	if !ok {
+		m = make(map[int]*subcat)
+		f.subs[key] = m
+	}
+	s, ok := m[bucket]
+	if !ok {
+		s = &subcat{}
+		m[bucket] = s
+	}
+	s.add(p)
+}
+
+// meanPredict is the (…,n,rtime) mean template over one subcategory.
+func (f *family) meanPredict(key string, bucket int, age int64) (float64, bool) {
+	m, ok := f.subs[key]
+	if !ok {
+		return 0, false
+	}
+	s, ok := m[bucket]
+	if !ok {
+		return 0, false
+	}
+	mean, n := s.meanWithAge(age)
+	if n < 1 || mean <= 0 {
+		return 0, false
+	}
+	return mean, true
+}
+
+// regressPredict is the parent-template weighted linear regression over the
+// subcategory moments, evaluated at the job's node count.
+func (f *family) regressPredict(key string, nodes int) (float64, bool) {
+	m, ok := f.subs[key]
+	if !ok {
+		return 0, false
+	}
+	var xs, ys, ws []float64
+	for _, s := range m {
+		mn, mr, v, n := s.moments()
+		if n == 0 {
+			continue
+		}
+		if n < 2 || v <= 0 {
+			// A degenerate subcategory still carries information; give it
+			// the weight of a 1-second² variance rather than dropping it.
+			v = 1
+		}
+		xs = append(xs, mn)
+		ys = append(ys, mr)
+		ws = append(ws, 1/v)
+	}
+	r, err := stats.FitWeightedLinear(xs, ys, ws)
+	if err != nil {
+		// Degenerate regressor (e.g. a single subcategory): fall back to
+		// the weighted mean of the subcategory means, which is the best
+		// the parent category can do.
+		if len(ys) == 0 {
+			return 0, false
+		}
+		var sw, swy float64
+		for i := range ys {
+			sw += ws[i]
+			swy += ws[i] * ys[i]
+		}
+		mean := swy / sw
+		if mean <= 0 {
+			return 0, false
+		}
+		return mean, true
+	}
+	pred := r.Predict(float64(nodes))
+	if pred <= 0 || math.IsNaN(pred) || math.IsInf(pred, 0) {
+		return 0, false
+	}
+	return pred, true
+}
+
+// Predictor implements Gibbons's fixed-template chain.
+type Predictor struct {
+	ue  *family // keyed by user|executable
+	e   *family // keyed by executable
+	all *family // single key
+}
+
+// New creates an empty Gibbons predictor.
+func New() *Predictor {
+	return &Predictor{ue: newFamily(), e: newFamily(), all: newFamily()}
+}
+
+// Name implements predict.Predictor.
+func (*Predictor) Name() string { return "gibbons" }
+
+func ueKey(j *workload.Job) string { return j.User + "|" + j.Executable }
+func eKey(j *workload.Job) string  { return j.Executable }
+
+// Predict walks the Table-3 chain in order until a category provides a
+// valid prediction.
+func (g *Predictor) Predict(j *workload.Job, age int64) (int64, bool) {
+	b := nodeBucket(j.Nodes)
+	if v, ok := g.ue.meanPredict(ueKey(j), b, age); ok { // 1. (u,e,n,rtime)
+		return round(v), true
+	}
+	if v, ok := g.ue.regressPredict(ueKey(j), j.Nodes); ok { // 2. (u,e)
+		return round(v), true
+	}
+	if v, ok := g.e.meanPredict(eKey(j), b, age); ok { // 3. (e,n,rtime)
+		return round(v), true
+	}
+	if v, ok := g.e.regressPredict(eKey(j), j.Nodes); ok { // 4. (e)
+		return round(v), true
+	}
+	if v, ok := g.all.meanPredict("", b, age); ok { // 5. (n,rtime)
+		return round(v), true
+	}
+	if v, ok := g.all.regressPredict("", j.Nodes); ok { // 6. ()
+		return round(v), true
+	}
+	return 0, false
+}
+
+// Observe inserts the completed job into all three families.
+func (g *Predictor) Observe(j *workload.Job) {
+	p := point{runTime: float64(j.RunTime), nodes: float64(j.Nodes)}
+	b := nodeBucket(j.Nodes)
+	g.ue.add(ueKey(j), b, p)
+	g.e.add(eKey(j), b, p)
+	g.all.add("", b, p)
+}
+
+func round(v float64) int64 {
+	r := int64(math.Round(v))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Static check.
+var _ predict.Predictor = (*Predictor)(nil)

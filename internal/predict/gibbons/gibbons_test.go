@@ -1,0 +1,159 @@
+package gibbons
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func gj(user, exec string, nodes int, rt int64) *workload.Job {
+	return &workload.Job{User: user, Executable: exec, Nodes: nodes, RunTime: rt}
+}
+
+func TestNodeBucket(t *testing.T) {
+	// Gibbons's exponential ranges: 1 | 2-3 | 4-7 | 8-15 | ...
+	cases := []struct{ nodes, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {15, 3}, {16, 4}, {512, 9},
+	}
+	for _, c := range cases {
+		if got := nodeBucket(c.nodes); got != c.want {
+			t.Errorf("nodeBucket(%d) = %d, want %d", c.nodes, got, c.want)
+		}
+	}
+	if nodeBucket(0) != 0 {
+		t.Error("degenerate node count should land in bucket 0")
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	g := New()
+	// Seed (u,e,n,rtime): alice ran a.out on 4 nodes (bucket 2).
+	g.Observe(gj("alice", "a.out", 4, 100))
+	g.Observe(gj("alice", "a.out", 4, 200))
+	// Template 1 hit: same user, exec, bucket.
+	got, ok := g.Predict(gj("alice", "a.out", 5, 0), 0)
+	if !ok || got != 150 {
+		t.Fatalf("(u,e,n,rtime) mean = %d, %v; want 150", got, ok)
+	}
+	// Different bucket (32 → bucket 5): falls through to (u,e) regression,
+	// which with one subcategory degenerates to the weighted mean 150.
+	got, ok = g.Predict(gj("alice", "a.out", 32, 0), 0)
+	if !ok || got != 150 {
+		t.Fatalf("(u,e) fallback = %d, %v; want 150", got, ok)
+	}
+	// Different user, same exec: template 3 hit.
+	got, ok = g.Predict(gj("bob", "a.out", 4, 0), 0)
+	if !ok || got != 150 {
+		t.Fatalf("(e,n,rtime) mean = %d, %v; want 150", got, ok)
+	}
+	// Different user and exec, same bucket: template 5 hit.
+	got, ok = g.Predict(gj("bob", "b.out", 4, 0), 0)
+	if !ok || got != 150 {
+		t.Fatalf("(n,rtime) mean = %d, %v; want 150", got, ok)
+	}
+	// Nothing matches node bucket but history exists: template 6.
+	got, ok = g.Predict(gj("bob", "b.out", 64, 0), 0)
+	if !ok || got <= 0 {
+		t.Fatalf("() regression = %d, %v", got, ok)
+	}
+}
+
+func TestEmptyPredictor(t *testing.T) {
+	g := New()
+	if _, ok := g.Predict(gj("alice", "a.out", 4, 0), 0); ok {
+		t.Fatal("empty history must not predict")
+	}
+}
+
+func TestRtimeConditioning(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.Observe(gj("alice", "a.out", 4, 60))
+	}
+	g.Observe(gj("alice", "a.out", 4, 3600))
+	g.Observe(gj("alice", "a.out", 4, 3600))
+	// Unconditioned mean is pulled down by the short runs.
+	got0, _ := g.Predict(gj("alice", "a.out", 4, 0), 0)
+	if got0 >= 3600 {
+		t.Fatalf("unconditioned mean = %d", got0)
+	}
+	// After surviving 10 minutes, only the hour-long runs remain.
+	got, ok := g.Predict(gj("alice", "a.out", 4, 0), 600)
+	if !ok || got != 3600 {
+		t.Fatalf("conditioned mean = %d, %v; want 3600", got, ok)
+	}
+}
+
+func TestWeightedRegressionAcrossBuckets(t *testing.T) {
+	g := New()
+	// alice/a.out scales linearly with nodes: rt = 100·n, consistent within
+	// each bucket (variance ~0 → weight boosted via the 1-second floor).
+	for _, n := range []int{1, 2, 4, 8} {
+		for k := 0; k < 3; k++ {
+			g.Observe(gj("alice", "a.out", n, int64(100*n)))
+		}
+	}
+	// A bucket with no direct history (32 nodes → bucket 5) uses the (u,e)
+	// regression: expect ≈ 3200.
+	got, ok := g.Predict(gj("alice", "a.out", 32, 0), 0)
+	if !ok {
+		t.Fatal("regression failed")
+	}
+	if math.Abs(float64(got)-3200) > 320 {
+		t.Fatalf("regression extrapolation = %d, want ≈3200", got)
+	}
+}
+
+func TestRegressionWeightsFavorLowVariance(t *testing.T) {
+	g := New()
+	// Low-variance subcategory at n=1: rt ≈ 100.
+	for _, rt := range []int64{99, 100, 101} {
+		g.Observe(gj("alice", "a.out", 1, rt))
+	}
+	// High-variance subcategory at n=8: wildly scattered around 5000.
+	for _, rt := range []int64{100, 5000, 9900} {
+		g.Observe(gj("alice", "a.out", 8, rt))
+	}
+	// Prediction at n=1 via regression (bucket 0 has direct history, so ask
+	// at n=2/bucket 1 to force template 2).
+	got, ok := g.Predict(gj("alice", "a.out", 2, 0), 0)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	// The regression should pass near the tight subcategory's point
+	// (100 at n=1) rather than splitting the difference equally.
+	if got > 2500 {
+		t.Fatalf("prediction %d ignores inverse-variance weighting", got)
+	}
+}
+
+func TestWorksWithoutExecutable(t *testing.T) {
+	// SDSC-style jobs have no executable: (u,e) degenerates to (u).
+	g := New()
+	j1 := &workload.Job{User: "alice", Nodes: 4, RunTime: 500}
+	g.Observe(j1)
+	g.Observe(j1)
+	got, ok := g.Predict(&workload.Job{User: "alice", Nodes: 4}, 0)
+	if !ok || got != 500 {
+		t.Fatalf("predict without exec = %d, %v", got, ok)
+	}
+}
+
+func TestPredictionsArePositive(t *testing.T) {
+	g := New()
+	// Steeply decreasing run time with nodes could extrapolate negative;
+	// the chain must never return a nonpositive prediction.
+	for _, n := range []int{1, 2, 4} {
+		g.Observe(gj("alice", "a.out", n, int64(1000-240*n)))
+	}
+	if got, ok := g.Predict(gj("alice", "a.out", 64, 0), 0); ok && got < 1 {
+		t.Fatalf("nonpositive prediction %d", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "gibbons" {
+		t.Error("bad name")
+	}
+}

@@ -1,0 +1,106 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestOracle(t *testing.T) {
+	j := &workload.Job{RunTime: 1234, MaxRunTime: 9999}
+	got, ok := Oracle{}.Predict(j, 0)
+	if !ok || got != 1234 {
+		t.Fatalf("Predict = %d, %v", got, ok)
+	}
+	got, ok = Oracle{}.Predict(j, 500)
+	if !ok || got != 1234 {
+		t.Fatalf("Predict with age = %d, %v", got, ok)
+	}
+	Oracle{}.Observe(j) // must not panic
+}
+
+func TestMaxRuntime(t *testing.T) {
+	j := &workload.Job{RunTime: 100, MaxRunTime: 3600}
+	got, ok := MaxRuntime{}.Predict(j, 0)
+	if !ok || got != 3600 {
+		t.Fatalf("Predict = %d, %v", got, ok)
+	}
+	if _, ok := (MaxRuntime{}).Predict(&workload.Job{RunTime: 100}, 0); ok {
+		t.Fatal("job without max run time should not predict")
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	var m RunningMean
+	if _, ok := m.Predict(nil, 0); ok {
+		t.Fatal("empty history should not predict")
+	}
+	m.Observe(&workload.Job{RunTime: 100})
+	m.Observe(&workload.Job{RunTime: 300})
+	got, ok := m.Predict(nil, 0)
+	if !ok || got != 200 {
+		t.Fatalf("Predict = %d, %v", got, ok)
+	}
+}
+
+func TestEstimateFallbacks(t *testing.T) {
+	var m RunningMean // empty: cannot predict
+	// Falls back to max run time.
+	j := &workload.Job{RunTime: 50, MaxRunTime: 500}
+	if got := Estimate(&m, j, 0, 999); got != 500 {
+		t.Errorf("fallback to maxRT = %d, want 500", got)
+	}
+	// Falls back to the default when no max run time exists.
+	j2 := &workload.Job{RunTime: 50}
+	if got := Estimate(&m, j2, 0, 999); got != 999 {
+		t.Errorf("fallback to default = %d, want 999", got)
+	}
+}
+
+func TestEstimateClampsToMaxRT(t *testing.T) {
+	m := RunningMean{}
+	m.Observe(&workload.Job{RunTime: 10000})
+	j := &workload.Job{RunTime: 100, MaxRunTime: 600}
+	if got := Estimate(&m, j, 0, 999); got != 600 {
+		t.Errorf("estimate above max run time should clamp: got %d", got)
+	}
+}
+
+func TestEstimateOutlivedFallsBack(t *testing.T) {
+	// A job that has run 1000s has outlived a 100s estimate: the estimate
+	// is invalid, and the fallback chain applies.
+	m := RunningMean{}
+	m.Observe(&workload.Job{RunTime: 100})
+	// With a maximum run time: fall back to it.
+	withMax := &workload.Job{RunTime: 2000, MaxRunTime: 3000}
+	if got := Estimate(&m, withMax, 1000, 999); got != 3000 {
+		t.Errorf("outlived estimate should fall back to maxRT: got %d", got)
+	}
+	// Without one, and with the default also outlived: double the age.
+	noMax := &workload.Job{RunTime: 2000}
+	if got := Estimate(&m, noMax, 1000, 999); got != 2002 {
+		t.Errorf("outlived estimate without maxRT should double the age: got %d", got)
+	}
+	// Default still ahead of the age: use it.
+	if got := Estimate(&m, noMax, 1000, 5000); got != 5000 {
+		t.Errorf("default above age should be used: got %d", got)
+	}
+}
+
+func TestEstimateAgeBeyondMaxRT(t *testing.T) {
+	// Degenerate but must stay sane: age beyond the job's limit.
+	j := &workload.Job{RunTime: 2000, MaxRunTime: 600}
+	if got := Estimate(Oracle{}, j, 700, 999); got != 701 {
+		t.Errorf("got %d, want age+1=701", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Oracle{}).Name() != "actual" || (MaxRuntime{}).Name() != "maxrt" {
+		t.Error("unexpected names")
+	}
+	var m RunningMean
+	if m.Name() != "globalmean" {
+		t.Error("unexpected RunningMean name")
+	}
+}

@@ -1,0 +1,84 @@
+package predict
+
+import (
+	"repro/internal/workload"
+)
+
+// RecentUserMean predicts a job's run time as the mean of the submitting
+// user's last K completed run times. This is the family of estimators the
+// later backfilling literature converged on (Tsafrir, Etsion & Feitelson's
+// "last-2 average" being the famous instance) and serves here as the
+// simplest competitive baseline for the template predictor: it is the
+// degenerate template (u) with MaxHistory = K and a mean prediction,
+// without confidence-interval selection.
+type RecentUserMean struct {
+	// K bounds the per-user history (0 means DefaultRecentK).
+	K    int
+	hist map[string]*userRing
+}
+
+// DefaultRecentK is the history bound when K is zero (the literature's
+// "last 2").
+const DefaultRecentK = 2
+
+// userRing is a fixed-size ring of run times with running sum.
+type userRing struct {
+	vals []int64
+	head int
+	full bool
+	sum  int64
+}
+
+func (r *userRing) add(v int64, k int) {
+	if len(r.vals) < k {
+		r.vals = append(r.vals, v)
+		r.sum += v
+		return
+	}
+	r.sum += v - r.vals[r.head]
+	r.vals[r.head] = v
+	r.head = (r.head + 1) % k
+	r.full = true
+}
+
+// NewRecentUserMean creates the predictor with history bound k
+// (0 = DefaultRecentK).
+func NewRecentUserMean(k int) *RecentUserMean {
+	if k <= 0 {
+		k = DefaultRecentK
+	}
+	return &RecentUserMean{K: k, hist: make(map[string]*userRing)}
+}
+
+// Name implements Predictor.
+func (p *RecentUserMean) Name() string { return "recent-user" }
+
+// Predict implements Predictor.
+func (p *RecentUserMean) Predict(j *workload.Job, age int64) (int64, bool) {
+	r, ok := p.hist[j.User]
+	if !ok || len(r.vals) == 0 {
+		return 0, false
+	}
+	est := r.sum / int64(len(r.vals))
+	if est < 1 {
+		est = 1
+	}
+	return est, true
+}
+
+// Observe implements Predictor.
+func (p *RecentUserMean) Observe(j *workload.Job) {
+	r, ok := p.hist[j.User]
+	if !ok {
+		r = &userRing{}
+		p.hist[j.User] = r
+	}
+	k := p.K
+	if k <= 0 {
+		k = DefaultRecentK
+	}
+	r.add(j.RunTime, k)
+}
+
+// Static check.
+var _ Predictor = (*RecentUserMean)(nil)

@@ -1,0 +1,91 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func uj(user string, rt int64) *workload.Job {
+	return &workload.Job{User: user, Nodes: 1, RunTime: rt}
+}
+
+func TestRecentUserMeanBasics(t *testing.T) {
+	p := NewRecentUserMean(2)
+	if _, ok := p.Predict(uj("a", 0), 0); ok {
+		t.Fatal("no history: must not predict")
+	}
+	p.Observe(uj("a", 100))
+	got, ok := p.Predict(uj("a", 0), 0)
+	if !ok || got != 100 {
+		t.Fatalf("one observation: %d, %v", got, ok)
+	}
+	p.Observe(uj("a", 300))
+	if got, _ := p.Predict(uj("a", 0), 0); got != 200 {
+		t.Fatalf("last-2 mean = %d, want 200", got)
+	}
+	// Third observation evicts the first.
+	p.Observe(uj("a", 500))
+	if got, _ := p.Predict(uj("a", 0), 0); got != 400 {
+		t.Fatalf("ring mean = %d, want (300+500)/2", got)
+	}
+}
+
+func TestRecentUserMeanIsolatesUsers(t *testing.T) {
+	p := NewRecentUserMean(0) // default K
+	p.Observe(uj("a", 100))
+	p.Observe(uj("b", 9000))
+	if got, _ := p.Predict(uj("a", 0), 0); got != 100 {
+		t.Fatalf("user a = %d", got)
+	}
+	if _, ok := p.Predict(uj("c", 0), 0); ok {
+		t.Fatal("unknown user predicted")
+	}
+}
+
+func TestRecentUserMeanLongRing(t *testing.T) {
+	p := NewRecentUserMean(4)
+	for _, v := range []int64{10, 20, 30, 40, 50, 60} {
+		p.Observe(uj("a", v))
+	}
+	// Ring holds {30,40,50,60}.
+	if got, _ := p.Predict(uj("a", 0), 0); got != 45 {
+		t.Fatalf("ring-4 mean = %d, want 45", got)
+	}
+}
+
+// On the repetitive synthetic workloads, last-2-per-user is decent but the
+// template predictor (which can split per executable and use relative run
+// times) should beat it.
+func TestRecentUserMeanVsTemplates(t *testing.T) {
+	w, err := workload.Study("ANL", 20, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent := NewRecentUserMean(2)
+	var recentErr, maxErr float64
+	var n int
+	for _, j := range w.Jobs {
+		if est, ok := recent.Predict(j, 0); ok {
+			d := float64(est - j.RunTime)
+			if d < 0 {
+				d = -d
+			}
+			recentErr += d
+			d = float64(j.MaxRunTime - j.RunTime)
+			if d < 0 {
+				d = -d
+			}
+			maxErr += d
+			n++
+		}
+		recent.Observe(j)
+	}
+	if n == 0 {
+		t.Fatal("no predictions")
+	}
+	if recentErr >= maxErr {
+		t.Fatalf("recent-user (%.0f) should beat maxrt (%.0f) on repetitive load",
+			recentErr/float64(n), maxErr/float64(n))
+	}
+}

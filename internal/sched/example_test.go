@@ -1,0 +1,39 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// The availability profile answers backfill's central question: when is the
+// earliest slot with enough free nodes for long enough?
+func ExampleProfile_EarliestFit() {
+	p := sched.NewProfile(0, 8)
+	// 6 nodes busy until t=100.
+	if err := p.Allocate(0, 100, 6); err != nil {
+		panic(err)
+	}
+	fmt.Println(p.EarliestFit(0, 50, 2)) // 2 nodes fit immediately
+	fmt.Println(p.EarliestFit(0, 50, 4)) // 4 must wait for the release
+	// Output:
+	// 0
+	// 100
+}
+
+// A ReservationBook admission-controls advance reservations and answers
+// co-allocation slot queries.
+func ExampleReservationBook() {
+	var book sched.ReservationBook
+	// The whole 8-node machine is reserved for a co-allocated application
+	// during [1000, 2000).
+	if _, err := book.Add(1000, 2000, 8, 8); err != nil {
+		panic(err)
+	}
+	// A 90-second 4-node slot still fits before it; a 2000-second one must
+	// wait until after.
+	early, _ := book.EarliestSlot(0, 90, 4, 8)
+	late, _ := book.EarliestSlot(0, 2000, 4, 8)
+	fmt.Println(early, late)
+	// Output: 0 2000
+}

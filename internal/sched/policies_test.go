@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// actualEst is an estimator that knows the true run times (oracle).
+func actualEst(j *workload.Job, age int64) int64 { return j.RunTime }
+
+func job(id, nodes int, rt int64) *workload.Job {
+	return &workload.Job{ID: id, Nodes: nodes, RunTime: rt}
+}
+
+func runningJob(id, nodes int, start, rt int64) *workload.Job {
+	j := job(id, nodes, rt)
+	j.StartTime = start
+	j.EndTime = start + rt
+	return j
+}
+
+func ids(jobs []*workload.Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+func sameIDs(a []*workload.Job, want ...int) bool {
+	if len(a) != len(want) {
+		return false
+	}
+	for i, j := range a {
+		if j.ID != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFCFSPrefix(t *testing.T) {
+	queue := []*workload.Job{job(1, 2, 100), job(2, 8, 100), job(3, 1, 100)}
+	picked := FCFS{}.Pick(0, queue, nil, 4, 8, actualEst)
+	// Job 1 fits (2 of 4); job 2 needs 8 and blocks; job 3 must NOT bypass.
+	if !sameIDs(picked, 1) {
+		t.Fatalf("picked %v, want [1]", ids(picked))
+	}
+}
+
+func TestFCFSAllFit(t *testing.T) {
+	queue := []*workload.Job{job(1, 2, 100), job(2, 2, 100), job(3, 4, 100)}
+	picked := FCFS{}.Pick(0, queue, nil, 8, 8, actualEst)
+	if !sameIDs(picked, 1, 2, 3) {
+		t.Fatalf("picked %v, want [1 2 3]", ids(picked))
+	}
+}
+
+func TestLWFOrdersByWork(t *testing.T) {
+	// Work: job1 = 2*1000 = 2000, job2 = 1*500 = 500, job3 = 4*100 = 400.
+	queue := []*workload.Job{job(1, 2, 1000), job(2, 1, 500), job(3, 4, 100)}
+	picked := LWF{}.Pick(0, queue, nil, 8, 8, actualEst)
+	if !sameIDs(picked, 3, 2, 1) {
+		t.Fatalf("picked %v, want [3 2 1]", ids(picked))
+	}
+}
+
+func TestLWFBlockingVariant(t *testing.T) {
+	// Least-work job needs 6 nodes but only 4 are free.
+	queue := []*workload.Job{job(1, 6, 10), job(2, 1, 1000)}
+	// Blocking: nothing may bypass the least-work job.
+	picked := LWF{Blocking: true}.Pick(0, queue, nil, 4, 8, actualEst)
+	if len(picked) != 0 {
+		t.Fatalf("blocking picked %v, want none", ids(picked))
+	}
+	// Non-blocking (the default): the fitting job starts.
+	picked = LWF{}.Pick(0, queue, nil, 4, 8, actualEst)
+	if !sameIDs(picked, 2) {
+		t.Fatalf("non-blocking picked %v, want [2]", ids(picked))
+	}
+}
+
+func TestLWFUsesEstimates(t *testing.T) {
+	// With a bad estimator the order flips.
+	queue := []*workload.Job{job(1, 1, 10), job(2, 1, 1000)}
+	inverted := func(j *workload.Job, age int64) int64 {
+		if j.ID == 1 {
+			return 5000
+		}
+		return 1
+	}
+	picked := LWF{}.Pick(0, queue, nil, 8, 8, inverted)
+	if !sameIDs(picked, 2, 1) {
+		t.Fatalf("picked %v, want [2 1]", ids(picked))
+	}
+}
+
+// The classic backfill scenario: a blocked head job gets a reservation and a
+// short job slips in front without delaying it.
+func TestBackfillSlipsShortJob(t *testing.T) {
+	running := []*workload.Job{runningJob(10, 2, 0, 100)} // 2 busy until t=100
+	queue := []*workload.Job{
+		job(1, 4, 500), // blocked: needs all 4; reserve at t=100
+		job(2, 2, 50),  // fits now and ends at 50 < 100: backfills
+	}
+	picked := Backfill{}.Pick(0, queue, running, 2, 4, actualEst)
+	if !sameIDs(picked, 2) {
+		t.Fatalf("picked %v, want [2]", ids(picked))
+	}
+}
+
+func TestBackfillConservativeProtectsAllReservations(t *testing.T) {
+	// 4-node machine; 2 nodes busy until 100.
+	running := []*workload.Job{runningJob(10, 2, 0, 100)}
+	queue := []*workload.Job{
+		job(1, 4, 500), // reserve [100, 600) on all 4 nodes
+		job(2, 2, 200), // would end at 200 > 100: delays job 1 → must wait
+	}
+	picked := Backfill{}.Pick(0, queue, running, 2, 4, actualEst)
+	if len(picked) != 0 {
+		t.Fatalf("picked %v, want none", ids(picked))
+	}
+}
+
+func TestBackfillConservativeProtectsSecondReservation(t *testing.T) {
+	// Conservative backfill also protects the reservation of job 2 (not at
+	// the head); EASY does not.
+	running := []*workload.Job{runningJob(10, 3, 0, 100)} // 3 busy until 100
+	queue := []*workload.Job{
+		job(1, 2, 100), // reserve [100, 200) on 2 nodes
+		job(2, 2, 100), // reserve [100, 200) on the other 2 nodes
+		job(3, 1, 150), // 1 free node now; ends at 150 — delays only job 2
+	}
+	conservative := Backfill{}.Pick(0, queue, running, 1, 4, actualEst)
+	if len(conservative) != 0 {
+		t.Fatalf("conservative picked %v, want none", ids(conservative))
+	}
+	easy := Backfill{EASY: true}.Pick(0, queue, running, 1, 4, actualEst)
+	if !sameIDs(easy, 3) {
+		t.Fatalf("EASY picked %v, want [3]", ids(easy))
+	}
+}
+
+func TestBackfillStartsHeadWhenFree(t *testing.T) {
+	queue := []*workload.Job{job(1, 4, 100), job(2, 4, 100)}
+	picked := Backfill{}.Pick(0, queue, nil, 4, 4, actualEst)
+	if !sameIDs(picked, 1) {
+		t.Fatalf("picked %v, want [1]", ids(picked))
+	}
+}
+
+func TestBackfillUsesPredictedRunningEnd(t *testing.T) {
+	// The running job's TRUE end is 100, but the estimator believes 1000.
+	// A 2-node 200s job does not delay the head under the estimator's
+	// belief (head reservation moves to t=1000), so it backfills — this is
+	// exactly how bad predictions hurt backfill.
+	running := []*workload.Job{runningJob(10, 2, 0, 100)}
+	overEst := func(j *workload.Job, age int64) int64 {
+		if j.ID == 10 {
+			return 1000
+		}
+		return j.RunTime
+	}
+	queue := []*workload.Job{
+		job(1, 4, 500),
+		job(2, 2, 200),
+	}
+	picked := Backfill{}.Pick(0, queue, running, 2, 4, overEst)
+	if !sameIDs(picked, 2) {
+		t.Fatalf("picked %v, want [2] under overestimated running end", ids(picked))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"FCFS", "LWF", "LWF/blocking", "Backfill", "Backfill/EASY"} {
+		p := ByName(name)
+		if p == nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v", name, p)
+		}
+	}
+	if ByName("SJF") != nil {
+		t.Error("unknown policy should be nil")
+	}
+}
+
+func TestAllPolicies(t *testing.T) {
+	ps := All()
+	if len(ps) != 3 {
+		t.Fatalf("All() returned %d policies", len(ps))
+	}
+	want := []string{"FCFS", "LWF", "Backfill"}
+	for i, p := range ps {
+		if p.Name() != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, p.Name(), want[i])
+		}
+	}
+}
+
+// Pick must never start more nodes than are free, for any policy.
+func TestPickRespectsCapacity(t *testing.T) {
+	queue := []*workload.Job{
+		job(1, 3, 100), job(2, 3, 10), job(3, 3, 10), job(4, 2, 5),
+	}
+	for _, p := range []sim.Policy{FCFS{}, LWF{}, Backfill{}, Backfill{EASY: true}} {
+		picked := p.Pick(0, queue, nil, 5, 8, actualEst)
+		var need int
+		for _, j := range picked {
+			need += j.Nodes
+		}
+		if need > 5 {
+			t.Errorf("%s picked %d nodes with 5 free", p.Name(), need)
+		}
+	}
+}

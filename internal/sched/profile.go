@@ -1,0 +1,156 @@
+// Package sched implements the three scheduling algorithms of the paper:
+// first-come first-served (FCFS), least-work-first (LWF), and backfill.
+// The backfill variant matches the paper's description — every queued
+// application that cannot start is given a reservation at the earliest
+// possible time (conservative backfill) — with an EASY-style variant
+// (reservation only for the first blocked job) available for ablation.
+package sched
+
+import "fmt"
+
+// Profile tracks the number of free nodes over future time as a step
+// function. It supports the two operations backfill needs: finding the
+// earliest interval with enough free nodes, and committing an allocation.
+//
+// The profile is represented as breakpoints times[i] with free[i] nodes
+// available during [times[i], times[i+1]); the final segment extends to
+// infinity.
+type Profile struct {
+	times []int64
+	free  []int
+}
+
+// NewProfile creates a profile with `free` nodes available from `start` on.
+func NewProfile(start int64, free int) *Profile {
+	return &Profile{times: []int64{start}, free: []int{free}}
+}
+
+// Start returns the beginning of the profile's horizon.
+func (p *Profile) Start() int64 { return p.times[0] }
+
+// FreeAt returns the number of free nodes at time t (t must be >= Start).
+func (p *Profile) FreeAt(t int64) int {
+	i := p.segmentAt(t)
+	return p.free[i]
+}
+
+// segmentAt returns the index of the segment containing t.
+func (p *Profile) segmentAt(t int64) int {
+	// Binary search for the last breakpoint <= t.
+	lo, hi := 0, len(p.times)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ensureBreak inserts a breakpoint at t (if absent) and returns its index.
+func (p *Profile) ensureBreak(t int64) int {
+	i := p.segmentAt(t)
+	if p.times[i] == t {
+		return i
+	}
+	// Split segment i at t.
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.free[i+2:], p.free[i+1:])
+	p.times[i+1] = t
+	p.free[i+1] = p.free[i]
+	return i + 1
+}
+
+// Allocate subtracts nodes from the profile during [start, end). It returns
+// an error if the allocation would drive any segment negative, leaving the
+// profile unchanged in that case.
+func (p *Profile) Allocate(start, end int64, nodes int) error {
+	if start < p.times[0] {
+		return fmt.Errorf("sched: allocation starts at %d before profile start %d", start, p.times[0])
+	}
+	if end <= start {
+		return fmt.Errorf("sched: empty allocation [%d, %d)", start, end)
+	}
+	if nodes <= 0 {
+		return fmt.Errorf("sched: nonpositive allocation of %d nodes", nodes)
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end)
+	for k := i; k < j; k++ {
+		if p.free[k] < nodes {
+			// Leaving the extra breakpoints in place is harmless: they
+			// split segments without changing the step function.
+			return fmt.Errorf("sched: allocation of %d nodes at [%d,%d) exceeds %d free",
+				nodes, start, end, p.free[k])
+		}
+	}
+	for k := i; k < j; k++ {
+		p.free[k] -= nodes
+	}
+	return nil
+}
+
+// EarliestFit returns the earliest time t >= from at which `nodes` nodes are
+// continuously free for `dur` seconds. It always succeeds provided nodes
+// never exceeds the machine size, because the final segment extends to
+// infinity.
+func (p *Profile) EarliestFit(from, dur int64, nodes int) int64 {
+	if from < p.times[0] {
+		from = p.times[0]
+	}
+	i := p.segmentAt(from)
+	candidate := from
+	for {
+		// Walk forward checking [candidate, candidate+dur).
+		ok := true
+		for k := i; k < len(p.times); k++ {
+			segEnd := int64(1<<62 - 1)
+			if k+1 < len(p.times) {
+				segEnd = p.times[k+1]
+			}
+			if segEnd <= candidate {
+				continue
+			}
+			if p.times[k] >= candidate+dur {
+				break
+			}
+			if p.free[k] < nodes {
+				// Blocked: restart the search at the end of this segment.
+				candidate = segEnd
+				i = k + 1
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return candidate
+		}
+	}
+}
+
+// MaxFree returns the largest free-node count anywhere in the profile
+// (useful for sanity checks in tests).
+func (p *Profile) MaxFree() int {
+	m := p.free[0]
+	for _, f := range p.free[1:] {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// MinFree returns the smallest free-node count anywhere in the profile.
+func (p *Profile) MinFree() int {
+	m := p.free[0]
+	for _, f := range p.free[1:] {
+		if f < m {
+			m = f
+		}
+	}
+	return m
+}

@@ -1,0 +1,312 @@
+// Package service exposes the run-time predictor and the queue wait-time
+// predictor over HTTP/JSON — the deployment surface the paper's §1
+// motivates: "estimates of queue wait times are useful to guide resource
+// selection when several systems are available, to co-allocate resources
+// from multiple systems, to schedule other activities, and so forth."
+// A scheduler (or metascheduler) feeds completions to /v1/observe and asks
+// /v1/predict for run times and /v1/predictwait for queue waits.
+//
+// The server serializes access to the predictor with a mutex; prediction
+// is microseconds, so a single lock suffices far beyond the event rates of
+// batch systems.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/waitpred"
+	"repro/internal/workload"
+)
+
+// JobJSON is the wire form of a job. Fields mirror workload.Job; times are
+// seconds. For running jobs StartTime must be set.
+type JobJSON struct {
+	ID         int    `json:"id"`
+	Type       string `json:"type,omitempty"`
+	Queue      string `json:"queue,omitempty"`
+	Class      string `json:"class,omitempty"`
+	User       string `json:"user,omitempty"`
+	Script     string `json:"script,omitempty"`
+	Executable string `json:"executable,omitempty"`
+	Arguments  string `json:"arguments,omitempty"`
+	NetAdaptor string `json:"netAdaptor,omitempty"`
+	Nodes      int    `json:"nodes"`
+	SubmitTime int64  `json:"submitTime,omitempty"`
+	RunTime    int64  `json:"runTime,omitempty"`
+	MaxRunTime int64  `json:"maxRunTime,omitempty"`
+	StartTime  int64  `json:"startTime,omitempty"`
+}
+
+// toJob converts wire form to the internal model.
+func (j *JobJSON) toJob() *workload.Job {
+	return &workload.Job{
+		ID: j.ID, Type: j.Type, Queue: j.Queue, Class: j.Class, User: j.User,
+		Script: j.Script, Executable: j.Executable, Arguments: j.Arguments,
+		NetAdaptor: j.NetAdaptor, Nodes: j.Nodes, SubmitTime: j.SubmitTime,
+		RunTime: j.RunTime, MaxRunTime: j.MaxRunTime, StartTime: j.StartTime,
+	}
+}
+
+// Server is the HTTP prediction service.
+type Server struct {
+	mu           sync.Mutex
+	pred         *core.Predictor
+	machineNodes int
+	observations int64
+	statePath    string // checkpoint destination; "" disables /v1/checkpoint
+}
+
+// New creates a Server around a predictor for a machine of the given size.
+func New(pred *core.Predictor, machineNodes int) *Server {
+	return &Server{pred: pred, machineNodes: machineNodes}
+}
+
+// SetStatePath configures where /v1/checkpoint (and Checkpoint) write the
+// predictor state.
+func (s *Server) SetStatePath(path string) { s.statePath = path }
+
+// Checkpoint saves the predictor state to the configured path.
+func (s *Server) Checkpoint() error {
+	if s.statePath == "" {
+		return fmt.Errorf("service: no state path configured")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return saveStateFile(s.pred, s.statePath)
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/observe", s.handleObserve)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/predictwait", s.handlePredictWait)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		errorJSON(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"saved": s.statePath})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON writes a JSON error envelope.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decode reads a JSON request body into v.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		errorJSON(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+// ObserveRequest feeds one completed job to the predictor.
+type ObserveRequest struct {
+	Job JobJSON `json:"job"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	job := req.Job.toJob()
+	if job.RunTime <= 0 {
+		errorJSON(w, http.StatusBadRequest, "completed job needs a positive runTime")
+		return
+	}
+	s.mu.Lock()
+	s.pred.Observe(job)
+	s.observations++
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// PredictRequest asks for a run-time prediction.
+type PredictRequest struct {
+	Job JobJSON `json:"job"`
+	Age int64   `json:"age,omitempty"` // seconds already executed
+}
+
+// PredictResponse carries the prediction. When the history cannot provide
+// one, OK is false and Seconds falls back to the job's maximum run time
+// (zero when there is none).
+type PredictResponse struct {
+	OK       bool    `json:"ok"`
+	Seconds  int64   `json:"seconds"`
+	Interval float64 `json:"interval,omitempty"` // CI half-width, seconds
+	Template int     `json:"template,omitempty"`
+	Points   int     `json:"points,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	job := req.Job.toJob()
+	s.mu.Lock()
+	det, ok := s.pred.PredictDetailed(job, req.Age)
+	s.mu.Unlock()
+	resp := PredictResponse{OK: ok}
+	if ok {
+		resp.Seconds = det.Seconds
+		resp.Interval = det.Interval
+		resp.Template = det.Template
+		resp.Points = det.N
+	} else {
+		resp.Seconds = job.MaxRunTime
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PredictWaitRequest asks for a queue wait prediction for Target, given the
+// scheduler's current queue (arrival order, including Target) and running
+// set. Policy is one of sched.ByName's names; it defaults to "Backfill".
+type PredictWaitRequest struct {
+	Now     int64     `json:"now"`
+	Policy  string    `json:"policy,omitempty"`
+	Target  JobJSON   `json:"target"`
+	Queue   []JobJSON `json:"queue"`
+	Running []JobJSON `json:"running"`
+}
+
+// PredictWaitResponse carries the predicted wait in seconds.
+type PredictWaitResponse struct {
+	WaitSeconds  int64 `json:"waitSeconds"`
+	StartSeconds int64 `json:"startSeconds"`
+}
+
+func (s *Server) handlePredictWait(w http.ResponseWriter, r *http.Request) {
+	var req PredictWaitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	policyName := req.Policy
+	if policyName == "" {
+		policyName = "Backfill"
+	}
+	pol := sched.ByName(policyName)
+	if pol == nil {
+		errorJSON(w, http.StatusBadRequest, "unknown policy %q", policyName)
+		return
+	}
+	var target *workload.Job
+	queue := make([]*workload.Job, 0, len(req.Queue))
+	for i := range req.Queue {
+		j := req.Queue[i].toJob()
+		queue = append(queue, j)
+		if j.ID == req.Target.ID {
+			target = j
+		}
+	}
+	if target == nil {
+		errorJSON(w, http.StatusBadRequest, "target (id %d) must appear in queue", req.Target.ID)
+		return
+	}
+	running := make([]*workload.Job, 0, len(req.Running))
+	for i := range req.Running {
+		running = append(running, req.Running[i].toJob())
+	}
+	s.mu.Lock()
+	start, err := waitpred.PredictStart(req.Now, target, queue, running,
+		s.machineNodes, pol, s.pred, predict.MaxRuntime{}, 0)
+	s.mu.Unlock()
+	if err != nil {
+		errorJSON(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictWaitResponse{
+		WaitSeconds:  start - target.SubmitTime,
+		StartSeconds: start,
+	})
+}
+
+// StatsResponse reports service counters.
+type StatsResponse struct {
+	Categories   int   `json:"categories"`
+	Observations int64 `json:"observations"`
+	MachineNodes int   `json:"machineNodes"`
+	Templates    int   `json:"templates"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := StatsResponse{
+		Categories:   s.pred.Categories(),
+		Observations: s.observations,
+		MachineNodes: s.machineNodes,
+		Templates:    len(s.pred.Templates()),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// saveStateFile atomically writes the predictor checkpoint: write to a
+// temporary file in the same directory, then rename over the destination.
+func saveStateFile(pred *core.Predictor, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pred.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStateFile restores a predictor checkpoint written by Checkpoint.
+// A missing file is not an error (cold start).
+func LoadStateFile(pred *core.Predictor, path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	defer f.Close()
+	if err := pred.LoadState(f); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	pred := core.New(core.DefaultTemplates(
+		workload.MaskOf(workload.CharUser, workload.CharExec), true))
+	s := New(pred, 64)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func post(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+func job(id int, user string, nodes int, rt, maxRT int64) JobJSON {
+	return JobJSON{ID: id, User: user, Executable: user + "/app", Nodes: nodes,
+		RunTime: rt, MaxRunTime: maxRT}
+}
+
+func TestObserveThenPredict(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		var ok map[string]bool
+		resp := post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "alice", 8, 600, 1200)}, &ok)
+		if resp.StatusCode != http.StatusOK || !ok["ok"] {
+			t.Fatalf("observe: status %d ok=%v", resp.StatusCode, ok)
+		}
+	}
+	var pr PredictResponse
+	resp := post(t, ts.URL+"/v1/predict",
+		PredictRequest{Job: job(99, "alice", 8, 0, 1200)}, &pr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	if !pr.OK || pr.Seconds != 600 {
+		t.Fatalf("prediction = %+v, want 600s", pr)
+	}
+	if pr.Points != 3 {
+		t.Fatalf("points = %d", pr.Points)
+	}
+}
+
+func TestPredictFallsBackToMaxRT(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var pr PredictResponse
+	post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(1, "nobody", 4, 0, 999)}, &pr)
+	if pr.OK {
+		t.Fatal("no history: OK should be false")
+	}
+	if pr.Seconds != 999 {
+		t.Fatalf("fallback = %d, want the max run time", pr.Seconds)
+	}
+}
+
+func TestPredictWaitEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Machine: 64 nodes; one running job holds all of them until t=500
+	// (from its max run time, since there is no history).
+	running := JobJSON{ID: 10, User: "bob", Nodes: 64, MaxRunTime: 500, StartTime: 0}
+	target := JobJSON{ID: 1, User: "alice", Nodes: 64, MaxRunTime: 600, SubmitTime: 100}
+	var pw PredictWaitResponse
+	resp := post(t, ts.URL+"/v1/predictwait", PredictWaitRequest{
+		Now:     100,
+		Policy:  "FCFS",
+		Target:  target,
+		Queue:   []JobJSON{target},
+		Running: []JobJSON{running},
+	}, &pw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if pw.StartSeconds != 500 || pw.WaitSeconds != 400 {
+		t.Fatalf("predicted start/wait = %d/%d, want 500/400", pw.StartSeconds, pw.WaitSeconds)
+	}
+}
+
+func TestPredictWaitValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	target := JobJSON{ID: 1, User: "a", Nodes: 4, MaxRunTime: 100}
+	// Target missing from queue.
+	resp := post(t, ts.URL+"/v1/predictwait", PredictWaitRequest{Target: target}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing target: status %d", resp.StatusCode)
+	}
+	// Unknown policy.
+	resp = post(t, ts.URL+"/v1/predictwait", PredictWaitRequest{
+		Policy: "SJF", Target: target, Queue: []JobJSON{target},
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown policy: status %d", resp.StatusCode)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(1, "a", 4, 0, 0)}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero runtime observe: status %d", resp.StatusCode)
+	}
+	// Unknown fields rejected.
+	raw := bytes.NewReader([]byte(`{"job":{"id":1,"nodes":1,"runTime":10},"bogus":true}`))
+	r, err := http.Post(ts.URL+"/v1/observe", "application/json", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", r.StatusCode)
+	}
+	// GET rejected.
+	g, err := http.Get(ts.URL + "/v1/observe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", g.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(1, "a", 4, 100, 200)}, nil)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Observations != 1 || st.Categories == 0 || st.MachineNodes != 64 || st.Templates == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			user := string(rune('a' + c))
+			for i := 0; i < 20; i++ {
+				post(t, ts.URL+"/v1/observe",
+					ObserveRequest{Job: job(c*100+i, user, 4, int64(60+i), 600)}, nil)
+				var pr PredictResponse
+				post(t, ts.URL+"/v1/predict",
+					PredictRequest{Job: job(c*100+i, user, 4, 0, 600)}, &pr)
+			}
+		}(c)
+	}
+	wg.Wait()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Observations != 160 {
+		t.Fatalf("observations = %d, want 160", st.Observations)
+	}
+}
+
+func TestCheckpointEndpointAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/state.jsonl"
+	pred := core.New(core.DefaultTemplates(
+		workload.MaskOf(workload.CharUser, workload.CharExec), true))
+	s := New(pred, 64)
+	s.SetStatePath(path)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "alice", 8, 600, 1200)}, nil)
+	}
+	resp := post(t, ts.URL+"/v1/checkpoint", struct{}{}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+
+	// A fresh predictor restored from the file predicts identically.
+	fresh := core.New(core.DefaultTemplates(
+		workload.MaskOf(workload.CharUser, workload.CharExec), true))
+	restored, err := LoadStateFile(fresh, path)
+	if err != nil || !restored {
+		t.Fatalf("restore: %v, %v", restored, err)
+	}
+	got, ok := fresh.Predict(&workload.Job{User: "alice", Executable: "alice/app",
+		Nodes: 8, MaxRunTime: 1200}, 0)
+	if !ok || got != 600 {
+		t.Fatalf("restored prediction = %d, %v", got, ok)
+	}
+	// Missing file is a cold start, not an error.
+	if restored, err := LoadStateFile(fresh, dir+"/missing"); err != nil || restored {
+		t.Fatalf("missing file: %v, %v", restored, err)
+	}
+}
+
+func TestCheckpointWithoutPath(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := post(t, ts.URL+"/v1/checkpoint", struct{}{}, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("checkpoint without path: status %d", resp.StatusCode)
+	}
+}

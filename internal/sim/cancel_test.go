@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+func TestCancellationWhileQueued(t *testing.T) {
+	// 4-node machine: job 1 occupies it for 1000s. Job 2 is submitted at
+	// t=10 with 300s patience: it must be withdrawn at t=310, never run.
+	j2 := j(2, 10, 50, 4)
+	j2.CancelAfter = 300
+	w := wl(4, j(1, 0, 1000, 4), j2)
+	var cancelled []*workload.Job
+	opts := Options{
+		OnCancel: func(now int64, jb *workload.Job) {
+			if now != 310 {
+				t.Errorf("cancel fired at %d, want 310", now)
+			}
+			cancelled = append(cancelled, jb)
+		},
+	}
+	res, err := Run(w, fcfs{}, predict.Oracle{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != 1 || len(cancelled) != 1 {
+		t.Fatalf("cancelled = %d / %d callbacks", res.Cancelled, len(cancelled))
+	}
+	jb := res.Jobs[1]
+	if !jb.Cancelled || jb.StartTime != 0 || jb.EndTime != 0 {
+		t.Fatalf("cancelled job state: %+v", jb)
+	}
+	// Metrics exclude the cancelled job: mean wait comes from job 1 alone.
+	if res.MeanWaitSec != 0 {
+		t.Fatalf("mean wait = %v, want 0", res.MeanWaitSec)
+	}
+	if res.WaitDist.N != 1 {
+		t.Fatalf("wait samples = %d, want 1", res.WaitDist.N)
+	}
+}
+
+func TestCancellationDoesNotFireAfterStart(t *testing.T) {
+	// Job 2 starts at t=100, before its 300s patience expires: it must run
+	// to completion.
+	j2 := j(2, 10, 500, 4)
+	j2.CancelAfter = 300
+	w := wl(4, j(1, 0, 100, 4), j2)
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{
+		OnCancel: func(now int64, jb *workload.Job) {
+			t.Errorf("job %d cancelled after starting", jb.ID)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != 0 {
+		t.Fatalf("cancelled = %d", res.Cancelled)
+	}
+	jb := res.Jobs[1]
+	if jb.Cancelled || jb.StartTime != 100 || jb.EndTime != 600 {
+		t.Fatalf("job state: %+v", jb)
+	}
+}
+
+func TestCancellationUnblocksQueue(t *testing.T) {
+	// FCFS: a 4-node head job blocks a 1-node job behind it. When the head
+	// is cancelled, the small job must start — and the engine must advance
+	// time to the cancellation even with nothing else happening.
+	head := j(1, 0, 100, 4)
+	head.CancelAfter = 200
+	w := wl(4,
+		j(0, 0, 1000, 4), // occupies the whole machine until t=1000
+		head,             // queued behind it; withdrawn at t=200
+		j(2, 10, 30, 1),  // queued behind the head
+	)
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != 1 {
+		t.Fatalf("cancelled = %d", res.Cancelled)
+	}
+	small := res.Jobs[2]
+	if small.Cancelled {
+		t.Fatal("small job was cancelled")
+	}
+	// Head cancelled at t=200; FCFS then lets the 1-node job... job0 still
+	// holds all 4 nodes until 1000, so the small job starts at... it needs
+	// only 1 node but the machine is full; it starts at 1000.
+	if small.StartTime != 1000 {
+		t.Fatalf("small job start = %d, want 1000", small.StartTime)
+	}
+	// Without the cancellation it would also start at 1000 + head's 100.
+	// Verify by rerunning without CancelAfter.
+	w2 := wl(4, j(0, 0, 1000, 4), j(1, 0, 100, 4), j(2, 10, 30, 1))
+	res2, err := Run(w2, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Jobs[2].StartTime != 1100 {
+		t.Fatalf("control start = %d, want 1100", res2.Jobs[2].StartTime)
+	}
+}
+
+func TestCancellationOnIdleMachineAdvancesClock(t *testing.T) {
+	// A job that can never run (the policy is stuck) but has a patience:
+	// the engine must terminate via the cancellation instead of wedging.
+	j1 := j(1, 0, 100, 4)
+	j1.CancelAfter = 500
+	w := wl(4, j1)
+	res, err := Run(w, stuck{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatalf("cancellation should resolve the wedge: %v", err)
+	}
+	if res.Cancelled != 1 {
+		t.Fatalf("cancelled = %d", res.Cancelled)
+	}
+}
+
+func TestInjectCancellations(t *testing.T) {
+	w, err := workload.Study("SDSC95", 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.InjectCancellations(0.3, 1800, 7)
+	var marked int
+	for _, jb := range c.Jobs {
+		if jb.CancelAfter > 0 {
+			marked++
+			if jb.CancelAfter < 60 {
+				t.Fatalf("patience below floor: %d", jb.CancelAfter)
+			}
+		}
+	}
+	frac := float64(marked) / float64(len(c.Jobs))
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("marked fraction = %.2f, want ≈0.3", frac)
+	}
+	// Original untouched; no-op parameters return a plain copy.
+	for _, jb := range w.Jobs {
+		if jb.CancelAfter != 0 {
+			t.Fatal("injection mutated the original")
+		}
+	}
+	if n := w.InjectCancellations(0, 1800, 7); n.Jobs[0].CancelAfter != 0 {
+		t.Fatal("zero fraction should not mark jobs")
+	}
+	// The full pipeline still runs and cancels some jobs under load.
+	compressed := workload.Compress(c, 8) // crank the load so queues form
+	res, err := Run(compressed, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled == 0 {
+		t.Log("no cancellations fired (queues stayed short); acceptable but unusual")
+	}
+}

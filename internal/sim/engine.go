@@ -1,0 +1,310 @@
+// Package sim implements the discrete-event scheduling simulator the paper
+// uses for both of its studies: replaying a workload trace through a
+// space-shared machine under a scheduling policy, with run-time predictions
+// supplied by a pluggable predictor.
+//
+// The simulator's event loop mirrors the paper's description: scheduling
+// decisions are (re)made whenever an application is enqueued or finishes;
+// a predictor observes each application when it completes; predictions are
+// requested whenever the policy needs an estimate.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Estimator returns a usable total-run-time estimate (seconds) for job j
+// that has been executing for age seconds (age 0 for queued jobs).
+// Estimates are always positive and never below age+1.
+type Estimator func(j *workload.Job, age int64) int64
+
+// Policy decides which queued jobs to start. Pick is called after every
+// simulator event (submission or completion); it returns the jobs to start
+// now, which must fit within free nodes. queue is in arrival order; running
+// jobs have StartTime set. est provides run-time estimates for any job.
+//
+// Policies must be deterministic and must not retain the slices they are
+// handed.
+type Policy interface {
+	Name() string
+	Pick(now int64, queue, running []*workload.Job, free, total int, est Estimator) []*workload.Job
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// DefaultRuntime is the estimate of last resort (see predict.Estimate).
+	// Zero means predict.DefaultRuntime.
+	DefaultRuntime int64
+	// OnSubmit, when non-nil, is invoked for every job immediately after it
+	// joins the queue (before the scheduling pass). The wait-time prediction
+	// experiments hook here: the paper predicts "the wait time of an
+	// application when it is submitted". The slices are snapshots owned by
+	// the callee only for the duration of the call.
+	OnSubmit func(now int64, j *workload.Job, queue, running []*workload.Job)
+	// OnStart, when non-nil, is invoked when a job begins execution.
+	OnStart func(now int64, j *workload.Job)
+	// OnFinish, when non-nil, is invoked when a job completes, before the
+	// predictor observes it.
+	OnFinish func(now int64, j *workload.Job)
+	// OnCancel, when non-nil, is invoked when a queued job's CancelAfter
+	// deadline expires and it is withdrawn.
+	OnCancel func(now int64, j *workload.Job)
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	Policy    string
+	Predictor string
+	Workload  string
+
+	Jobs []*workload.Job // every job, with StartTime/EndTime assigned
+
+	// Utilization is Σ(nodes×runtime)/(machineNodes×makespan), with the
+	// makespan measured from the first submission to the last completion
+	// (the definition behind Table 10's "Utilization" column).
+	Utilization float64
+	// MeanWaitSec is the mean of (start − submit) over all jobs.
+	MeanWaitSec float64
+	// MaxWaitSec is the largest wait observed.
+	MaxWaitSec int64
+	// MakespanSec spans first submission to last completion.
+	MakespanSec int64
+	// Predictions counts estimator invocations (predictor load).
+	Predictions int64
+	// Cancelled counts jobs withdrawn from the queue before starting;
+	// they are excluded from the wait and utilization metrics.
+	Cancelled int
+	// WaitDist summarizes the wait-time distribution in seconds (mean,
+	// quantiles); tail behaviour distinguishes policies whose mean waits
+	// coincide.
+	WaitDist stats.Summary
+}
+
+// MeanWaitMinutes returns the mean wait time in minutes, the unit of the
+// paper's tables.
+func (r *Result) MeanWaitMinutes() float64 { return r.MeanWaitSec / 60 }
+
+// finishHeap orders running jobs by completion time, breaking ties by job ID
+// for determinism.
+type finishHeap []*workload.Job
+
+func (h finishHeap) Len() int { return len(h) }
+func (h finishHeap) Less(i, j int) bool {
+	if h[i].EndTime != h[j].EndTime {
+		return h[i].EndTime < h[j].EndTime
+	}
+	return h[i].ID < h[j].ID
+}
+func (h finishHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x interface{}) { *h = append(*h, x.(*workload.Job)) }
+func (h *finishHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// cancelEntry schedules a queued job's cancellation deadline.
+type cancelEntry struct {
+	deadline int64
+	job      *workload.Job
+}
+
+// cancelHeap orders cancellation deadlines (ties by job ID).
+type cancelHeap []cancelEntry
+
+func (h cancelHeap) Len() int { return len(h) }
+func (h cancelHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].job.ID < h[j].job.ID
+}
+func (h cancelHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cancelHeap) Push(x interface{}) { *h = append(*h, x.(cancelEntry)) }
+func (h *cancelHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run replays the workload through the policy with run-time estimates from
+// the predictor. The input workload is not modified; the result holds
+// scheduled copies of the jobs.
+func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	defaultRT := opts.DefaultRuntime
+	if defaultRT <= 0 {
+		defaultRT = predict.DefaultRuntime
+	}
+
+	wc := w.Clone()
+	jobs := wc.Jobs
+	res := &Result{
+		Policy:    pol.Name(),
+		Predictor: pred.Name(),
+		Workload:  w.Name,
+		Jobs:      jobs,
+	}
+	est := func(j *workload.Job, age int64) int64 {
+		res.Predictions++
+		return predict.Estimate(pred, j, age, defaultRT)
+	}
+
+	var (
+		queue   []*workload.Job
+		running finishHeap
+		cancels cancelHeap
+		free    = wc.MachineNodes
+		nextJob = 0
+		now     int64
+	)
+	if len(jobs) == 0 {
+		return res, nil
+	}
+	now = jobs[0].SubmitTime
+
+	queued := make(map[*workload.Job]bool)
+	removeFromQueue := func(j *workload.Job) {
+		for i, q := range queue {
+			if q == j {
+				queue = append(queue[:i], queue[i+1:]...)
+				delete(queued, j)
+				return
+			}
+		}
+	}
+
+	for nextJob < len(jobs) || len(running) > 0 || len(queue) > 0 {
+		// Advance the clock to the next event: completion, arrival, or
+		// cancellation deadline.
+		next := int64(1<<62 - 1)
+		haveEvent := false
+		if len(running) > 0 {
+			next, haveEvent = running[0].EndTime, true
+		}
+		if nextJob < len(jobs) && jobs[nextJob].SubmitTime < next {
+			next, haveEvent = jobs[nextJob].SubmitTime, true
+		}
+		if len(cancels) > 0 && cancels[0].deadline < next {
+			// Stale entries for already-started jobs advance the clock
+			// harmlessly; they are skipped below.
+			next, haveEvent = cancels[0].deadline, true
+		}
+		if !haveEvent {
+			// Jobs remain queued but nothing is running, nothing will
+			// arrive, and no cancellation is pending: the policy has wedged
+			// (it refuses to start a job that could run on the idle
+			// machine).
+			return nil, fmt.Errorf("sim: policy %s wedged with %d queued jobs on an idle machine",
+				pol.Name(), len(queue))
+		}
+		now = next
+
+		// 1. Completions at this instant (before arrivals, so freed nodes
+		// are visible to the scheduling pass).
+		for len(running) > 0 && running[0].EndTime == now {
+			j := heap.Pop(&running).(*workload.Job)
+			free += j.Nodes
+			if opts.OnFinish != nil {
+				opts.OnFinish(now, j)
+			}
+			pred.Observe(j)
+		}
+
+		// 2. Cancellation deadlines at this instant (before arrivals and
+		// before scheduling: a job whose patience ran out does not start).
+		for len(cancels) > 0 && cancels[0].deadline == now {
+			e := heap.Pop(&cancels).(cancelEntry)
+			if !queued[e.job] {
+				continue // already started; stale entry
+			}
+			removeFromQueue(e.job)
+			e.job.Cancelled = true
+			res.Cancelled++
+			if opts.OnCancel != nil {
+				opts.OnCancel(now, e.job)
+			}
+		}
+
+		// 3. Arrivals at this instant.
+		for nextJob < len(jobs) && jobs[nextJob].SubmitTime == now {
+			j := jobs[nextJob]
+			nextJob++
+			queue = append(queue, j)
+			queued[j] = true
+			if j.CancelAfter > 0 {
+				heap.Push(&cancels, cancelEntry{deadline: j.SubmitTime + j.CancelAfter, job: j})
+			}
+			if opts.OnSubmit != nil {
+				opts.OnSubmit(now, j, queue, running)
+			}
+		}
+
+		// 4. Scheduling passes until quiescent.
+		for len(queue) > 0 {
+			picked := pol.Pick(now, queue, running, free, wc.MachineNodes, est)
+			if len(picked) == 0 {
+				break
+			}
+			var need int
+			for _, j := range picked {
+				need += j.Nodes
+			}
+			if need > free {
+				return nil, fmt.Errorf("sim: policy %s picked %d nodes with %d free", pol.Name(), need, free)
+			}
+			for _, j := range picked {
+				free -= j.Nodes
+				j.StartTime = now
+				j.EndTime = now + j.RunTime
+				removeFromQueue(j)
+				heap.Push(&running, j)
+				if opts.OnStart != nil {
+					opts.OnStart(now, j)
+				}
+			}
+		}
+	}
+
+	// Metrics over the jobs that actually ran (cancelled jobs never start
+	// and contribute neither wait nor work).
+	var waitSum, work int64
+	first := jobs[0].SubmitTime
+	last := first
+	waits := make([]float64, 0, len(jobs))
+	for _, j := range jobs {
+		if j.Cancelled {
+			continue
+		}
+		waitSum += j.WaitTime()
+		waits = append(waits, float64(j.WaitTime()))
+		if wt := j.WaitTime(); wt > res.MaxWaitSec {
+			res.MaxWaitSec = wt
+		}
+		work += j.Work()
+		if j.EndTime > last {
+			last = j.EndTime
+		}
+	}
+	res.MakespanSec = last - first
+	if len(waits) > 0 {
+		res.MeanWaitSec = float64(waitSum) / float64(len(waits))
+	}
+	res.WaitDist = stats.Summarize(waits)
+	if res.MakespanSec > 0 {
+		res.Utilization = float64(work) / (float64(wc.MachineNodes) * float64(res.MakespanSec))
+	}
+	return res, nil
+}

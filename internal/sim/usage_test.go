@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+func scheduled(id, nodes int, start, end int64) *workload.Job {
+	return &workload.Job{ID: id, Nodes: nodes, StartTime: start, EndTime: end,
+		RunTime: end - start}
+}
+
+func TestNodeUsageSteps(t *testing.T) {
+	jobs := []*workload.Job{
+		scheduled(1, 4, 0, 100),
+		scheduled(2, 2, 50, 150),
+		scheduled(3, 2, 100, 200),
+	}
+	got := NodeUsage(jobs)
+	want := []UsagePoint{
+		{0, 4}, {50, 6}, {100, 4}, {150, 2}, {200, 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("usage = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("usage[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if PeakUsage(jobs) != 6 {
+		t.Fatalf("peak = %d", PeakUsage(jobs))
+	}
+}
+
+func TestNodeUsageMergesAndSkipsCancelled(t *testing.T) {
+	cancelled := scheduled(3, 8, 0, 0)
+	cancelled.Cancelled = true
+	jobs := []*workload.Job{
+		scheduled(1, 4, 0, 100),
+		scheduled(2, 4, 100, 200), // back-to-back equal usage: merged
+		cancelled,
+	}
+	got := NodeUsage(jobs)
+	want := []UsagePoint{{0, 4}, {200, 0}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("usage = %v, want %v", got, want)
+	}
+}
+
+func TestNodeUsageEmpty(t *testing.T) {
+	if NodeUsage(nil) != nil {
+		t.Fatal("empty usage should be nil")
+	}
+	if PeakUsage(nil) != 0 {
+		t.Fatal("empty peak should be 0")
+	}
+}
+
+func TestNodeUsageNeverExceedsMachine(t *testing.T) {
+	w, err := workload.Study("ANL", 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak := PeakUsage(res.Jobs); peak > w.MachineNodes {
+		t.Fatalf("peak %d exceeds machine %d", peak, w.MachineNodes)
+	}
+	// The step function integrates to the total work.
+	usage := NodeUsage(res.Jobs)
+	var area int64
+	for i := 0; i+1 < len(usage); i++ {
+		area += int64(usage[i].Nodes) * (usage[i+1].Time - usage[i].Time)
+	}
+	var work int64
+	for _, j := range res.Jobs {
+		work += j.Work()
+	}
+	if area != work {
+		t.Fatalf("usage area %d != total work %d", area, work)
+	}
+}

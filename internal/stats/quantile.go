@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the common default).
+// The input is not modified. NaN is returned for an empty slice.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+// QuantilesSorted computes several quantiles in one pass over a pre-sorted
+// slice; it is the allocation-free companion to Quantile for reporting.
+func QuantilesSorted(sorted []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = quantileSorted(sorted, p)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary is a five-number-plus descriptive summary of a sample.
+type Summary struct {
+	N                  int
+	Mean, StdDev       float64
+	Min, P50, P90, P99 float64
+	Max                float64
+}
+
+// Summarize computes a Summary of xs. The input is not modified.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		s.Mean, s.StdDev = math.NaN(), math.NaN()
+		s.Min, s.P50, s.P90, s.P99, s.Max = math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Mean, _ = MeanVar(xs)
+	if len(xs) > 1 {
+		s.StdDev = StdDev(xs)
+	}
+	qs := QuantilesSorted(sorted, 0.5, 0.9, 0.99)
+	s.Min = sorted[0]
+	s.P50, s.P90, s.P99 = qs[0], qs[1], qs[2]
+	s.Max = sorted[len(sorted)-1]
+	return s
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10},
+		{0.25, 20},
+		{0.5, 30},
+		{0.75, 40},
+		{1, 50},
+		{0.125, 15}, // interpolation
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleAndEmpty(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			q := Quantile(xs, p)
+			if q < prev-1e-9 {
+				return false
+			}
+			prev = q
+		}
+		// Bounds.
+		return Quantile(xs, 0) == Min(xs) && Quantile(xs, 1) == Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEq(s.Mean, 5.5, 1e-12) || !almostEq(s.P50, 5.5, 1e-12) {
+		t.Fatalf("mean/median = %v/%v", s.Mean, s.P50)
+	}
+	if s.P90 <= s.P50 || s.P99 < s.P90 {
+		t.Fatalf("quantile ordering: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.P99) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	r, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r.Slope, 2, 1e-12) || !almostEq(r.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %v + %v x", r.Intercept, r.Slope)
+	}
+	if r.ResidStd != 0 {
+		t.Errorf("perfect fit should have zero residual std, got %v", r.ResidStd)
+	}
+	if got := r.Predict(10); !almostEq(got, 21, 1e-12) {
+		t.Errorf("Predict(10) = %v", got)
+	}
+	_, half := r.PredictInterval(10, 0.95)
+	if half != 0 {
+		t.Errorf("perfect fit should have zero interval, got %v", half)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ys[i] = 4 + 0.5*xs[i] + rng.NormFloat64()*2
+	}
+	r, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Slope-0.5) > 0.05 || math.Abs(r.Intercept-4) > 1 {
+		t.Fatalf("fit = %v + %v x", r.Intercept, r.Slope)
+	}
+	if math.Abs(r.ResidStd-2) > 0.3 {
+		t.Errorf("residual std = %v, want ≈2", r.ResidStd)
+	}
+	// Prediction interval grows away from the regressor mean.
+	_, hNear := r.PredictInterval(r.XMean, 0.95)
+	_, hFar := r.PredictInterval(r.XMean+200, 0.95)
+	if hFar <= hNear {
+		t.Errorf("interval should widen away from mean: near=%v far=%v", hNear, hFar)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1, 2}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Errorf("n<3 should fail, got %v", err)
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrInsufficientData {
+		t.Errorf("degenerate x should fail, got %v", err)
+	}
+	if _, err := FitLinear([]float64{1, 2, 3}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Errorf("length mismatch should fail, got %v", err)
+	}
+}
+
+func TestFitInverseExact(t *testing.T) {
+	// y = 2 + 6/x
+	xs := []float64{1, 2, 3, 6}
+	ys := []float64{8, 5, 4, 3}
+	r, err := FitInverse(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict(12); !almostEq(got, 2.5, 1e-9) {
+		t.Errorf("Predict(12) = %v, want 2.5", got)
+	}
+	_, half := r.PredictInterval(12, 0.9)
+	if half != 0 {
+		t.Errorf("perfect inverse fit: half = %v", half)
+	}
+}
+
+func TestFitInverseRejectsZeroX(t *testing.T) {
+	if _, err := FitInverse([]float64{0, 1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("x=0 should be rejected")
+	}
+}
+
+func TestFitLogExact(t *testing.T) {
+	// y = 1 + 3 ln x
+	xs := []float64{1, math.E, math.E * math.E, 10}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 3*math.Log(x)
+	}
+	r, err := FitLog(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict(100); !almostEq(got, 1+3*math.Log(100), 1e-9) {
+		t.Errorf("Predict(100) = %v", got)
+	}
+}
+
+func TestFitLogRejectsNonPositive(t *testing.T) {
+	if _, err := FitLog([]float64{-1, 1, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("x<=0 should be rejected")
+	}
+}
+
+func TestFitWeightedLinear(t *testing.T) {
+	// Equal weights must reproduce OLS.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1}
+	ols, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1, 1, 1, 1, 1}
+	wls, err := FitWeightedLinear(xs, ys, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ols.Slope, wls.Slope, 1e-10) || !almostEq(ols.Intercept, wls.Intercept, 1e-10) {
+		t.Fatalf("WLS with unit weights (%v,%v) != OLS (%v,%v)",
+			wls.Intercept, wls.Slope, ols.Intercept, ols.Slope)
+	}
+}
+
+func TestFitWeightedLinearDominantWeight(t *testing.T) {
+	// A huge weight forces the line through that point (with another anchor).
+	xs := []float64{0, 10, 5}
+	ys := []float64{0, 10, 100} // outlier at x=5
+	ws := []float64{1e9, 1e9, 1e-9}
+	r, err := FitWeightedLinear(xs, ys, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r.Predict(0), 0, 1e-5) || !almostEq(r.Predict(10), 10, 1e-5) {
+		t.Fatalf("dominant weights ignored: f(0)=%v f(10)=%v", r.Predict(0), r.Predict(10))
+	}
+}
+
+func TestFitWeightedLinearErrors(t *testing.T) {
+	if _, err := FitWeightedLinear([]float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Error("n<2 should fail")
+	}
+	if _, err := FitWeightedLinear([]float64{1, 2}, []float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := FitWeightedLinear([]float64{3, 3}, []float64{1, 2}, []float64{1, 1}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+}
+
+// Property: OLS residuals sum to ~0 and predictions at x̄ equal ȳ.
+func TestLinearRegressionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*50 + float64(i)*0.01 // distinct x
+			ys[i] = rng.NormFloat64() * 10
+		}
+		r, err := FitLinear(xs, ys)
+		if err != nil {
+			return true
+		}
+		var resid float64
+		for i := range xs {
+			resid += ys[i] - r.Predict(xs[i])
+		}
+		return math.Abs(resid) < 1e-6*float64(n) &&
+			almostEq(r.Predict(Mean(xs)), Mean(ys), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogGamma(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+		{10.5, 13.940625219404},
+	}
+	for _, c := range cases {
+		if got := LogGamma(c.x); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("LogGamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLogGammaRecurrence(t *testing.T) {
+	// Γ(x+1) = x Γ(x)  =>  lnΓ(x+1) = ln x + lnΓ(x)
+	for _, x := range []float64{0.3, 0.7, 1.4, 2.9, 7.6, 33.2} {
+		lhs := LogGamma(x + 1)
+		rhs := math.Log(x) + LogGamma(x)
+		if !almostEq(lhs, rhs, 1e-10) {
+			t.Errorf("recurrence failed at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+}
+
+func TestRegIncBetaKnown(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almostEq(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x^2(3-2x).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); !almostEq(got, want, 1e-10) {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, c := range []struct{ a, b, x float64 }{
+		{2, 5, 0.3}, {0.5, 0.5, 0.7}, {10, 3, 0.9}, {1.5, 4.5, 0.05},
+	} {
+		lhs := RegIncBeta(c.a, c.b, c.x)
+		rhs := 1 - RegIncBeta(c.b, c.a, 1-c.x)
+		if !almostEq(lhs, rhs, 1e-10) {
+			t.Errorf("symmetry failed for %+v: %v vs %v", c, lhs, rhs)
+		}
+	}
+}
+
+func TestTCDFKnown(t *testing.T) {
+	// With 1 df, the t distribution is Cauchy: CDF(t) = 1/2 + atan(t)/π.
+	for _, x := range []float64{-3, -1, 0, 0.5, 2, 10} {
+		want := 0.5 + math.Atan(x)/math.Pi
+		if got := TCDF(x, 1); !almostEq(got, want, 1e-9) {
+			t.Errorf("TCDF(%v,1) = %v, want %v", x, got, want)
+		}
+	}
+	if got := TCDF(0, 7); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("TCDF(0,7) = %v", got)
+	}
+}
+
+func TestTCDFSymmetry(t *testing.T) {
+	for _, nu := range []float64{1, 2, 5, 30, 200} {
+		for _, x := range []float64{0.1, 1, 2.5, 7} {
+			if got := TCDF(x, nu) + TCDF(-x, nu); !almostEq(got, 1, 1e-10) {
+				t.Errorf("TCDF(%v,%v)+TCDF(-x) = %v, want 1", x, nu, got)
+			}
+		}
+	}
+}
+
+func TestTQuantileTableValues(t *testing.T) {
+	// Classic two-sided 95% critical values t_{0.975,ν}.
+	cases := []struct{ nu, want float64 }{
+		{1, 12.7062},
+		{2, 4.30265},
+		{3, 3.18245},
+		{5, 2.57058},
+		{10, 2.22814},
+		{30, 2.04227},
+		{120, 1.97993},
+	}
+	for _, c := range cases {
+		if got := TQuantile(0.975, c.nu); !almostEq(got, c.want, 1e-4) {
+			t.Errorf("TQuantile(0.975, %v) = %v, want %v", c.nu, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileRoundTrip(t *testing.T) {
+	for _, nu := range []float64{1, 3, 9, 42} {
+		for _, p := range []float64{0.01, 0.2, 0.5, 0.8, 0.95, 0.999} {
+			q := TQuantile(p, nu)
+			if got := TCDF(q, nu); !almostEq(got, p, 1e-8) {
+				t.Errorf("round trip p=%v nu=%v: CDF(Q)=%v", p, nu, got)
+			}
+		}
+	}
+}
+
+func TestTQuantileEdges(t *testing.T) {
+	if !math.IsInf(TQuantile(0, 5), -1) || !math.IsInf(TQuantile(1, 5), 1) {
+		t.Error("quantile at 0/1 should be ∓Inf")
+	}
+	if got := TQuantile(0.5, 5); got != 0 {
+		t.Errorf("median should be 0, got %v", got)
+	}
+	// Symmetry: Q(p) = -Q(1-p).
+	if got := TQuantile(0.1, 7) + TQuantile(0.9, 7); !almostEq(got, 0, 1e-9) {
+		t.Errorf("quantile symmetry violated: %v", got)
+	}
+}
+
+func TestNormQuantileKnown(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1}, // Φ(1)
+		{0.9772498680518208, 2}, // Φ(2)
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489},
+	}
+	for _, c := range cases {
+		if got := NormQuantile(c.p); !almostEq(got, c.want, 1e-6) {
+			t.Errorf("NormQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Round trip through the normal CDF for asymmetric probabilities.
+	for _, p := range []float64{0.0228, 0.12, 0.5, 0.77, 0.9999} {
+		q := NormQuantile(p)
+		if got := 0.5 * math.Erfc(-q/math.Sqrt2); !almostEq(got, p, 1e-9) {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	// For large ν the t quantile converges to the normal quantile.
+	for _, p := range []float64{0.9, 0.975, 0.999} {
+		tq := TQuantile(p, 1e6)
+		nq := NormQuantile(p)
+		if !almostEq(tq, nq, 1e-4) {
+			t.Errorf("p=%v: t quantile %v, normal %v", p, tq, nq)
+		}
+	}
+}

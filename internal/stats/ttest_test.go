@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchTNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	r, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.01 {
+		t.Fatalf("same-distribution samples flagged significant: %+v", r)
+	}
+}
+
+func TestWelchTClearDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 3
+	}
+	r, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P > 1e-6 {
+		t.Fatalf("3-sigma shift not detected: %+v", r)
+	}
+	if r.T >= 0 {
+		t.Fatalf("direction wrong: %+v", r)
+	}
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Classic worked example (unequal variances).
+	xs := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	ys := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.2}
+	r, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference values computed independently for this data:
+	// t = -2.84132, df = 27.8825 (Welch–Satterthwaite).
+	if math.Abs(r.T+2.84132) > 1e-4 || math.Abs(r.DF-27.8825) > 1e-3 {
+		t.Fatalf("got %+v, want t≈-2.84132 df≈27.8825", r)
+	}
+	// The p-value must be the two-sided tail of the t distribution at
+	// (T, DF) — TCDF itself is validated against tables elsewhere.
+	if want := 2 * TCDF(-math.Abs(r.T), r.DF); math.Abs(r.P-want) > 1e-12 {
+		t.Fatalf("p = %v inconsistent with TCDF tail %v", r.P, want)
+	}
+	if r.P > 0.01 || r.P < 0.005 {
+		t.Fatalf("p = %v out of the expected ~0.008 neighbourhood", r.P)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if _, err := WelchT([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("tiny sample should error")
+	}
+	// Identical constants: p = 1.
+	r, err := WelchT([]float64{5, 5, 5}, []float64{5, 5})
+	if err != nil || r.P != 1 {
+		t.Errorf("identical constants: %+v, %v", r, err)
+	}
+	// Distinct constants: no variance to test against.
+	if _, err := WelchT([]float64{5, 5}, []float64{6, 6}); err == nil {
+		t.Error("zero-variance difference should error (Welch)")
+	}
+}
+
+func TestPairedT(t *testing.T) {
+	// Paired with consistent small improvement: significant even when the
+	// unpaired test is not.
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		base := rng.NormFloat64() * 100 // huge between-pair variance
+		xs[i] = base
+		ys[i] = base + 1 // constant-ish improvement
+	}
+	paired, err := PairedT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paired.P > 1e-6 {
+		t.Fatalf("paired test missed the consistent difference: %+v", paired)
+	}
+	unpaired, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpaired.P < 0.5 {
+		t.Fatalf("unpaired test should drown in between-pair variance: %+v", unpaired)
+	}
+}
+
+func TestPairedTDegenerate(t *testing.T) {
+	if _, err := PairedT([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	r, err := PairedT([]float64{3, 4}, []float64{3, 4})
+	if err != nil || r.P != 1 {
+		t.Errorf("identical pairs: %+v, %v", r, err)
+	}
+	r, err = PairedT([]float64{4, 5}, []float64{3, 4})
+	if err != nil || r.P != 0 || !math.IsInf(r.T, 1) {
+		t.Errorf("constant difference: %+v, %v", r, err)
+	}
+}

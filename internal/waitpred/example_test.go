@@ -1,0 +1,29 @@
+package waitpred_test
+
+import (
+	"fmt"
+
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/waitpred"
+	"repro/internal/workload"
+)
+
+// Predicting a queue wait: a 4-node machine is fully busy for another 400
+// seconds (by the running job's own 500-second limit); the newly submitted
+// job is predicted to start when those nodes free.
+func ExamplePredictWait() {
+	running := []*workload.Job{
+		{ID: 1, Nodes: 4, MaxRunTime: 500, StartTime: -100}, // started 100s ago
+	}
+	target := &workload.Job{ID: 2, Nodes: 4, MaxRunTime: 600, SubmitTime: 0}
+	queue := []*workload.Job{target}
+
+	wait, err := waitpred.PredictWait(0, target, queue, running,
+		4, sched.FCFS{}, predict.MaxRuntime{}, nil, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(wait)
+	// Output: 400
+}

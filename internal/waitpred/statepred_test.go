@@ -1,0 +1,153 @@
+package waitpred
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func state(qlen int, qwork int64, free, total int) State {
+	return State{QueueLen: qlen, QueuedWork: qwork, FreeNodes: free, TotalNodes: total}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 3}, {5, 4}, {8, 4}, {9, 5}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := log2Bucket(c.v); got != c.want {
+			t.Errorf("log2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestStateMask(t *testing.T) {
+	m := StateMaskOf(FeatQueueLen, FeatJobWork)
+	if !m.Has(FeatQueueLen) || !m.Has(FeatJobWork) || m.Has(FeatTimeOfDay) {
+		t.Fatal("mask membership wrong")
+	}
+	if m.String() != "(qlen,jwork)" {
+		t.Errorf("mask string = %q", m.String())
+	}
+}
+
+func TestStatePredictorRampUp(t *testing.T) {
+	p := NewStatePredictor(DefaultStateTemplates(false))
+	j := &workload.Job{ID: 1, Nodes: 8}
+	if _, ok := p.PredictWait(state(3, 1000, 10, 64), j, 800); ok {
+		t.Fatal("no history: must not predict")
+	}
+	s := state(3, 1000, 10, 64)
+	p.ObserveWait(s, j, 800, 120)
+	if _, ok := p.PredictWait(s, j, 800); ok {
+		t.Fatal("one sample: no confidence interval yet")
+	}
+	p.ObserveWait(s, j, 800, 180)
+	got, ok := p.PredictWait(s, j, 800)
+	if !ok || got != 150 {
+		t.Fatalf("predicted %d, %v; want 150", got, ok)
+	}
+}
+
+func TestStatePredictorDiscriminatesStates(t *testing.T) {
+	p := NewStatePredictor([]StateTemplate{{Feats: StateMaskOf(FeatQueueLen)}})
+	j := &workload.Job{ID: 1, Nodes: 8}
+	empty := state(0, 0, 64, 64)
+	deep := state(100, 1e6, 0, 64)
+	for i := 0; i < 5; i++ {
+		p.ObserveWait(empty, j, 100, 0)
+		p.ObserveWait(deep, j, 100, 36000)
+	}
+	if got, _ := p.PredictWait(empty, j, 100); got != 0 {
+		t.Errorf("empty-queue wait = %d, want 0", got)
+	}
+	if got, _ := p.PredictWait(deep, j, 100); got != 36000 {
+		t.Errorf("deep-queue wait = %d, want 36000", got)
+	}
+}
+
+func TestStatePredictorJobWorkFeature(t *testing.T) {
+	// Under LWF, small jobs wait little and big jobs wait long in the SAME
+	// queue state — FeatJobWork separates them.
+	p := NewStatePredictor([]StateTemplate{{Feats: StateMaskOf(FeatJobWork)}})
+	j := &workload.Job{ID: 1, Nodes: 8}
+	s := state(10, 1e5, 0, 64)
+	for i := 0; i < 4; i++ {
+		p.ObserveWait(s, j, 100, 60)   // tiny job: short waits
+		p.ObserveWait(s, j, 1e7, 7200) // huge job: long waits
+	}
+	small, _ := p.PredictWait(s, j, 100)
+	big, _ := p.PredictWait(s, j, 1e7)
+	if small != 60 || big != 7200 {
+		t.Fatalf("small=%d big=%d", small, big)
+	}
+}
+
+func TestStatePredictorBoundedHistory(t *testing.T) {
+	p := NewStatePredictor([]StateTemplate{{Feats: 0, MaxHistory: 4}})
+	j := &workload.Job{ID: 1, Nodes: 1}
+	s := state(1, 1, 1, 4)
+	for i := 0; i < 10; i++ {
+		p.ObserveWait(s, j, 1, 1000)
+	}
+	for i := 0; i < 4; i++ {
+		p.ObserveWait(s, j, 1, 5000)
+	}
+	got, ok := p.PredictWait(s, j, 1)
+	if !ok || got != 5000 {
+		t.Fatalf("bounded state history should see only the new regime: %d", got)
+	}
+}
+
+func TestCaptureState(t *testing.T) {
+	est := func(j *workload.Job, age int64) int64 { return j.RunTime }
+	queue := []*workload.Job{
+		{Nodes: 4, RunTime: 100},
+		{Nodes: 2, RunTime: 50},
+	}
+	running := []*workload.Job{{Nodes: 10, RunTime: 100, StartTime: 0}}
+	s := CaptureState(500, queue, running, 64, est)
+	if s.QueueLen != 2 || s.FreeNodes != 54 || s.TotalNodes != 64 {
+		t.Fatalf("state = %+v", s)
+	}
+	if s.QueuedWork != 4*100+2*50 {
+		t.Fatalf("queued work = %d", s.QueuedWork)
+	}
+	if s.Now != 500 {
+		t.Fatalf("now = %d", s.Now)
+	}
+}
+
+func TestDefaultStateTemplates(t *testing.T) {
+	plain := DefaultStateTemplates(false)
+	queued := DefaultStateTemplates(true)
+	if len(queued) <= len(plain) {
+		t.Fatal("queue-aware set should add templates")
+	}
+	for _, tpl := range plain {
+		if tpl.Feats.Has(FeatJobQueue) {
+			t.Fatal("non-queue workload must not use the queue feature")
+		}
+	}
+	// Every template renders.
+	for _, tpl := range queued {
+		if tpl.String() == "" {
+			t.Fatal("empty template string")
+		}
+	}
+}
+
+func TestStateTemplateKeySeparation(t *testing.T) {
+	tpl := StateTemplate{Feats: StateMaskOf(FeatJobQueue)}
+	a := tpl.key(0, State{}, &workload.Job{Queue: "ab"}, 0)
+	b := tpl.key(0, State{}, &workload.Job{Queue: "a"}, 0)
+	if a == b {
+		t.Fatal("queue keys collide")
+	}
+	if tpl.key(0, State{}, &workload.Job{Queue: "x"}, 0) == tpl.key(1, State{}, &workload.Job{Queue: "x"}, 0) {
+		t.Fatal("template index not in key")
+	}
+}

@@ -1,0 +1,259 @@
+package waitpred
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func j(id int, submit, rt int64, nodes int) *workload.Job {
+	return &workload.Job{ID: id, SubmitTime: submit, RunTime: rt, Nodes: nodes}
+}
+
+func running(id int, start, rt int64, nodes int) *workload.Job {
+	r := j(id, 0, rt, nodes)
+	r.StartTime = start
+	r.EndTime = start + rt
+	return r
+}
+
+func TestImmediateStart(t *testing.T) {
+	target := j(1, 100, 50, 2)
+	start, err := PredictStart(100, target, []*workload.Job{target}, nil,
+		4, sched.FCFS{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 100 {
+		t.Fatalf("start = %d, want 100 (machine idle)", start)
+	}
+}
+
+func TestWaitBehindRunning(t *testing.T) {
+	// 4-node machine fully busy until t=500 (job started at 0, runs 500).
+	r := running(10, 0, 500, 4)
+	target := j(1, 100, 50, 4)
+	wait, err := PredictWait(100, target, []*workload.Job{target},
+		[]*workload.Job{r}, 4, sched.FCFS{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait != 400 {
+		t.Fatalf("wait = %d, want 400", wait)
+	}
+}
+
+func TestAgeAwareRunningEstimate(t *testing.T) {
+	// The running job started 300s ago with a 500s total: 200s remain under
+	// the oracle.
+	r := running(10, -300, 500, 4)
+	target := j(1, 0, 50, 4)
+	wait, err := PredictWait(0, target, []*workload.Job{target},
+		[]*workload.Job{r}, 4, sched.FCFS{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wait != 200 {
+		t.Fatalf("wait = %d, want 200", wait)
+	}
+}
+
+func TestQueueAheadFCFS(t *testing.T) {
+	// Busy machine until 100; two 4-node jobs queued ahead (100s each):
+	// target starts at 100 + 100 + 100 = 300.
+	r := running(10, 0, 100, 4)
+	q1 := j(1, 10, 100, 4)
+	q2 := j(2, 20, 100, 4)
+	target := j(3, 30, 10, 4)
+	start, err := PredictStart(30, target, []*workload.Job{q1, q2, target},
+		[]*workload.Job{r}, 4, sched.FCFS{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 300 {
+		t.Fatalf("start = %d, want 300", start)
+	}
+}
+
+func TestLWFReordersQueue(t *testing.T) {
+	// Under LWF the tiny target overtakes the large queued job.
+	r := running(10, 0, 100, 4)
+	big := j(1, 10, 10000, 4)
+	target := j(2, 20, 10, 4)
+	start, err := PredictStart(20, target, []*workload.Job{big, target},
+		[]*workload.Job{r}, 4, sched.LWF{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 100 {
+		t.Fatalf("LWF start = %d, want 100 (overtakes big job)", start)
+	}
+	// Under FCFS it cannot.
+	start, err = PredictStart(20, target, []*workload.Job{big, target},
+		[]*workload.Job{r}, 4, sched.FCFS{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 10100 {
+		t.Fatalf("FCFS start = %d, want 10100", start)
+	}
+}
+
+func TestBackfillPredictedStart(t *testing.T) {
+	// 2 of 4 nodes busy until 100. Queue: blocked 4-node job (reserve at
+	// 100), then the 2-node 50s target, which backfills immediately.
+	r := running(10, 0, 100, 2)
+	blocked := j(1, 5, 500, 4)
+	target := j(2, 9, 50, 2)
+	start, err := PredictStart(9, target, []*workload.Job{blocked, target},
+		[]*workload.Job{r}, 4, sched.Backfill{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 9 {
+		t.Fatalf("backfill start = %d, want 9 (immediate)", start)
+	}
+}
+
+func TestPessimisticPredictorDelaysEstimate(t *testing.T) {
+	// Using maximum run times, the running job is believed to hold its
+	// nodes until its limit.
+	r := running(10, 0, 100, 4)
+	r.MaxRunTime = 1000
+	target := j(1, 0, 50, 4)
+	target.MaxRunTime = 60
+	oracleWait, err := PredictWait(0, target, []*workload.Job{target},
+		[]*workload.Job{r}, 4, sched.FCFS{}, predict.Oracle{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxWait, err := PredictWait(0, target, []*workload.Job{target},
+		[]*workload.Job{r}, 4, sched.FCFS{}, predict.MaxRuntime{}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleWait != 100 || maxWait != 1000 {
+		t.Fatalf("oracle wait %d (want 100), maxrt wait %d (want 1000)", oracleWait, maxWait)
+	}
+}
+
+func TestTargetNotInQueue(t *testing.T) {
+	target := j(1, 0, 50, 2)
+	if _, err := PredictStart(0, target, nil, nil, 4, sched.FCFS{}, predict.Oracle{}, nil, 0); err == nil {
+		t.Fatal("missing target should error")
+	}
+}
+
+func TestRunningExceedsMachine(t *testing.T) {
+	r1 := running(10, 0, 100, 3)
+	r2 := running(11, 0, 100, 3)
+	target := j(1, 0, 50, 2)
+	_, err := PredictStart(0, target, []*workload.Job{target},
+		[]*workload.Job{r1, r2}, 4, sched.FCFS{}, predict.Oracle{}, nil, 0)
+	if err == nil {
+		t.Fatal("over-committed running set should error")
+	}
+}
+
+func TestInputsNotMutated(t *testing.T) {
+	r := running(10, 0, 100, 4)
+	q1 := j(1, 0, 200, 4)
+	target := j(2, 0, 50, 4)
+	if _, err := PredictStart(0, target, []*workload.Job{q1, target},
+		[]*workload.Job{r}, 4, sched.FCFS{}, predict.Oracle{}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if q1.StartTime != 0 || q1.EndTime != 0 {
+		t.Error("queued job mutated")
+	}
+	if target.StartTime != 0 {
+		t.Error("target mutated")
+	}
+	if r.EndTime != 100 {
+		t.Error("running job mutated")
+	}
+}
+
+// End-to-end: under FCFS with the oracle, every wait-time prediction is
+// exact — Table 4 shows no FCFS row precisely because "later-arriving jobs
+// do not affect the start times of the jobs that are currently in the
+// queue".
+func TestFCFSOracleIsExactEndToEnd(t *testing.T) {
+	w, err := workload.Study("SDSC95", 50, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type predRec struct {
+		job  *workload.Job
+		wait int64
+	}
+	var preds []predRec
+	opts := sim.Options{
+		OnSubmit: func(now int64, target *workload.Job, queue, running []*workload.Job) {
+			wait, err := PredictWait(now, target, queue, running,
+				w.MachineNodes, sched.FCFS{}, predict.Oracle{}, nil, 0)
+			if err != nil {
+				t.Fatalf("prediction failed: %v", err)
+			}
+			preds = append(preds, predRec{target, wait})
+		},
+	}
+	if _, err := sim.Run(w, sched.FCFS{}, predict.Oracle{}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(w.Jobs) {
+		t.Fatalf("predicted %d of %d jobs", len(preds), len(w.Jobs))
+	}
+	for _, p := range preds {
+		if p.job.WaitTime() != p.wait {
+			t.Fatalf("job %d: predicted wait %d, actual %d",
+				p.job.ID, p.wait, p.job.WaitTime())
+		}
+	}
+}
+
+// Under LWF with the oracle, later arrivals overtake queued jobs, so a
+// built-in prediction error remains even with perfect run times (the paper
+// measures 34–43% of mean wait). The check is structural: predictions are
+// never negative, and some differ from the realized waits.
+func TestLWFOracleHasBuiltInError(t *testing.T) {
+	w, err := workload.Study("ANL", 20, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OnSubmit receives the engine's cloned jobs; their WaitTime is final
+	// once the run completes, so record predictions per clone and compare
+	// afterwards.
+	predicted := map[*workload.Job]int64{}
+	opts := sim.Options{
+		OnSubmit: func(now int64, target *workload.Job, queue, running []*workload.Job) {
+			wait, err := PredictWait(now, target, queue, running,
+				w.MachineNodes, sched.LWF{}, predict.Oracle{}, nil, 0)
+			if err != nil {
+				t.Fatalf("prediction failed: %v", err)
+			}
+			if wait < 0 {
+				t.Fatalf("negative predicted wait %d", wait)
+			}
+			predicted[target] = wait
+		},
+	}
+	if _, err := sim.Run(w, sched.LWF{}, predict.Oracle{}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(predicted) != len(w.Jobs) {
+		t.Fatalf("predicted %d of %d jobs", len(predicted), len(w.Jobs))
+	}
+	diffs := 0
+	for job, wait := range predicted {
+		if wait != job.WaitTime() {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Error("LWF with oracle should still mispredict some waits (built-in error)")
+	}
+}

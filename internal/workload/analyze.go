@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file provides the workload characterization behind cmd/wlstat:
+// run-time and node-count distributions, the hour-of-day arrival cycle,
+// user concentration, and the user run-time overestimation profile — the
+// properties that determine whether history-based prediction can work on a
+// trace (§2.1 of the paper and the workload studies it cites).
+
+// Analysis is the full characterization of a workload.
+type Analysis struct {
+	Summary      Summary
+	RunTimeSec   stats.Summary
+	Nodes        stats.Summary
+	WaitSec      stats.Summary // meaningful only after a simulation
+	OverFactor   stats.Summary // maxRunTime/runTime over covered jobs
+	HourOfDay    [24]int       // arrivals per hour of day
+	NodePow2Hist map[int]int   // ⌈log2(nodes)⌉ → count
+	TopUserShare float64       // fraction of jobs from the top 10% of users
+	RepeatShare  float64       // fraction of jobs whose (user, exec/queue) key repeats ≥ 5 times
+}
+
+// Analyze characterizes w.
+func Analyze(w *Workload) Analysis {
+	a := Analysis{Summary: Summarize(w), NodePow2Hist: map[int]int{}}
+	if len(w.Jobs) == 0 {
+		return a
+	}
+	rts := make([]float64, 0, len(w.Jobs))
+	nodes := make([]float64, 0, len(w.Jobs))
+	var waits, overs []float64
+	keyCounts := map[string]int{}
+	for _, j := range w.Jobs {
+		rts = append(rts, float64(j.RunTime))
+		nodes = append(nodes, float64(j.Nodes))
+		if j.StartTime > 0 || j.EndTime > 0 {
+			waits = append(waits, float64(j.WaitTime()))
+		}
+		if j.MaxRunTime > 0 {
+			overs = append(overs, float64(j.MaxRunTime)/float64(j.RunTime))
+		}
+		a.HourOfDay[int(j.SubmitTime/3600)%24]++
+		pow := 0
+		for (1 << pow) < j.Nodes {
+			pow++
+		}
+		a.NodePow2Hist[pow]++
+		keyCounts[j.User+"|"+j.Executable+"|"+j.Queue]++
+	}
+	a.RunTimeSec = stats.Summarize(rts)
+	a.Nodes = stats.Summarize(nodes)
+	a.WaitSec = stats.Summarize(waits)
+	a.OverFactor = stats.Summarize(overs)
+
+	// User concentration.
+	_, counts := UserActivity(w)
+	top := len(counts) / 10
+	if top == 0 {
+		top = 1
+	}
+	var topSum int
+	for i := 0; i < top && i < len(counts); i++ {
+		topSum += counts[i]
+	}
+	a.TopUserShare = float64(topSum) / float64(len(w.Jobs))
+
+	// Repetition: the property history-based prediction needs.
+	repeated := 0
+	for _, n := range keyCounts {
+		if n >= 5 {
+			repeated += n
+		}
+	}
+	a.RepeatShare = float64(repeated) / float64(len(w.Jobs))
+	return a
+}
+
+// bar renders a proportional text bar.
+func bar(n, max, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	k := n * width / max
+	if k == 0 && n > 0 {
+		k = 1
+	}
+	return strings.Repeat("#", k)
+}
+
+// fmtDur renders seconds as a compact human duration.
+func fmtDur(sec float64) string {
+	if math.IsNaN(sec) {
+		return "-"
+	}
+	switch {
+	case sec < 90:
+		return fmt.Sprintf("%.0fs", sec)
+	case sec < 90*60:
+		return fmt.Sprintf("%.1fm", sec/60)
+	default:
+		return fmt.Sprintf("%.1fh", sec/3600)
+	}
+}
+
+// Report renders the analysis as text.
+func (a Analysis) Report(w io.Writer) error {
+	s := a.Summary
+	fmt.Fprintf(w, "workload %s: %d jobs on %d nodes, %d users, %d queues, %.1f days, offered load %.2f\n",
+		s.Name, s.NumRequests, s.MachineNodes, s.NumUsers, s.NumQueues, s.TraceSpanDays, s.OfferedLoad)
+
+	dist := func(label string, d stats.Summary, f func(float64) string) {
+		fmt.Fprintf(w, "%-12s mean %-8s p50 %-8s p90 %-8s p99 %-8s max %-8s\n",
+			label, f(d.Mean), f(d.P50), f(d.P90), f(d.P99), f(d.Max))
+	}
+	dist("run time", a.RunTimeSec, fmtDur)
+	dist("nodes", a.Nodes, func(v float64) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", v)
+	})
+	if a.WaitSec.N > 0 {
+		dist("wait", a.WaitSec, fmtDur)
+	}
+	if a.OverFactor.N > 0 {
+		fmt.Fprintf(w, "%-12s mean %.1fx p50 %.1fx p90 %.1fx (coverage %.0f%%)\n",
+			"max/actual", a.OverFactor.Mean, a.OverFactor.P50, a.OverFactor.P90,
+			100*float64(a.OverFactor.N)/float64(s.NumRequests))
+	}
+	fmt.Fprintf(w, "top 10%% of users submit %.0f%% of jobs; %.0f%% of jobs repeat a (user,app,queue) key ≥5 times\n",
+		100*a.TopUserShare, 100*a.RepeatShare)
+
+	fmt.Fprintln(w, "\narrivals by hour of day:")
+	maxH := 0
+	for _, n := range a.HourOfDay {
+		if n > maxH {
+			maxH = n
+		}
+	}
+	for h, n := range a.HourOfDay {
+		fmt.Fprintf(w, "  %02d:00 %6d %s\n", h, n, bar(n, maxH, 40))
+	}
+
+	fmt.Fprintln(w, "\nnode request distribution (power-of-two buckets):")
+	maxP := 0
+	maxN := 0
+	for p, n := range a.NodePow2Hist {
+		if p > maxP {
+			maxP = p
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	for p := 0; p <= maxP; p++ {
+		n := a.NodePow2Hist[p]
+		lo := 1
+		if p > 0 {
+			lo = 1<<(p-1) + 1
+		}
+		fmt.Fprintf(w, "  %4d-%-4d %6d %s\n", lo, 1<<p, n, bar(n, maxN, 40))
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(&Workload{Name: "empty", MachineNodes: 4})
+	if a.Summary.NumRequests != 0 || a.RepeatShare != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+	var sb strings.Builder
+	if err := a.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeStudyWorkload(t *testing.T) {
+	w, err := Study("ANL", 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(w)
+	if a.RunTimeSec.N != len(w.Jobs) {
+		t.Fatalf("runtime samples = %d", a.RunTimeSec.N)
+	}
+	if a.RunTimeSec.Mean <= 0 || a.Nodes.Mean < 1 {
+		t.Fatalf("degenerate distributions: %+v", a)
+	}
+	// ANL records max run times on every job.
+	if a.OverFactor.N != len(w.Jobs) {
+		t.Fatalf("over-factor coverage = %d of %d", a.OverFactor.N, len(w.Jobs))
+	}
+	if a.OverFactor.Min < 1 {
+		t.Fatalf("max run time below actual: %v", a.OverFactor.Min)
+	}
+	// Structure properties the generator guarantees.
+	if a.TopUserShare < 0.2 {
+		t.Errorf("top-user share = %.2f, expected heavy-tailed", a.TopUserShare)
+	}
+	if a.RepeatShare < 0.5 {
+		t.Errorf("repeat share = %.2f, expected repetitive workload", a.RepeatShare)
+	}
+	// Diurnal cycle: working hours beat the small hours.
+	if a.HourOfDay[14] <= a.HourOfDay[3] {
+		t.Errorf("no diurnal cycle: 14:00=%d 03:00=%d", a.HourOfDay[14], a.HourOfDay[3])
+	}
+	// No waits before simulation.
+	if a.WaitSec.N != 0 {
+		t.Errorf("wait samples before simulation: %d", a.WaitSec.N)
+	}
+}
+
+func TestAnalyzeReportRenders(t *testing.T) {
+	w, err := Study("SDSC95", 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Analyze(w).Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"run time", "nodes", "arrivals by hour", "node request distribution", "top 10%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(0, 100, 40) != "" {
+		t.Error("zero bar should be empty")
+	}
+	if bar(1, 100, 40) != "#" {
+		t.Error("nonzero bar should show at least one mark")
+	}
+	if got := len(bar(100, 100, 40)); got != 40 {
+		t.Errorf("full bar length = %d", got)
+	}
+	if bar(5, 0, 40) != "" {
+		t.Error("degenerate max should render empty")
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{30, "30s"},
+		{120, "2.0m"},
+		{7200, "2.0h"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.sec); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}

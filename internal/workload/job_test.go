@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCharAbbrev(t *testing.T) {
+	want := map[Char]string{
+		CharType: "t", CharQueue: "q", CharClass: "c", CharUser: "u",
+		CharScript: "s", CharExec: "e", CharArgs: "a", CharNetAdaptor: "na",
+	}
+	for c, abbr := range want {
+		if got := c.Abbrev(); got != abbr {
+			t.Errorf("Abbrev(%d) = %q, want %q", c, got, abbr)
+		}
+	}
+}
+
+func TestCharMask(t *testing.T) {
+	m := MaskOf(CharUser, CharExec)
+	if !m.Has(CharUser) || !m.Has(CharExec) {
+		t.Fatal("mask missing members")
+	}
+	if m.Has(CharQueue) {
+		t.Fatal("mask has spurious member")
+	}
+	if got := m.String(); got != "(u,e)" {
+		t.Errorf("String = %q, want (u,e)", got)
+	}
+	if got := len(m.Chars()); got != 2 {
+		t.Errorf("Chars count = %d", got)
+	}
+}
+
+func TestJobCharacteristic(t *testing.T) {
+	j := &Job{
+		Type: "batch", Queue: "q16m", Class: "DSI", User: "wsmith",
+		Script: "s1", Executable: "a.out", Arguments: "-x", NetAdaptor: "css0",
+	}
+	cases := map[Char]string{
+		CharType: "batch", CharQueue: "q16m", CharClass: "DSI",
+		CharUser: "wsmith", CharScript: "s1", CharExec: "a.out",
+		CharArgs: "-x", CharNetAdaptor: "css0",
+	}
+	for c, want := range cases {
+		if got := j.Characteristic(c); got != want {
+			t.Errorf("Characteristic(%v) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestJobWaitWorkClone(t *testing.T) {
+	j := &Job{Nodes: 8, RunTime: 100, SubmitTime: 50, StartTime: 80, EndTime: 180}
+	if got := j.WaitTime(); got != 30 {
+		t.Errorf("WaitTime = %d", got)
+	}
+	if got := j.Work(); got != 800 {
+		t.Errorf("Work = %d", got)
+	}
+	c := j.Clone()
+	if c.StartTime != 0 || c.EndTime != 0 {
+		t.Error("Clone should reset simulation outputs")
+	}
+	if c.RunTime != 100 || c.Nodes != 8 {
+		t.Error("Clone should preserve inputs")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := &Workload{
+		Name: "w", MachineNodes: 4,
+		Jobs: []*Job{
+			{SubmitTime: 0, RunTime: 10, Nodes: 1},
+			{SubmitTime: 5, RunTime: 10, Nodes: 4},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mod  func(*Workload)
+	}{
+		{"unsorted", func(w *Workload) { w.Jobs[0].SubmitTime = 100 }},
+		{"zero runtime", func(w *Workload) { w.Jobs[1].RunTime = 0 }},
+		{"too many nodes", func(w *Workload) { w.Jobs[1].Nodes = 5 }},
+		{"zero nodes", func(w *Workload) { w.Jobs[0].Nodes = 0 }},
+		{"bad machine", func(w *Workload) { w.MachineNodes = 0 }},
+		{"missing maxrt", func(w *Workload) { w.HasMaxRT = true }},
+	}
+	for _, c := range cases {
+		w := good.Clone()
+		c.mod(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestWorkloadCloneIsolation(t *testing.T) {
+	w := &Workload{
+		Name: "w", MachineNodes: 4,
+		Jobs: []*Job{{SubmitTime: 0, RunTime: 10, Nodes: 1, StartTime: 3}},
+	}
+	c := w.Clone()
+	c.Jobs[0].RunTime = 999
+	if w.Jobs[0].RunTime != 10 {
+		t.Error("Clone is not deep")
+	}
+	if c.Jobs[0].StartTime != 0 {
+		t.Error("Clone should reset StartTime")
+	}
+}
+
+func TestDeriveQueueMaxRunTimes(t *testing.T) {
+	w := &Workload{
+		Name: "w", MachineNodes: 16,
+		Jobs: []*Job{
+			{Queue: "a", RunTime: 10, Nodes: 1},
+			{Queue: "a", RunTime: 30, Nodes: 1, SubmitTime: 1},
+			{Queue: "b", RunTime: 20, Nodes: 1, SubmitTime: 2},
+		},
+	}
+	limits := w.DeriveQueueMaxRunTimes()
+	if limits["a"] != 30 || limits["b"] != 20 {
+		t.Fatalf("limits = %v", limits)
+	}
+	w.ApplyQueueMaxRunTimes(limits)
+	if !w.HasMaxRT {
+		t.Error("ApplyQueueMaxRunTimes should set HasMaxRT")
+	}
+	for _, j := range w.Jobs {
+		if j.MaxRunTime != limits[j.Queue] {
+			t.Errorf("job in %s: maxRT %d, want %d", j.Queue, j.MaxRunTime, limits[j.Queue])
+		}
+		if j.MaxRunTime < j.RunTime {
+			t.Errorf("derived max run time below actual for queue %s", j.Queue)
+		}
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	// Two jobs, 4-node machine: work = 2*100 + 4*50 = 400 node-sec.
+	// First submit 0; last possible completion max(0+100, 50+50)=100.
+	// Load = 400 / (4*100) = 1.0.
+	w := &Workload{
+		Name: "w", MachineNodes: 4,
+		Jobs: []*Job{
+			{SubmitTime: 0, RunTime: 100, Nodes: 2},
+			{SubmitTime: 50, RunTime: 50, Nodes: 4},
+		},
+	}
+	if got := w.OfferedLoad(); got != 1.0 {
+		t.Fatalf("OfferedLoad = %v, want 1.0", got)
+	}
+	empty := &Workload{MachineNodes: 4}
+	if got := empty.OfferedLoad(); got != 0 {
+		t.Fatalf("empty OfferedLoad = %v", got)
+	}
+}
+
+func TestMaskStringEmpty(t *testing.T) {
+	var m CharMask
+	if got := m.String(); got != "()" {
+		t.Errorf("empty mask = %q", got)
+	}
+	if strings.Contains(MaskOf(CharNetAdaptor).String(), "char") {
+		t.Error("known char rendered as unknown")
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Summary holds the Table-1-style descriptive statistics of a workload.
+type Summary struct {
+	Name           string
+	MachineNodes   int
+	NumRequests    int
+	MeanRunTimeMin float64 // minutes, as reported in Table 1
+	MeanNodes      float64
+	NumUsers       int
+	NumQueues      int
+	OfferedLoad    float64
+	MaxRTCoverage  float64 // fraction of jobs with a user-supplied max run time
+	MeanOverFactor float64 // mean maxRunTime/runTime over covered jobs
+	TraceSpanDays  float64
+}
+
+// Summarize computes descriptive statistics for w.
+func Summarize(w *Workload) Summary {
+	s := Summary{
+		Name:         w.Name,
+		MachineNodes: w.MachineNodes,
+		NumRequests:  len(w.Jobs),
+		OfferedLoad:  w.OfferedLoad(),
+	}
+	if len(w.Jobs) == 0 {
+		return s
+	}
+	users := map[string]bool{}
+	queues := map[string]bool{}
+	var rtSum, nodeSum, overSum float64
+	var covered int
+	var first, last int64 = w.Jobs[0].SubmitTime, w.Jobs[0].SubmitTime
+	for _, j := range w.Jobs {
+		rtSum += float64(j.RunTime)
+		nodeSum += float64(j.Nodes)
+		if j.User != "" {
+			users[j.User] = true
+		}
+		if j.Queue != "" {
+			queues[j.Queue] = true
+		}
+		if j.MaxRunTime > 0 {
+			covered++
+			overSum += float64(j.MaxRunTime) / float64(j.RunTime)
+		}
+		if j.SubmitTime < first {
+			first = j.SubmitTime
+		}
+		if j.SubmitTime > last {
+			last = j.SubmitTime
+		}
+	}
+	n := float64(len(w.Jobs))
+	s.MeanRunTimeMin = rtSum / n / 60
+	s.MeanNodes = nodeSum / n
+	s.NumUsers = len(users)
+	s.NumQueues = len(queues)
+	if covered > 0 {
+		s.MaxRTCoverage = float64(covered) / n
+		s.MeanOverFactor = overSum / float64(covered)
+	}
+	s.TraceSpanDays = float64(last-first) / 86400
+	return s
+}
+
+// WriteTable renders Table-1-style rows for the given workloads.
+func WriteTable(w io.Writer, workloads []*Workload) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Workload\tNodes\tRequests\tMeanRunTime(min)\tMeanNodes\tUsers\tQueues\tOfferedLoad\tSpan(days)")
+	for _, wl := range workloads {
+		s := Summarize(wl)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.1f\t%d\t%d\t%.3f\t%.1f\n",
+			s.Name, s.MachineNodes, s.NumRequests, s.MeanRunTimeMin,
+			s.MeanNodes, s.NumUsers, s.NumQueues, s.OfferedLoad, s.TraceSpanDays)
+	}
+	return tw.Flush()
+}
+
+// UserActivity returns users sorted by descending job count, with counts.
+// It is used by tests to verify the Zipf-population property and by the
+// wlgen tool's -users report.
+func UserActivity(w *Workload) ([]string, []int) {
+	counts := map[string]int{}
+	for _, j := range w.Jobs {
+		counts[j.User]++
+	}
+	users := make([]string, 0, len(counts))
+	for u := range counts {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool {
+		if counts[users[a]] != counts[users[b]] {
+			return counts[users[a]] > counts[users[b]]
+		}
+		return users[a] < users[b]
+	})
+	ns := make([]int, len(users))
+	for i, u := range users {
+		ns[i] = counts[u]
+	}
+	return users, ns
+}

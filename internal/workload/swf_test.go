@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; Sample trace
+; MaxProcs: 128
+; Note: header continues
+1 0 10 300 16 -1 -1 16 600 -1 1 3 1 7 2 -1 -1 -1
+2 60 -1 120 8 -1 -1 8 -1 -1 1 4 1 -1 1 -1 -1 -1
+3 120 0 50 1 -1 -1 -1 900 -1 0 3 1 7 2 -1 -1 -1
+4 180 5 0 4 -1 -1 4 100 -1 1 5 1 8 3 -1 -1 -1
+5 240 2 40 4 -1 -1 4 100 -1 5 5 1 8 3 -1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	w, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{Name: "sample"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 is status 0 (failed) and dropped; job 4 has zero run time and is
+	// dropped; job 5 is status 5 (cancelled) and dropped. Two jobs remain.
+	if len(w.Jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(w.Jobs))
+	}
+	if w.MachineNodes != 128 {
+		t.Errorf("MachineNodes = %d, want 128 (from header)", w.MachineNodes)
+	}
+	j := w.Jobs[0]
+	if j.User != "u3" || j.Executable != "e7" || j.Queue != "q2" {
+		t.Errorf("characteristics = %q %q %q", j.User, j.Executable, j.Queue)
+	}
+	if j.Nodes != 16 || j.RunTime != 300 || j.MaxRunTime != 600 {
+		t.Errorf("job fields = %+v", j)
+	}
+	if j.SubmitTime != 0 || w.Jobs[1].SubmitTime != 60 {
+		t.Errorf("submit times not rebased: %d %d", j.SubmitTime, w.Jobs[1].SubmitTime)
+	}
+	if w.HasMaxRT {
+		t.Error("HasMaxRT should be false: job 2 has no requested time")
+	}
+	if !w.Chars.Has(CharUser) || !w.Chars.Has(CharExec) || !w.Chars.Has(CharQueue) {
+		t.Errorf("char mask = %v", w.Chars)
+	}
+	// Second job has no requested procs: falls back to allocated (8).
+	if w.Jobs[1].Nodes != 8 {
+		t.Errorf("fallback nodes = %d", w.Jobs[1].Nodes)
+	}
+}
+
+func TestReadSWFKeepFailed(t *testing.T) {
+	w, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{Name: "s", KeepFailed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the zero-run-time job is dropped.
+	if len(w.Jobs) != 4 {
+		t.Fatalf("got %d jobs, want 4", len(w.Jobs))
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	if _, err := ReadSWF(strings.NewReader("1 2 3\n"), SWFOptions{}); err == nil {
+		t.Error("short line should fail")
+	}
+	if _, err := ReadSWF(strings.NewReader(strings.Repeat("x ", 18)+"\n"), SWFOptions{}); err == nil {
+		t.Error("non-numeric field should fail")
+	}
+}
+
+func TestReadSWFInfersMachineFromJobs(t *testing.T) {
+	trace := "1 0 0 100 64 -1 -1 64 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"
+	w, err := ReadSWF(strings.NewReader(trace), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MachineNodes != 64 {
+		t.Errorf("inferred MachineNodes = %d", w.MachineNodes)
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	orig, err := Study("ANL", 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf, SWFOptions{Name: orig.Name, MachineNodes: orig.MachineNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(orig.Jobs) {
+		t.Fatalf("round trip lost jobs: %d -> %d", len(orig.Jobs), len(back.Jobs))
+	}
+	base := orig.Jobs[0].SubmitTime // ReadSWF rebases submit times to zero
+	for i := range orig.Jobs {
+		o, b := orig.Jobs[i], back.Jobs[i]
+		if o.SubmitTime-base != b.SubmitTime || o.RunTime != b.RunTime ||
+			o.Nodes != b.Nodes || o.MaxRunTime != b.MaxRunTime {
+			t.Fatalf("job %d mismatch:\norig %+v\nback %+v", i, o, b)
+		}
+	}
+	// User identity must be preserved up to renaming: the partition of jobs
+	// by user must be identical.
+	origUser := map[string]string{}
+	for i := range orig.Jobs {
+		o, b := orig.Jobs[i], back.Jobs[i]
+		if mapped, seen := origUser[o.User]; seen {
+			if mapped != b.User {
+				t.Fatalf("user partition broken at job %d", i)
+			}
+		} else {
+			origUser[o.User] = b.User
+		}
+	}
+}
+
+func TestSortJobsBySubmit(t *testing.T) {
+	jobs := []*Job{
+		{ID: 1, SubmitTime: 50},
+		{ID: 2, SubmitTime: 10},
+		{ID: 3, SubmitTime: 50},
+		{ID: 4, SubmitTime: 0},
+	}
+	sortJobsBySubmit(jobs)
+	want := []int{4, 2, 1, 3} // stable for equal times
+	for i, id := range want {
+		if jobs[i].ID != id {
+			t.Fatalf("order[%d] = job %d, want %d", i, jobs[i].ID, id)
+		}
+	}
+}

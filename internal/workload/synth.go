@@ -1,0 +1,480 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file implements the synthetic workload generator that substitutes for
+// the archival ANL/CTC/SDSC traces (see DESIGN.md §3). The generator follows
+// the structure that makes history-based run-time prediction work in the
+// first place, as observed by the paper and the studies it cites
+// (Feitelson & Nitzberg; Downey; Gibbons):
+//
+//   - a Zipf-distributed user population: a few users submit most jobs;
+//   - each user repeatedly runs a small set of applications, and repeated
+//     runs of one application have similar run times (lognormal with a small
+//     per-application sigma) and similar node counts;
+//   - node requests are biased toward powers of two;
+//   - arrivals follow a daily and weekly cycle;
+//   - user-supplied maximum run times overestimate actual run times by large,
+//     user-dependent factors (they are still hard caps: run time ≤ max);
+//   - the offered load is calibrated to the utilizations of Table 10.
+
+// QueueSpec describes one submission queue of an SDSC-style system: a node
+// ceiling and a wall-clock ceiling. Jobs are routed to the cheapest queue
+// whose limits cover the request.
+type QueueSpec struct {
+	Name     string
+	MaxNodes int
+	MaxTime  int64 // seconds
+}
+
+// SynthConfig parameterizes the synthetic workload generator. The four
+// calibrated study profiles in profiles.go fill these in from Tables 1, 2,
+// and 10 of the paper.
+type SynthConfig struct {
+	Name         string
+	Seed         int64
+	MachineNodes int
+	NumJobs      int
+	NumUsers     int
+
+	// MeanRunTime is the target mean run time in seconds (Table 1).
+	MeanRunTime float64
+	// AppSigma is the lognormal sigma of per-application median run times
+	// (dispersion across applications).
+	AppSigma float64
+	// JobSigma is the lognormal sigma of run times within one application
+	// (repetitiveness: smaller = more predictable).
+	JobSigma float64
+	// MinRunTime floors generated run times (seconds).
+	MinRunTime int64
+	// MaxRunTimeCap caps generated run times (seconds); 0 = machine default
+	// of 7 days.
+	MaxRunTimeCap int64
+
+	// TargetLoad is the offered load (≈ the utilizations of Table 10).
+	TargetLoad float64
+
+	// Chars lists which characteristics this trace records (Table 2).
+	Chars CharMask
+	// HasMaxRT controls whether user-supplied maximum run times are
+	// recorded (true for ANL and CTC; false for SDSC, where they are later
+	// derived per queue).
+	HasMaxRT bool
+
+	// Queues, when non-empty, routes jobs SDSC-style. When empty a single
+	// anonymous queue is used and CharQueue should not be in Chars.
+	Queues []QueueSpec
+
+	// InteractiveFrac is the fraction of applications that are interactive
+	// (short) jobs; only meaningful when CharType is recorded (ANL).
+	InteractiveFrac float64
+
+	// Types, Classes, NetAdaptors list the categorical values for the
+	// corresponding characteristics when recorded (CTC: Types =
+	// serial/parallel/pvm3, Classes = DSI/PIOFS, NetAdaptors).
+	Types       []string
+	Classes     []string
+	NetAdaptors []string
+
+	// OverestimateMean is the mean of the exponential distribution of
+	// (maxRunTime/runTime - 1) per application. Users overestimate their
+	// run times by this much on average. The literature puts typical
+	// requested-vs-actual ratios between 2 and 5.
+	OverestimateMean float64
+}
+
+// app is one recurring application owned by a user.
+type app struct {
+	user        string
+	name        string // executable
+	args        string
+	script      string
+	typ         string
+	class       string
+	netAdaptor  string
+	medianRT    float64 // seconds
+	sigma       float64
+	nodes       int
+	nodeJitter  bool // occasionally runs at 2x/0.5x nodes
+	overFactor  float64
+	interactive bool
+}
+
+// Generate builds a synthetic workload from the configuration. The same
+// (config, seed) always yields the identical workload.
+func Generate(cfg SynthConfig) (*Workload, error) {
+	if cfg.NumJobs <= 0 || cfg.MachineNodes <= 0 || cfg.NumUsers <= 0 {
+		return nil, fmt.Errorf("synth: NumJobs, MachineNodes, NumUsers must be positive")
+	}
+	if cfg.TargetLoad <= 0 || cfg.TargetLoad >= 1.5 {
+		return nil, fmt.Errorf("synth: TargetLoad %v out of range (0, 1.5)", cfg.TargetLoad)
+	}
+	if cfg.MeanRunTime <= 0 {
+		return nil, fmt.Errorf("synth: MeanRunTime must be positive")
+	}
+	if cfg.MinRunTime <= 0 {
+		cfg.MinRunTime = 15
+	}
+	if cfg.MaxRunTimeCap <= 0 {
+		cfg.MaxRunTimeCap = 24 * 3600
+	}
+	if cfg.OverestimateMean <= 0 {
+		cfg.OverestimateMean = 2.0
+	}
+	if cfg.AppSigma <= 0 {
+		cfg.AppSigma = 1.4
+	}
+	if cfg.JobSigma <= 0 {
+		cfg.JobSigma = 0.35
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	apps := buildApps(cfg, rng)
+	userWeights := zipfWeights(cfg.NumUsers, 1.2)
+
+	// Draw per-job (user, app, raw runtime, nodes) first. The lognormal
+	// tail makes the realized mean of any finite sample drift far from its
+	// expectation, so a global scale factor is then calibrated by bisection
+	// so that the clamped run times hit the Table-1 mean exactly. Finally
+	// arrivals are laid out to hit the target offered load.
+	type drawRec struct {
+		a     *app
+		rawRT float64
+		nodes int
+	}
+	draws := make([]drawRec, cfg.NumJobs)
+	raws := make([]float64, cfg.NumJobs)
+	for i := range draws {
+		u := sampleIndex(rng, userWeights)
+		ua := apps[u]
+		a := &ua[sampleGeometric(rng, len(ua))]
+		rt := lognormal(rng, a.medianRT, a.sigma)
+		nodes := a.nodes
+		if a.nodeJitter {
+			switch r := rng.Float64(); {
+			case r < 0.10 && nodes*2 <= cfg.MachineNodes:
+				nodes *= 2
+			case r < 0.20 && nodes >= 2:
+				nodes /= 2
+			}
+		}
+		draws[i] = drawRec{a: a, rawRT: rt, nodes: nodes}
+		raws[i] = rt
+	}
+	scale := calibrateScale(raws, cfg.MeanRunTime, float64(cfg.MinRunTime), float64(cfg.MaxRunTimeCap))
+
+	jobs := make([]*Job, 0, cfg.NumJobs)
+	var totalWork float64
+	for i, d := range draws {
+		a := d.a
+		rt := clampF(d.rawRT*scale, float64(cfg.MinRunTime), float64(cfg.MaxRunTimeCap))
+		j := &Job{
+			ID:      i + 1,
+			User:    a.user,
+			Nodes:   d.nodes,
+			RunTime: int64(math.Round(rt)),
+		}
+		if cfg.Chars.Has(CharExec) {
+			j.Executable = a.name
+			if cfg.Chars.Has(CharArgs) {
+				j.Arguments = a.args
+			}
+		}
+		if cfg.Chars.Has(CharScript) {
+			j.Script = a.script
+		}
+		if cfg.Chars.Has(CharType) {
+			j.Type = a.typ
+		}
+		if cfg.Chars.Has(CharClass) {
+			j.Class = a.class
+		}
+		if cfg.Chars.Has(CharNetAdaptor) {
+			j.NetAdaptor = a.netAdaptor
+		}
+		if cfg.HasMaxRT {
+			j.MaxRunTime = roundUpLimit(int64(math.Ceil(rt * a.overFactor)))
+			if j.MaxRunTime > cfg.MaxRunTimeCap {
+				j.MaxRunTime = cfg.MaxRunTimeCap
+			}
+			if j.MaxRunTime < j.RunTime {
+				j.MaxRunTime = j.RunTime
+			}
+		}
+		if len(cfg.Queues) > 0 {
+			q := routeQueue(cfg.Queues, j)
+			j.Queue = q.Name
+			if j.RunTime > q.MaxTime {
+				j.RunTime = q.MaxTime // queue limits are hard caps
+			}
+		}
+		totalWork += float64(j.Nodes) * float64(j.RunTime)
+		jobs = append(jobs, j)
+	}
+
+	// Arrival layout: span chosen so Σwork/(nodes·span) = TargetLoad, then
+	// arrivals placed by a nonhomogeneous Poisson process with daily and
+	// weekly intensity cycles.
+	span := totalWork / (float64(cfg.MachineNodes) * cfg.TargetLoad)
+	placeArrivals(rng, jobs, span)
+	sortJobsBySubmit(jobs)
+	for i, j := range jobs {
+		j.ID = i + 1
+	}
+
+	w := &Workload{
+		Name:         cfg.Name,
+		MachineNodes: cfg.MachineNodes,
+		Jobs:         jobs,
+		Chars:        cfg.Chars,
+		HasMaxRT:     cfg.HasMaxRT,
+	}
+	if len(cfg.Queues) > 0 && !cfg.HasMaxRT {
+		// SDSC-style: derive maximum run times from the longest job per
+		// queue, exactly as the paper does (§3).
+		w.ApplyQueueMaxRunTimes(w.DeriveQueueMaxRunTimes())
+	}
+	return w, w.Validate()
+}
+
+// buildApps creates every user's recurring applications.
+func buildApps(cfg SynthConfig, rng *rand.Rand) [][]app {
+	// Calibrate the global median so that the overall mean run time comes
+	// out near cfg.MeanRunTime: mean = M0·exp((σa²+σj²)/2) for a lognormal
+	// mixture of lognormals.
+	m0 := cfg.MeanRunTime / math.Exp((cfg.AppSigma*cfg.AppSigma+cfg.JobSigma*cfg.JobSigma)/2)
+	maxNodePow := int(math.Floor(math.Log2(float64(cfg.MachineNodes))))
+	apps := make([][]app, cfg.NumUsers)
+	for u := 0; u < cfg.NumUsers; u++ {
+		n := 1 + rng.Intn(6) // 1..6 applications per user
+		userName := fmt.Sprintf("user%03d", u)
+		over := 1 + rng.ExpFloat64()*cfg.OverestimateMean
+		list := make([]app, n)
+		for k := 0; k < n; k++ {
+			a := app{
+				user:       userName,
+				name:       fmt.Sprintf("%s/app%d", userName, k),
+				args:       fmt.Sprintf("-n %d", rng.Intn(4)),
+				script:     fmt.Sprintf("%s/job%d.ll", userName, k),
+				medianRT:   lognormal(rng, m0, cfg.AppSigma),
+				sigma:      cfg.JobSigma * (0.5 + rng.Float64()),
+				overFactor: over * (0.8 + 0.4*rng.Float64()),
+				nodeJitter: rng.Float64() < 0.4,
+			}
+			// Node preference: power of two, biased small (geometric over
+			// exponents), as observed in production parallel workloads.
+			pow := sampleGeometric(rng, maxNodePow+1)
+			a.nodes = 1 << pow
+			if a.nodes > cfg.MachineNodes {
+				a.nodes = cfg.MachineNodes
+			}
+			if cfg.InteractiveFrac > 0 && rng.Float64() < cfg.InteractiveFrac {
+				a.interactive = true
+				a.typ = "interactive"
+				a.medianRT = math.Max(float64(cfg.MinRunTime), a.medianRT/24)
+				if a.nodes > 16 {
+					a.nodes = 1 << uint(rng.Intn(5)) // interactive jobs are small
+				}
+			} else if cfg.Chars.Has(CharType) {
+				if len(cfg.Types) > 0 {
+					a.typ = cfg.Types[rng.Intn(len(cfg.Types))]
+				} else {
+					a.typ = "batch"
+				}
+			}
+			if len(cfg.Classes) > 0 {
+				a.class = cfg.Classes[rng.Intn(len(cfg.Classes))]
+			}
+			if len(cfg.NetAdaptors) > 0 {
+				a.netAdaptor = cfg.NetAdaptors[rng.Intn(len(cfg.NetAdaptors))]
+			}
+			list[k] = a
+		}
+		apps[u] = list
+	}
+	return apps
+}
+
+// placeArrivals assigns submit times over [0, span] following a diurnal and
+// weekly intensity profile, normalized so the expected job count matches.
+func placeArrivals(rng *rand.Rand, jobs []*Job, span float64) {
+	// Build a piecewise-constant intensity over hour-of-week, then sample
+	// arrival times by inverse transform over its integral.
+	const hoursPerWeek = 168
+	intensity := make([]float64, hoursPerWeek)
+	for h := 0; h < hoursPerWeek; h++ {
+		day := h / 24
+		hod := h % 24
+		v := 0.35 // overnight background
+		if hod >= 8 && hod < 18 {
+			v = 1.0 // working hours
+		} else if hod >= 18 && hod < 23 {
+			v = 0.6
+		}
+		if day >= 5 { // weekend
+			v *= 0.45
+		}
+		intensity[h] = v
+	}
+	// Rejection sampling over the continuous span: draw a uniform time,
+	// accept with probability proportional to the intensity at its
+	// hour-of-week. This respects the exact span (no rounding to whole
+	// weeks), which is what calibrates the offered load.
+	const maxIntensity = 1.0
+	for _, j := range jobs {
+		for {
+			t := rng.Float64() * span
+			h := int(t/3600) % hoursPerWeek
+			if rng.Float64()*maxIntensity < intensity[h] {
+				j.SubmitTime = int64(t)
+				break
+			}
+		}
+	}
+}
+
+// routeQueue picks the cheapest queue whose limits cover the job, using the
+// user's requested maximum (or actual run time when no request exists) as
+// the duration estimate.
+func routeQueue(queues []QueueSpec, j *Job) QueueSpec {
+	dur := j.MaxRunTime
+	if dur == 0 {
+		dur = j.RunTime
+	}
+	best := -1
+	for i, q := range queues {
+		if j.Nodes > q.MaxNodes || dur > q.MaxTime {
+			continue
+		}
+		if best == -1 || queues[i].MaxNodes < queues[best].MaxNodes ||
+			(queues[i].MaxNodes == queues[best].MaxNodes && queues[i].MaxTime < queues[best].MaxTime) {
+			best = i
+		}
+	}
+	if best == -1 {
+		// Nothing fits: take the largest queue and cap the job to it.
+		best = 0
+		for i, q := range queues {
+			if q.MaxNodes > queues[best].MaxNodes ||
+				(q.MaxNodes == queues[best].MaxNodes && q.MaxTime > queues[best].MaxTime) {
+				best = i
+			}
+		}
+		if j.Nodes > queues[best].MaxNodes {
+			j.Nodes = queues[best].MaxNodes
+		}
+	}
+	return queues[best]
+}
+
+// clampF limits x to [lo, hi].
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// calibrateScale finds, by bisection, the multiplier m such that the mean of
+// clamp(m·raw, lo, hi) equals target. The clamped mean is monotone in m, so
+// bisection converges; if the target is unreachable (above hi or below lo)
+// the nearest achievable scale is returned.
+func calibrateScale(raws []float64, target, lo, hi float64) float64 {
+	if len(raws) == 0 {
+		return 1
+	}
+	meanAt := func(m float64) float64 {
+		var sum float64
+		for _, r := range raws {
+			sum += clampF(r*m, lo, hi)
+		}
+		return sum / float64(len(raws))
+	}
+	mLo, mHi := 1e-9, 1e9
+	if meanAt(mLo) >= target {
+		return mLo
+	}
+	if meanAt(mHi) <= target {
+		return mHi
+	}
+	for i := 0; i < 80; i++ {
+		mid := math.Sqrt(mLo * mHi) // geometric bisection over 18 decades
+		if meanAt(mid) < target {
+			mLo = mid
+		} else {
+			mHi = mid
+		}
+	}
+	return math.Sqrt(mLo * mHi)
+}
+
+// lognormal draws from a lognormal distribution with the given median and
+// log-space sigma.
+func lognormal(rng *rand.Rand, median, sigma float64) float64 {
+	return median * math.Exp(rng.NormFloat64()*sigma)
+}
+
+// zipfWeights returns weights[i] ∝ 1/(i+1)^s, normalized to sum to 1.
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// sampleIndex draws an index from the normalized weight vector.
+func sampleIndex(rng *rand.Rand, weights []float64) int {
+	r := rng.Float64()
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if r < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// sampleGeometric draws from {0..n-1} with geometrically decaying
+// probability (p = 0.5), truncated and renormalized by rejection.
+func sampleGeometric(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	for {
+		k := 0
+		for rng.Float64() < 0.5 && k < n-1 {
+			k++
+		}
+		return k
+	}
+}
+
+// roundUpLimit rounds a requested duration up to the next "human" limit:
+// 5-minute granularity below an hour, 30-minute granularity below 8 hours,
+// and whole hours beyond, mirroring how users fill in batch limits.
+func roundUpLimit(sec int64) int64 {
+	switch {
+	case sec <= 0:
+		return 300
+	case sec < 3600:
+		return ((sec + 299) / 300) * 300
+	case sec < 8*3600:
+		return ((sec + 1799) / 1800) * 1800
+	default:
+		return ((sec + 3599) / 3600) * 3600
+	}
+}

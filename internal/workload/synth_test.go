@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg, err := StudyConfig("ANL", 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Jobs) != len(w2.Jobs) {
+		t.Fatal("nondeterministic job count")
+	}
+	for i := range w1.Jobs {
+		a, b := w1.Jobs[i], w2.Jobs[i]
+		if *a != *b {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGenerateSeedChangesWorkload(t *testing.T) {
+	a, _ := Study("CTC", 100, 1)
+	b, _ := Study("CTC", 100, 2)
+	same := true
+	for i := range a.Jobs {
+		if i < len(b.Jobs) && a.Jobs[i].RunTime != b.Jobs[i].RunTime {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should change the workload")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	bad := []SynthConfig{
+		{},
+		{NumJobs: 10, MachineNodes: 8, NumUsers: 2, MeanRunTime: 100, TargetLoad: 2},
+		{NumJobs: 10, MachineNodes: 8, NumUsers: 2, TargetLoad: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestGenerateCalibration(t *testing.T) {
+	for _, name := range StudyNames {
+		cfg, err := StudyConfig(name, 4, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := Summarize(w)
+		// Mean run time within 40% of the Table-1 target (lognormal tails
+		// make tight tolerance unrealistic at reduced scale).
+		target := cfg.MeanRunTime / 60
+		if s.MeanRunTimeMin < target*0.6 || s.MeanRunTimeMin > target*1.4 {
+			t.Errorf("%s: mean run time %.1f min, target %.1f", name, s.MeanRunTimeMin, target)
+		}
+		// Offered load within 25% of the target (it is set by construction;
+		// deviation comes only from span rounding).
+		if math.Abs(s.OfferedLoad-cfg.TargetLoad) > 0.25*cfg.TargetLoad {
+			t.Errorf("%s: offered load %.3f, target %.3f", name, s.OfferedLoad, cfg.TargetLoad)
+		}
+		if s.NumRequests != cfg.NumJobs {
+			t.Errorf("%s: %d requests, want %d", name, s.NumRequests, cfg.NumJobs)
+		}
+	}
+}
+
+func TestGenerateCharacteristicPresence(t *testing.T) {
+	anl, _ := Study("ANL", 50, 3)
+	for _, j := range anl.Jobs {
+		if j.User == "" || j.Executable == "" || j.Type == "" {
+			t.Fatalf("ANL job missing recorded characteristic: %+v", j)
+		}
+		if j.Queue != "" || j.Script != "" || j.NetAdaptor != "" {
+			t.Fatalf("ANL job has unrecorded characteristic: %+v", j)
+		}
+		if j.MaxRunTime < j.RunTime {
+			t.Fatalf("max run time below actual: %+v", j)
+		}
+	}
+	ctc, _ := Study("CTC", 50, 3)
+	for _, j := range ctc.Jobs {
+		if j.User == "" || j.Script == "" || j.Type == "" || j.NetAdaptor == "" {
+			t.Fatalf("CTC job missing recorded characteristic: %+v", j)
+		}
+		if j.Executable != "" || j.Arguments != "" {
+			t.Fatalf("CTC job has unrecorded characteristic: %+v", j)
+		}
+	}
+	sdsc, _ := Study("SDSC95", 50, 3)
+	queues := map[string]bool{}
+	for _, j := range sdsc.Jobs {
+		if j.User == "" || j.Queue == "" {
+			t.Fatalf("SDSC job missing recorded characteristic: %+v", j)
+		}
+		if j.MaxRunTime <= 0 {
+			t.Fatal("SDSC max run times should be derived per queue")
+		}
+		queues[j.Queue] = true
+	}
+	if len(queues) < 10 {
+		t.Errorf("SDSC should use many queues, got %d", len(queues))
+	}
+}
+
+func TestGenerateUserRepetition(t *testing.T) {
+	// History-based prediction requires that users repeat applications.
+	w, _ := Study("ANL", 20, 9)
+	byExec := map[string]int{}
+	for _, j := range w.Jobs {
+		byExec[j.Executable]++
+	}
+	repeated := 0
+	for _, n := range byExec {
+		if n >= 5 {
+			repeated += n
+		}
+	}
+	frac := float64(repeated) / float64(len(w.Jobs))
+	if frac < 0.5 {
+		t.Errorf("only %.0f%% of jobs are from applications run ≥5 times", frac*100)
+	}
+}
+
+func TestGenerateZipfUsers(t *testing.T) {
+	w, _ := Study("SDSC95", 20, 5)
+	_, counts := UserActivity(w)
+	if len(counts) < 10 {
+		t.Fatalf("too few active users: %d", len(counts))
+	}
+	// Top 10% of users should submit a disproportionate share (>30%).
+	top := len(counts) / 10
+	if top == 0 {
+		top = 1
+	}
+	var topSum, total int
+	for i, n := range counts {
+		total += n
+		if i < top {
+			topSum += n
+		}
+	}
+	if frac := float64(topSum) / float64(total); frac < 0.3 {
+		t.Errorf("top users submit only %.0f%% of jobs; want a heavy-tailed population", frac*100)
+	}
+}
+
+func TestGenerateQueueConsistency(t *testing.T) {
+	w, _ := Study("SDSC96", 40, 13)
+	specs := map[string]QueueSpec{}
+	for _, q := range sdscQueues() {
+		specs[q.Name] = q
+	}
+	for _, j := range w.Jobs {
+		q, ok := specs[j.Queue]
+		if !ok {
+			t.Fatalf("unknown queue %q", j.Queue)
+		}
+		if j.Nodes > q.MaxNodes {
+			t.Fatalf("job with %d nodes in queue %s (limit %d)", j.Nodes, q.Name, q.MaxNodes)
+		}
+		if j.RunTime > q.MaxTime {
+			t.Fatalf("job running %ds in queue %s (limit %ds)", j.RunTime, q.Name, q.MaxTime)
+		}
+	}
+}
+
+func TestCompress(t *testing.T) {
+	// Large enough that the trace span dwarfs individual run times;
+	// otherwise the last job's runtime dominates the load denominator.
+	w, _ := Study("SDSC95", 10, 17)
+	c := Compress(w, 2)
+	if !strings.HasPrefix(c.Name, "SDSC95/") {
+		t.Errorf("compressed name = %q", c.Name)
+	}
+	base := w.Jobs[0].SubmitTime
+	for i := range w.Jobs {
+		want := base + (w.Jobs[i].SubmitTime-base)/2
+		if c.Jobs[i].SubmitTime != want {
+			t.Fatalf("job %d: compressed submit %d, want %d", i, c.Jobs[i].SubmitTime, want)
+		}
+	}
+	// Compression must not mutate the original.
+	if w.Jobs[len(w.Jobs)-1].SubmitTime <= c.Jobs[len(c.Jobs)-1].SubmitTime && len(w.Jobs) > 1 {
+		if w.Jobs[len(w.Jobs)-1].SubmitTime == c.Jobs[len(c.Jobs)-1].SubmitTime {
+			t.Error("compression had no effect")
+		}
+	}
+	// Offered load roughly doubles.
+	if r := c.OfferedLoad() / w.OfferedLoad(); r < 1.5 || r > 2.5 {
+		t.Errorf("load ratio after 2x compression = %.2f", r)
+	}
+}
+
+func TestRoundUpLimit(t *testing.T) {
+	cases := []struct{ in, want int64 }{
+		{-5, 300},
+		{1, 300},
+		{300, 300},
+		{301, 600},
+		{3599, 3600},
+		{3600, 3600},
+		{3601, 5400},
+		{8 * 3600, 8 * 3600},
+		{8*3600 + 1, 9 * 3600},
+	}
+	for _, c := range cases {
+		if got := roundUpLimit(c.in); got != c.want {
+			t.Errorf("roundUpLimit(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStudyConfigUnknown(t *testing.T) {
+	if _, err := StudyConfig("NERSC", 1, 1); err == nil {
+		t.Error("unknown workload should be rejected")
+	}
+}
+
+func TestAllStudies(t *testing.T) {
+	ws, err := AllStudies(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	for i, w := range ws {
+		if w.Name != StudyNames[i] {
+			t.Errorf("workload %d = %s", i, w.Name)
+		}
+	}
+}
+
+func TestZipfWeightsNormalized(t *testing.T) {
+	w := zipfWeights(100, 1.2)
+	var sum float64
+	for i, x := range w {
+		sum += x
+		if i > 0 && x > w[i-1] {
+			t.Fatal("weights should be decreasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	w, _ := Study("ANL", 100, 1)
+	var sb strings.Builder
+	if err := WriteTable(&sb, []*Workload{w}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ANL") || !strings.Contains(out, "Workload") {
+		t.Errorf("table output:\n%s", out)
+	}
+}

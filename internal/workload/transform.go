@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides trace transformations used in scheduling research
+// workflows: slicing a window out of a long trace, filtering by user or
+// queue, truncation, and load scaling (Compress, in profiles.go, is the
+// §4 interarrival transformation).
+
+// Window returns a deep copy containing the jobs submitted in [from, to),
+// with submit times rebased so the first job arrives at zero.
+func (w *Workload) Window(from, to int64) *Workload {
+	c := w.Clone()
+	var jobs []*Job
+	for _, j := range c.Jobs {
+		if j.SubmitTime >= from && j.SubmitTime < to {
+			jobs = append(jobs, j)
+		}
+	}
+	if len(jobs) > 0 {
+		base := jobs[0].SubmitTime
+		for _, j := range jobs {
+			j.SubmitTime -= base
+		}
+	}
+	c.Jobs = jobs
+	c.Name = fmt.Sprintf("%s[%d:%d)", w.Name, from, to)
+	return c
+}
+
+// Head returns a deep copy containing only the first n jobs (all jobs when
+// n exceeds the trace length).
+func (w *Workload) Head(n int) *Workload {
+	c := w.Clone()
+	if n < 0 {
+		n = 0
+	}
+	if n > len(c.Jobs) {
+		n = len(c.Jobs)
+	}
+	c.Jobs = c.Jobs[:n]
+	c.Name = fmt.Sprintf("%s[:%d]", w.Name, n)
+	return c
+}
+
+// Filter returns a deep copy containing the jobs for which keep returns
+// true, preserving submit order and times.
+func (w *Workload) Filter(keep func(*Job) bool) *Workload {
+	c := w.Clone()
+	var jobs []*Job
+	for _, j := range c.Jobs {
+		if keep(j) {
+			jobs = append(jobs, j)
+		}
+	}
+	c.Jobs = jobs
+	return c
+}
+
+// FilterUsers returns a deep copy with only the given users' jobs.
+func (w *Workload) FilterUsers(users ...string) *Workload {
+	set := make(map[string]bool, len(users))
+	for _, u := range users {
+		set[u] = true
+	}
+	c := w.Filter(func(j *Job) bool { return set[j.User] })
+	c.Name = fmt.Sprintf("%s/users=%d", w.Name, len(users))
+	return c
+}
+
+// FilterQueues returns a deep copy with only the given queues' jobs.
+func (w *Workload) FilterQueues(queues ...string) *Workload {
+	set := make(map[string]bool, len(queues))
+	for _, q := range queues {
+		set[q] = true
+	}
+	c := w.Filter(func(j *Job) bool { return set[j.Queue] })
+	c.Name = fmt.Sprintf("%s/queues=%d", w.Name, len(queues))
+	return c
+}
+
+// InjectCancellations returns a deep copy in which each job independently
+// becomes cancellable with probability frac: if it has not started within
+// an exponentially distributed patience (mean patienceMean seconds, floored
+// at one minute), the user withdraws it. This is the failure-injection knob
+// for exercising schedulers and predictors against the queue withdrawals
+// that production traces contain.
+func (w *Workload) InjectCancellations(frac float64, patienceMean int64, seed int64) *Workload {
+	c := w.Clone()
+	if frac <= 0 || patienceMean <= 0 {
+		return c
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	for _, j := range c.Jobs {
+		if rng.Float64() < frac {
+			patience := int64(rng.ExpFloat64() * float64(patienceMean))
+			if patience < 60 {
+				patience = 60
+			}
+			j.CancelAfter = patience
+			n++
+		}
+	}
+	c.Name = fmt.Sprintf("%s/cancel=%.0f%%", w.Name, frac*100)
+	return c
+}
+
+// ScaleRuntimes multiplies every run time (and maximum run time) by factor,
+// flooring run times at one second. It changes the offered load without
+// touching the arrival process — the complement of Compress.
+func (w *Workload) ScaleRuntimes(factor float64) *Workload {
+	c := w.Clone()
+	if factor <= 0 {
+		return c
+	}
+	for _, j := range c.Jobs {
+		j.RunTime = int64(float64(j.RunTime) * factor)
+		if j.RunTime < 1 {
+			j.RunTime = 1
+		}
+		if j.MaxRunTime > 0 {
+			j.MaxRunTime = int64(float64(j.MaxRunTime) * factor)
+			if j.MaxRunTime < j.RunTime {
+				j.MaxRunTime = j.RunTime
+			}
+		}
+	}
+	c.Name = fmt.Sprintf("%s/rt*%.3g", w.Name, factor)
+	return c
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func transformFixture() *Workload {
+	return &Workload{
+		Name: "fix", MachineNodes: 16,
+		Jobs: []*Job{
+			{ID: 1, User: "a", Queue: "q1", SubmitTime: 0, RunTime: 100, Nodes: 1, MaxRunTime: 200},
+			{ID: 2, User: "b", Queue: "q2", SubmitTime: 100, RunTime: 100, Nodes: 2, MaxRunTime: 200},
+			{ID: 3, User: "a", Queue: "q1", SubmitTime: 200, RunTime: 100, Nodes: 4, MaxRunTime: 200},
+			{ID: 4, User: "c", Queue: "q3", SubmitTime: 300, RunTime: 100, Nodes: 8, MaxRunTime: 200},
+		},
+		HasMaxRT: true,
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := transformFixture()
+	win := w.Window(100, 300)
+	if len(win.Jobs) != 2 {
+		t.Fatalf("window has %d jobs", len(win.Jobs))
+	}
+	if win.Jobs[0].ID != 2 || win.Jobs[1].ID != 3 {
+		t.Fatalf("window jobs = %d, %d", win.Jobs[0].ID, win.Jobs[1].ID)
+	}
+	// Rebased.
+	if win.Jobs[0].SubmitTime != 0 || win.Jobs[1].SubmitTime != 100 {
+		t.Fatalf("window not rebased: %d, %d", win.Jobs[0].SubmitTime, win.Jobs[1].SubmitTime)
+	}
+	// Original untouched.
+	if w.Jobs[1].SubmitTime != 100 {
+		t.Fatal("window mutated the original")
+	}
+	if !strings.Contains(win.Name, "fix[") {
+		t.Errorf("window name = %q", win.Name)
+	}
+	if err := win.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := transformFixture()
+	win := w.Window(1000, 2000)
+	if len(win.Jobs) != 0 {
+		t.Fatal("window should be empty")
+	}
+}
+
+func TestHead(t *testing.T) {
+	w := transformFixture()
+	h := w.Head(2)
+	if len(h.Jobs) != 2 || h.Jobs[1].ID != 2 {
+		t.Fatalf("head = %v", len(h.Jobs))
+	}
+	if len(w.Head(100).Jobs) != 4 {
+		t.Fatal("oversized head should return everything")
+	}
+	if len(w.Head(-1).Jobs) != 0 {
+		t.Fatal("negative head should be empty")
+	}
+}
+
+func TestFilterUsers(t *testing.T) {
+	w := transformFixture()
+	f := w.FilterUsers("a")
+	if len(f.Jobs) != 2 {
+		t.Fatalf("filtered %d jobs", len(f.Jobs))
+	}
+	for _, j := range f.Jobs {
+		if j.User != "a" {
+			t.Fatalf("wrong user %q", j.User)
+		}
+	}
+}
+
+func TestFilterQueues(t *testing.T) {
+	w := transformFixture()
+	f := w.FilterQueues("q1", "q3")
+	if len(f.Jobs) != 3 {
+		t.Fatalf("filtered %d jobs", len(f.Jobs))
+	}
+}
+
+func TestScaleRuntimes(t *testing.T) {
+	w := transformFixture()
+	s := w.ScaleRuntimes(2.5)
+	if s.Jobs[0].RunTime != 250 || s.Jobs[0].MaxRunTime != 500 {
+		t.Fatalf("scaled job = %+v", s.Jobs[0])
+	}
+	if w.Jobs[0].RunTime != 100 {
+		t.Fatal("scaling mutated the original")
+	}
+	// Floor at one second and keep maxRT >= runtime.
+	tiny := w.ScaleRuntimes(1e-9)
+	for _, j := range tiny.Jobs {
+		if j.RunTime < 1 || (j.MaxRunTime > 0 && j.MaxRunTime < j.RunTime) {
+			t.Fatalf("degenerate scaled job %+v", j)
+		}
+	}
+	// Nonpositive factor is a no-op copy.
+	same := w.ScaleRuntimes(0)
+	if same.Jobs[0].RunTime != 100 {
+		t.Fatal("zero factor should not scale")
+	}
+}
+
+func TestScaleRuntimesChangesLoad(t *testing.T) {
+	// Large enough that the trace span dwarfs individual run times (the
+	// load denominator includes the trailing span of the last jobs).
+	w, err := Study("SDSC95", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := w.ScaleRuntimes(2)
+	if r := up.OfferedLoad() / w.OfferedLoad(); r < 1.5 || r > 2.5 {
+		t.Fatalf("load ratio after 2x runtime scaling = %.2f", r)
+	}
+}
