@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench tables examples clean
+.PHONY: all build vet test race cover bench tables examples clean fmt-check bench-smoke ci
 
 all: build vet test
 
@@ -40,3 +40,18 @@ examples:
 
 clean:
 	$(GO) clean ./...
+
+# Fail when any file is not gofmt-formatted (the CI lint job's check).
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "unformatted files:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# One iteration of every benchmark so benchmark code cannot bit-rot.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+# The exact pipeline .github/workflows/ci.yml runs, for local use before
+# pushing: lint, build, test, race, bench smoke.
+ci: fmt-check vet build test race bench-smoke

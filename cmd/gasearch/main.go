@@ -44,6 +44,7 @@ func run(args []string, stdout io.Writer) error {
 	gens := fs.Int("gens", 15, "GA generations")
 	gaSeed := fs.Int64("gaseed", 1, "GA random seed")
 	greedy := fs.Bool("greedy", false, "use the greedy search instead of the GA")
+	progress := fs.Bool("progress", true, "print per-generation progress lines")
 	out := fs.String("o", "", "write the best template set as JSON (for tables -templates)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +77,17 @@ func run(args []string, stdout io.Writer) error {
 	if *greedy {
 		res, err = ga.GreedySearch(enc, eval, ga.CandidatePool(enc))
 	} else {
-		res, err = ga.Search(enc, eval, ga.Config{
-			PopSize: *pop, Generations: *gens, Seed: *gaSeed,
-		})
+		cfg := ga.Config{PopSize: *pop, Generations: *gens, Seed: *gaSeed}
+		if *progress {
+			// Progress lines from the search's per-generation hook: best
+			// error so far, evaluator invocations, and generation wall time.
+			cfg.OnGeneration = func(g ga.GenerationStats) {
+				fmt.Fprintf(stdout, "gen %2d/%d  best %7.2fm  evals %4d  (%.2fs)\n",
+					g.Generation, g.Generations, g.BestError/60, g.Evaluations,
+					g.Elapsed.Seconds())
+			}
+		}
+		res, err = ga.Search(enc, eval, cfg)
 	}
 	if err != nil {
 		return err

@@ -62,3 +62,29 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unwritable output should error")
 	}
 }
+
+func TestRunGAProgressLines(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "ANL", "-scale", "200",
+		"-pop", "6", "-gens", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Generations 0..2 inclusive.
+	for _, want := range []string{"gen  0/2", "gen  1/2", "gen  2/2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing progress line %q:\n%s", want, out)
+		}
+	}
+	// -progress=false silences them.
+	sb.Reset()
+	err = run([]string{"-workload", "ANL", "-scale", "200",
+		"-pop", "6", "-gens", "2", "-progress=false"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "gen  0/2") {
+		t.Fatalf("progress lines printed despite -progress=false:\n%s", sb.String())
+	}
+}

@@ -3,7 +3,8 @@
 // co-allocation use cases (§1). A scheduler reports completions and asks
 // for predictions:
 //
-//	qwaitd -addr :8642 -nodes 512 [-templates set.json] [-warm trace.swf] [-state file]
+//	qwaitd -addr :8642 -nodes 512 [-templates set.json] [-warm trace.swf]
+//	       [-state file] [-pprof] [-metrics-interval 30s] [-log-level info]
 //
 //	POST /v1/observe      {"job": {...}}                 record a completion
 //	POST /v1/predict      {"job": {...}, "age": 120}     run-time prediction
@@ -11,74 +12,146 @@
 //	                       "target":{...}, "queue":[...], "running":[...]}
 //	POST /v1/checkpoint                                   save state (-state)
 //	GET  /v1/stats                                        service counters
+//	GET  /v1/metrics                                      full metrics snapshot
+//	GET  /debug/pprof/                                    profiles (-pprof)
 //
 // Job objects carry the Table-2 characteristics (user, executable, queue,
 // ...), nodes, and maxRunTime; see internal/service for the full schema.
-// With -state, the predictor history is restored at boot and saved on
-// SIGINT/SIGTERM.
+// With -state, the predictor history is restored at boot and saved after a
+// graceful SIGINT/SIGTERM shutdown. With -metrics-interval, a metrics
+// snapshot is logged (logfmt, stderr) at that period.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"log"
-	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
 
+// app is the configured-but-not-yet-listening daemon, separated from main
+// so the construction path is testable end to end.
+type app struct {
+	srv             *service.Server
+	addr            string
+	statePath       string
+	pprofOn         bool
+	metricsInterval time.Duration
+	logLevel        obs.Level
+}
+
 func main() {
-	srv, addr, statePath, err := build(os.Args[1:], os.Stdout)
+	a, err := build(os.Args[1:], os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qwaitd:", err)
 		os.Exit(1)
 	}
-	if statePath != "" {
-		// Save on shutdown.
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigs
-			if err := srv.Checkpoint(); err != nil {
-				log.Printf("qwaitd: checkpoint on shutdown failed: %v", err)
-			} else {
-				fmt.Printf("state saved to %s\n", statePath)
-			}
-			os.Exit(0)
-		}()
+	logger := obs.NewLogger(os.Stderr, a.logLevel)
+	a.srv.SetLogger(logger)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if a.metricsInterval > 0 {
+		go logMetricsPeriodically(ctx, logger, a.srv.Metrics(), a.metricsInterval)
 	}
-	fmt.Printf("qwaitd listening on %s\n", addr)
-	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
+	logger.Info("listening", "addr", a.addr, "pprof", a.pprofOn,
+		"metricsInterval", a.metricsInterval)
+	if err := a.srv.Serve(ctx, a.addr); err != nil {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+	// Graceful shutdown path: drain done, save state if configured.
+	if a.statePath != "" {
+		if err := a.srv.Checkpoint(); err != nil {
+			logger.Error("checkpoint on shutdown failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("state saved", "path", a.statePath)
+	}
 }
 
-// build constructs the configured server without starting to listen, so it
-// is testable end to end.
-func build(args []string, stdout io.Writer) (*service.Server, string, string, error) {
+// logMetricsPeriodically emits one logfmt line per interval with every
+// counter and gauge, plus the p99 of every latency histogram — enough to
+// watch category growth and tail latency from a log stream alone.
+func logMetricsPeriodically(ctx context.Context, logger *obs.Logger, reg *obs.Registry, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			logger.Info("metrics", metricsFields(reg.Snapshot())...)
+		}
+	}
+}
+
+// metricsFields flattens a snapshot into sorted logfmt key-value pairs.
+func metricsFields(s obs.Snapshot) []interface{} {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var kv []interface{}
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			kv = append(kv, n, v)
+		} else {
+			kv = append(kv, n, s.Gauges[n])
+		}
+	}
+	var hists []string
+	for n := range s.Histograms {
+		hists = append(hists, n)
+	}
+	sort.Strings(hists)
+	for _, n := range hists {
+		h := s.Histograms[n]
+		if h.Count > 0 {
+			kv = append(kv, n+".p99", h.P99)
+		}
+	}
+	return kv
+}
+
+// build constructs the configured daemon without starting to listen.
+func build(args []string, stdout io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("qwaitd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8642", "listen address")
 	nodes := fs.Int("nodes", 512, "machine size in nodes (for wait predictions)")
 	templates := fs.String("templates", "", "JSON template set (from gasearch -o); default: a generic set")
 	warm := fs.String("warm", "", "SWF trace to pre-train the predictor with")
-	state := fs.String("state", "", "checkpoint file: restored at boot, saved on SIGINT/SIGTERM and POST /v1/checkpoint")
+	state := fs.String("state", "", "checkpoint file: restored at boot, saved on graceful shutdown and POST /v1/checkpoint")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	metricsInterval := fs.Duration("metrics-interval", 0, "log a metrics snapshot at this period (0 disables)")
+	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", "", err
+		return nil, err
 	}
 
 	var ts []core.Template
 	if *templates != "" {
 		data, err := os.ReadFile(*templates)
 		if err != nil {
-			return nil, "", "", err
+			return nil, err
 		}
 		ts, err = core.UnmarshalTemplates(data)
 		if err != nil {
-			return nil, "", "", err
+			return nil, err
 		}
 	} else {
 		// A generic template set over the characteristics SWF traces carry.
@@ -90,12 +163,12 @@ func build(args []string, stdout io.Writer) (*service.Server, string, string, er
 	if *warm != "" {
 		f, err := os.Open(*warm)
 		if err != nil {
-			return nil, "", "", err
+			return nil, err
 		}
 		w, err := workload.ReadSWF(f, workload.SWFOptions{Name: *warm})
 		f.Close()
 		if err != nil {
-			return nil, "", "", err
+			return nil, err
 		}
 		for _, j := range w.Jobs {
 			pred.Observe(j)
@@ -109,12 +182,19 @@ func build(args []string, stdout io.Writer) (*service.Server, string, string, er
 		srv.SetStatePath(*state)
 		restored, err := service.LoadStateFile(pred, *state)
 		if err != nil {
-			return nil, "", "", fmt.Errorf("restoring %s: %w", *state, err)
+			return nil, fmt.Errorf("restoring %s: %w", *state, err)
 		}
 		if restored {
 			fmt.Fprintf(stdout, "restored %d categories from %s\n", pred.Categories(), *state)
 		}
 	}
+	if *pprofOn {
+		srv.EnablePprof()
+	}
 	fmt.Fprintf(stdout, "configured: %d templates, %d-node machine\n", len(ts), *nodes)
-	return srv, *addr, *state, nil
+	return &app{
+		srv: srv, addr: *addr, statePath: *state,
+		pprofOn: *pprofOn, metricsInterval: *metricsInterval,
+		logLevel: obs.ParseLevel(*logLevel),
+	}, nil
 }

@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -36,15 +40,40 @@ func writeTestSWF(t *testing.T, path string) int {
 
 func TestBuildDefault(t *testing.T) {
 	var sb strings.Builder
-	srv, addr, state, err := build([]string{"-addr", ":9999", "-nodes", "128"}, &sb)
+	a, err := build([]string{"-addr", ":9999", "-nodes", "128"}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv == nil || addr != ":9999" || state != "" {
-		t.Fatalf("build = %v %q %q", srv, addr, state)
+	if a.srv == nil || a.addr != ":9999" || a.statePath != "" {
+		t.Fatalf("build = %+v", a)
+	}
+	if a.pprofOn || a.metricsInterval != 0 || a.logLevel != obs.LevelInfo {
+		t.Fatalf("observability defaults = %+v", a)
 	}
 	if !strings.Contains(sb.String(), "128-node machine") {
 		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
+func TestBuildObservabilityFlags(t *testing.T) {
+	var sb strings.Builder
+	a, err := build([]string{"-pprof", "-metrics-interval", "15s", "-log-level", "debug"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.pprofOn || a.metricsInterval != 15*time.Second || a.logLevel != obs.LevelDebug {
+		t.Fatalf("flags not applied: %+v", a)
+	}
+	// pprof actually mounted on the handler.
+	ts := httptest.NewServer(a.srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
 	}
 }
 
@@ -52,23 +81,22 @@ func TestBuildWithWarmAndState(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "warm.swf")
 	state := filepath.Join(dir, "state.jsonl")
-	n := writeTestSWF(t, trace)
+	writeTestSWF(t, trace)
 
 	var sb strings.Builder
-	srv, _, statePath, err := build([]string{"-warm", trace, "-state", state}, &sb)
+	a, err := build([]string{"-warm", trace, "-state", state}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if statePath != state {
-		t.Fatalf("state path = %q", statePath)
+	if a.statePath != state {
+		t.Fatalf("state path = %q", a.statePath)
 	}
 	if !strings.Contains(sb.String(), "warmed with") {
 		t.Fatalf("output:\n%s", sb.String())
 	}
-	_ = n
 
 	// Serve, checkpoint, rebuild from state: predictions survive.
-	ts := httptest.NewServer(srv.Handler())
+	ts := httptest.NewServer(a.srv.Handler())
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/checkpoint", "application/json", bytes.NewReader(nil))
 	if err != nil {
@@ -80,14 +108,14 @@ func TestBuildWithWarmAndState(t *testing.T) {
 	}
 
 	sb.Reset()
-	srv2, _, _, err := build([]string{"-state", state}, &sb)
+	a2, err := build([]string{"-state", state}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "restored") {
 		t.Fatalf("restore output:\n%s", sb.String())
 	}
-	ts2 := httptest.NewServer(srv2.Handler())
+	ts2 := httptest.NewServer(a2.srv.Handler())
 	defer ts2.Close()
 	statsResp, err := http.Get(ts2.URL + "/v1/stats")
 	if err != nil {
@@ -110,7 +138,7 @@ func TestBuildWithTemplates(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if _, _, _, err := build([]string{"-templates", path}, &sb); err != nil {
+	if _, err := build([]string{"-templates", path}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "1 templates") {
@@ -120,13 +148,74 @@ func TestBuildWithTemplates(t *testing.T) {
 
 func TestBuildErrors(t *testing.T) {
 	var sb strings.Builder
-	if _, _, _, err := build([]string{"-templates", "/missing.json"}, &sb); err == nil {
+	if _, err := build([]string{"-templates", "/missing.json"}, &sb); err == nil {
 		t.Error("missing templates should error")
 	}
-	if _, _, _, err := build([]string{"-warm", "/missing.swf"}, &sb); err == nil {
+	if _, err := build([]string{"-warm", "/missing.swf"}, &sb); err == nil {
 		t.Error("missing warm trace should error")
 	}
-	if _, _, _, err := build([]string{"-badflag"}, &sb); err == nil {
+	if _, err := build([]string{"-badflag"}, &sb); err == nil {
 		t.Error("bad flag should error")
+	}
+}
+
+// TestServeAndShutdown drives the daemon's serve path end to end: bind a
+// random port, answer a metrics request, cancel, expect a clean return.
+func TestServeAndShutdown(t *testing.T) {
+	var sb strings.Builder
+	a, err := build(nil, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.srv.ServeListener(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Gauges["predictor.templates"] <= 0 {
+		t.Fatalf("metrics = %+v", snap)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no shutdown")
+	}
+}
+
+func TestMetricsFieldsFlattening(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Gauge("a.depth").Set(1.5)
+	reg.Histogram("lat").Observe(0.5)
+	kv := metricsFields(reg.Snapshot())
+	// Sorted counters/gauges first, then histogram p99s.
+	want := []interface{}{"a.depth", 1.5, "b.count", int64(2)}
+	if len(kv) != 6 {
+		t.Fatalf("kv = %v", kv)
+	}
+	for i, w := range want {
+		if kv[i] != w {
+			t.Fatalf("kv[%d] = %v, want %v", i, kv[i], w)
+		}
+	}
+	if kv[4] != "lat.p99" {
+		t.Fatalf("kv[4] = %v", kv[4])
 	}
 }

@@ -93,6 +93,17 @@ func (p *Predictor) Templates() []Template {
 // Categories returns the number of categories currently stored.
 func (p *Predictor) Categories() int { return len(p.cats) }
 
+// HistorySize returns the total number of data points stored across all
+// categories — the predictor's working-set size, reported as a gauge by
+// the observability layer. O(categories).
+func (p *Predictor) HistorySize() int {
+	var n int
+	for _, c := range p.cats {
+		n += c.size()
+	}
+	return n
+}
+
 // Predict implements predict.Predictor: apply every template to the job,
 // compute an estimate with a confidence interval from each category that
 // can provide a valid one, and return the estimate with the smallest

@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config parameterizes the genetic algorithm. Zero values select the
@@ -25,6 +27,24 @@ type Config struct {
 	// they parallelize perfectly). 0 means GOMAXPROCS; 1 disables
 	// concurrency. The search result is identical at any setting.
 	Parallelism int
+	// Obs, when non-nil, receives search instrumentation: gauges
+	// ga.generation and ga.best_error_seconds, counter ga.evaluations, and
+	// histogram ga.generation_seconds (wall time per generation).
+	Obs *obs.Registry
+	// OnGeneration, when non-nil, is invoked after every generation is
+	// scored (and once for the initial population, Generation 0) — the
+	// progress hook cmd/gasearch prints from. It runs on the search
+	// goroutine; keep it cheap.
+	OnGeneration func(GenerationStats)
+}
+
+// GenerationStats reports search progress after one generation.
+type GenerationStats struct {
+	Generation  int           // 0 for the initial population
+	Generations int           // configured total, for "gen 3/15" displays
+	BestError   float64       // best mean absolute error so far, seconds
+	Evaluations int           // evaluator invocations so far
+	Elapsed     time.Duration // wall time of this generation
 }
 
 func (c *Config) fill() {
@@ -120,9 +140,26 @@ func Search(enc Encoding, eval Evaluator, cfg Config) (*SearchResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	res := &SearchResult{}
+	// progress publishes one generation's outcome to the gauges and hook.
+	progress := func(gen int, best float64, elapsed time.Duration) {
+		if cfg.Obs != nil {
+			cfg.Obs.Gauge("ga.generation").SetInt(int64(gen))
+			cfg.Obs.Gauge("ga.best_error_seconds").Set(best)
+			cfg.Obs.Histogram("ga.generation_seconds").Observe(elapsed.Seconds())
+		}
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(GenerationStats{
+				Generation: gen, Generations: cfg.Generations,
+				BestError: best, Evaluations: res.Evaluations, Elapsed: elapsed,
+			})
+		}
+	}
 	// evalBatch scores a slice of genomes with a bounded worker pool.
 	evalBatch := func(gs []Genome) []float64 {
 		res.Evaluations += len(gs)
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("ga.evaluations").Add(int64(len(gs)))
+		}
 		out := make([]float64, len(gs))
 		if workers == 1 || len(gs) == 1 {
 			for i, g := range gs {
@@ -145,6 +182,7 @@ func Search(enc Encoding, eval Evaluator, cfg Config) (*SearchResult, error) {
 		return out
 	}
 
+	genStart := time.Now()
 	genomes := make([]Genome, cfg.PopSize)
 	for i := range genomes {
 		genomes[i] = enc.RandomGenome(rng)
@@ -158,6 +196,8 @@ func Search(enc Encoding, eval Evaluator, cfg Config) (*SearchResult, error) {
 	for gen := 0; gen < cfg.Generations; gen++ {
 		sort.SliceStable(pop, func(a, b int) bool { return pop[a].Error < pop[b].Error })
 		res.History = append(res.History, pop[0].Error)
+		progress(gen, pop[0].Error, time.Since(genStart))
+		genStart = time.Now()
 
 		errsNow := make([]float64, len(pop))
 		for i, ind := range pop {
@@ -207,6 +247,7 @@ func Search(enc Encoding, eval Evaluator, cfg Config) (*SearchResult, error) {
 
 	sort.SliceStable(pop, func(a, b int) bool { return pop[a].Error < pop[b].Error })
 	res.History = append(res.History, pop[0].Error)
+	progress(cfg.Generations, pop[0].Error, time.Since(genStart))
 	if math.IsInf(pop[0].Error, 1) {
 		return nil, fmt.Errorf("ga: search produced no predictive template set")
 	}

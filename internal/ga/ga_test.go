@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -226,4 +227,80 @@ func almost(a, b float64) bool {
 		d = -d
 	}
 	return d < 1e-6
+}
+
+// TestSearchProgressHooks: OnGeneration fires once for the initial
+// population and once per generation, with monotonically non-increasing
+// best error, and the obs registry tracks the same series.
+func TestSearchProgressHooks(t *testing.T) {
+	w := smallWorkload(t)
+	enc := NewEncoding(w)
+	eval := RuntimeError(FromTrace(w))
+	reg := obs.NewRegistry()
+	var stats []GenerationStats
+	res, err := Search(enc, eval, Config{
+		PopSize: 8, Generations: 3, Seed: 9, Obs: reg,
+		OnGeneration: func(g GenerationStats) { stats = append(stats, g) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 { // generations 0..3 inclusive
+		t.Fatalf("progress calls = %d, want 4", len(stats))
+	}
+	for i, g := range stats {
+		if g.Generation != i || g.Generations != 3 {
+			t.Fatalf("stats[%d] = %+v", i, g)
+		}
+		if g.Evaluations <= 0 || g.Elapsed < 0 {
+			t.Fatalf("stats[%d] = %+v", i, g)
+		}
+		if i > 0 && g.BestError > stats[i-1].BestError {
+			t.Fatalf("best error regressed: %g -> %g", stats[i-1].BestError, g.BestError)
+		}
+	}
+	last := stats[len(stats)-1]
+	if last.BestError != res.BestError {
+		t.Fatalf("final hook error %g != result %g", last.BestError, res.BestError)
+	}
+	if last.Evaluations != res.Evaluations {
+		t.Fatalf("final hook evals %d != result %d", last.Evaluations, res.Evaluations)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["ga.evaluations"]; got != int64(res.Evaluations) {
+		t.Fatalf("evaluations counter = %d, want %d", got, res.Evaluations)
+	}
+	if got := s.Gauges["ga.generation"]; got != 3 {
+		t.Fatalf("generation gauge = %g, want 3", got)
+	}
+	if got := s.Gauges["ga.best_error_seconds"]; got != res.BestError {
+		t.Fatalf("best error gauge = %g, want %g", got, res.BestError)
+	}
+	if got := s.Histograms["ga.generation_seconds"].Count; got != 4 {
+		t.Fatalf("generation timing count = %d, want 4", got)
+	}
+}
+
+// TestSearchHooksDoNotPerturb: instrumentation must not change the search
+// outcome (the RNG consumption is identical with and without hooks).
+func TestSearchHooksDoNotPerturb(t *testing.T) {
+	w := smallWorkload(t)
+	enc := NewEncoding(w)
+	eval := RuntimeError(FromTrace(w))
+	plain, err := Search(enc, eval, Config{PopSize: 8, Generations: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hooked, err := Search(enc, eval, Config{
+		PopSize: 8, Generations: 3, Seed: 9,
+		Obs:          obs.NewRegistry(),
+		OnGeneration: func(GenerationStats) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BestError != hooked.BestError || plain.Evaluations != hooked.Evaluations {
+		t.Fatalf("instrumented search diverged: %+v vs %+v", plain, hooked)
+	}
 }

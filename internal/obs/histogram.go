@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: geometric buckets spanning 1e-7 (100ns, below
+// any latency we can resolve) to 1e5 seconds (~28 hours, beyond any run
+// time the traces contain), 16 buckets per decade. Quantiles are read from
+// the bucket counts with log-linear interpolation inside the bucket, so the
+// worst-case relative error is the bucket width, 10^(1/16) − 1 ≈ 15%,
+// and much less in practice; min/max are tracked exactly and clamp the
+// interpolation.
+const (
+	histMinExp    = -7
+	histMaxExp    = 5
+	histPerDecade = 16
+	histNBuckets  = (histMaxExp - histMinExp) * histPerDecade
+)
+
+// histBucketLow returns the lower bound of bucket i in seconds.
+func histBucketLow(i int) float64 {
+	return math.Pow(10, float64(histMinExp)+float64(i)/histPerDecade)
+}
+
+// histIndex maps a value to its bucket. Values at or below zero (and
+// anything under the first bound) land in bucket 0; values beyond the top
+// bound land in the last bucket.
+func histIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := int(math.Floor((math.Log10(v) - histMinExp) * histPerDecade))
+	if i < 0 {
+		return 0
+	}
+	if i >= histNBuckets {
+		return histNBuckets - 1
+	}
+	return i
+}
+
+// Histogram records a distribution of non-negative values (canonically
+// latencies in seconds) with a lock-free observe path. Concurrent Observe
+// and Snapshot are safe; a snapshot taken during concurrent writes is a
+// consistent-enough view (counts may trail the sum by in-flight updates,
+// never by more).
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	minBits atomic.Uint64 // float64 bits; +Inf when empty
+	maxBits atomic.Uint64 // float64 bits; -Inf when empty
+	once    sync.Once     // seeds min/max before the first observation
+	buckets [histNBuckets]atomic.Int64
+}
+
+func (h *Histogram) seed() {
+	h.once.Do(func() {
+		h.minBits.Store(math.Float64bits(math.Inf(1)))
+		h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	})
+}
+
+// Observe records one value. NaN and negative values are dropped (a
+// negative latency is a caller bug, not a data point).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.seed()
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.buckets[histIndex(v)].Add(1)
+}
+
+// HistogramSnapshot summarizes a histogram for reporting: count, sum, mean,
+// exact min/max, and interpolated quantiles.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot captures the histogram's current summary. An empty histogram
+// reports zeros.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	n := h.count.Load()
+	if n == 0 {
+		return HistogramSnapshot{}
+	}
+	var counts [histNBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	sum := math.Float64frombits(h.sumBits.Load())
+	min := math.Float64frombits(h.minBits.Load())
+	max := math.Float64frombits(h.maxBits.Load())
+	s := HistogramSnapshot{Count: n, Sum: sum, Mean: sum / float64(n), Min: min, Max: max}
+	s.P50 = quantileFromBuckets(counts[:], total, 0.50, min, max)
+	s.P90 = quantileFromBuckets(counts[:], total, 0.90, min, max)
+	s.P99 = quantileFromBuckets(counts[:], total, 0.99, min, max)
+	return s
+}
+
+// Quantile returns the interpolated q-quantile (0 ≤ q ≤ 1) of everything
+// observed so far, or 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	var counts [histNBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileFromBuckets(counts[:], total,
+		q, math.Float64frombits(h.minBits.Load()), math.Float64frombits(h.maxBits.Load()))
+}
+
+// quantileFromBuckets finds the bucket holding rank q·total and
+// interpolates log-linearly within it, clamped to the exact observed range.
+func quantileFromBuckets(counts []int64, total int64, q float64, min, max float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			lo, hi := histBucketLow(i), histBucketLow(i+1)
+			v := lo * math.Pow(hi/lo, frac)
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		cum = next
+	}
+	return max
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g", q)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Observe(0.125)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0.125 || s.Max != 0.125 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// With one value, min/max clamping makes every quantile exact.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0.125 {
+			t.Fatalf("quantile(%g) = %g, want 0.125", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileCorrectness checks interpolated quantiles against
+// exact order statistics on known distributions. The bucket layout
+// guarantees ≤ 10^(1/16)−1 ≈ 15.5% relative error; typical error with
+// interpolation is far smaller, so we assert 16%.
+func TestHistogramQuantileCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() float64{
+		"uniform": func() float64 { return 0.001 + 0.999*rng.Float64() },
+		"exponential": func() float64 {
+			return 0.01 * rng.ExpFloat64()
+		},
+		"lognormal": func() float64 {
+			return math.Exp(rng.NormFloat64()*1.5 - 5)
+		},
+	}
+	for name, draw := range distributions {
+		var h Histogram
+		vals := make([]float64, 20000)
+		for i := range vals {
+			vals[i] = draw()
+			h.Observe(vals[i])
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := vals[int(q*float64(len(vals)-1))]
+			got := h.Quantile(q)
+			relErr := math.Abs(got-exact) / exact
+			if relErr > 0.16 {
+				t.Errorf("%s: quantile(%g) = %g, exact %g (rel err %.1f%%)",
+					name, q, got, exact, relErr*100)
+			}
+		}
+		s := h.Snapshot()
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(s.Mean-sum/float64(len(vals))) > 1e-9*math.Abs(sum) {
+			t.Errorf("%s: mean = %g, want %g", name, s.Mean, sum/float64(len(vals)))
+		}
+		if s.Min != vals[0] || s.Max != vals[len(vals)-1] {
+			t.Errorf("%s: min/max = %g/%g, want %g/%g",
+				name, s.Min, s.Max, vals[0], vals[len(vals)-1])
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0)          // below the first bucket bound: clamps, not drops
+	h.Observe(1e9)        // beyond the last bucket: clamps, not drops
+	h.Observe(-1)         // negative: dropped
+	h.Observe(math.NaN()) // NaN: dropped
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if s.Min != 0 || s.Max != 1e9 {
+		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
+	}
+	// Quantiles stay within the observed range even for clamped values.
+	if q := h.Quantile(0.99); q > 1e9 || q < 0 {
+		t.Fatalf("quantile = %g", q)
+	}
+}
+
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := 1e-8; v < 1e6; v *= 1.07 {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("histIndex not monotone at %g: %d < %d", v, i, prev)
+		}
+		if i < 0 || i >= histNBuckets {
+			t.Fatalf("histIndex(%g) = %d out of range", v, i)
+		}
+		prev = i
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity. Records below the logger's level are dropped
+// before formatting, so disabled Debug calls cost one atomic load.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's logfmt token.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level; unknown strings default to info.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger writes leveled logfmt records — `ts=… level=… msg=… k=v …` — to a
+// writer. It is safe for concurrent use; a mutex serializes writes so
+// records never interleave. The zero value is not usable; call NewLogger.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level *atomic.Int32
+	base  string           // pre-formatted fields from With
+	now   func() time.Time // injectable for tests
+}
+
+// NewLogger creates a logger writing records at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	l := &Logger{mu: &sync.Mutex{}, w: w, level: &atomic.Int32{}, now: time.Now}
+	l.level.Store(int32(level))
+	return l
+}
+
+// Nop returns a logger that discards everything.
+func Nop() *Logger { return NewLogger(io.Discard, LevelError+1) }
+
+// SetLevel changes the threshold; safe while logging concurrently.
+func (l *Logger) SetLevel(level Level) { l.level.Store(int32(level)) }
+
+// Enabled reports whether records at level would be written.
+func (l *Logger) Enabled(level Level) bool { return int32(level) >= l.level.Load() }
+
+// With returns a child logger whose records all carry the given key-value
+// pairs. The child shares the parent's writer, mutex, and level.
+func (l *Logger) With(kv ...interface{}) *Logger {
+	child := *l
+	var b strings.Builder
+	b.WriteString(l.base)
+	appendFields(&b, kv)
+	child.base = b.String()
+	return &child
+}
+
+// Debug logs at debug level with alternating key-value pairs.
+func (l *Logger) Debug(msg string, kv ...interface{}) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...interface{}) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...interface{}) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...interface{}) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []interface{}) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	b.WriteString(l.base)
+	appendFields(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.w, b.String())
+}
+
+// appendFields formats alternating key-value pairs; a trailing key without
+// a value gets "!MISSING" rather than being dropped silently.
+func appendFields(b *strings.Builder, kv []interface{}) {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(formatValue(kv[i+1]))
+		} else {
+			b.WriteString("!MISSING")
+		}
+	}
+}
+
+func formatValue(v interface{}) string {
+	switch x := v.(type) {
+	case string:
+		return quote(x)
+	case error:
+		return quote(x.Error())
+	case time.Duration:
+		return x.String()
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	default:
+		return quote(fmt.Sprint(v))
+	}
+}
+
+// quote wraps s in double quotes when it contains characters that would
+// break logfmt tokenization.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug)
+	l.now = fixedClock
+	l.Info("server started", "addr", ":8642", "nodes", 512, "ratio", 0.25,
+		"err", errors.New("disk full"), "note", "two words")
+	got := sb.String()
+	want := `ts=2026-08-05T12:00:00Z level=info msg="server started" addr=:8642 nodes=512 ratio=0.25 err="disk full" note="two words"` + "\n"
+	if got != want {
+		t.Fatalf("log line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelWarn)
+	l.now = fixedClock
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	out := sb.String()
+	if strings.Contains(out, "nope") {
+		t.Fatalf("filtered records leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Fatalf("missing records:\n%s", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(sb.String(), "now visible") {
+		t.Fatal("SetLevel did not take effect")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelInfo).With("component", "service")
+	l.now = fixedClock
+	l.Info("ready", "port", 80)
+	if !strings.Contains(sb.String(), "component=service port=80") {
+		t.Fatalf("With fields missing:\n%s", sb.String())
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelInfo)
+	l.now = fixedClock
+	l.Info("oops", "key")
+	if !strings.Contains(sb.String(), "key=!MISSING") {
+		t.Fatalf("dangling key not flagged:\n%s", sb.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestLoggerConcurrent verifies records never interleave (run with -race).
+func TestLoggerConcurrent(t *testing.T) {
+	var sb safeBuilder
+	l := NewLogger(&sb, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Info("tick", "worker", i, "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("lines = %d, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("malformed line: %q", line)
+		}
+	}
+}
+
+// safeBuilder is a strings.Builder safe for concurrent Write/String.
+type safeBuilder struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *safeBuilder) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *safeBuilder) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %g, want 4", got)
+	}
+	g.SetInt(-7)
+	if got := g.Value(); got != -7 {
+		t.Fatalf("gauge = %g, want -7", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name should return the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same name should return the same gauge")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name should return the same histogram")
+	}
+	got := r.Names()
+	want := []string{"a", "g", "h"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentIncrements exercises every metric type from many
+// goroutines; run under -race this is the registry's central safety claim.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(0.001 * float64(i%100+1))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	const total = workers * perWorker
+	if s.Counters["c"] != total {
+		t.Fatalf("counter = %d, want %d", s.Counters["c"], total)
+	}
+	if s.Gauges["g"] != total {
+		t.Fatalf("gauge = %g, want %d", s.Gauges["g"], total)
+	}
+	h := s.Histograms["h"]
+	if h.Count != total {
+		t.Fatalf("histogram count = %d, want %d", h.Count, total)
+	}
+	if h.Min <= 0 || h.Max > 0.1 || h.P50 <= 0 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+}
+
+func TestSnapshotJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(3)
+	r.Gauge("depth").Set(1.5)
+	r.Histogram("lat").Observe(0.25)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["requests"] != 3 || back.Gauges["depth"] != 1.5 ||
+		back.Histograms["lat"].Count != 1 {
+		t.Fatalf("round trip = %+v", back)
+	}
+}

@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Instrumented wraps a Predictor and records its traffic into an obs
+// registry: counters predict.<name>.predictions / .misses / .observations,
+// latency histograms predict.<name>.predict_seconds and .observe_seconds,
+// and — when the wrapped predictor exposes them — gauges
+// predict.<name>.categories and predict.<name>.history_size.
+//
+// Instrumented adds no synchronization: it is exactly as concurrency-safe
+// as the predictor it wraps (the obs primitives themselves are atomic).
+type Instrumented struct {
+	inner Predictor
+
+	predictions  *obs.Counter
+	misses       *obs.Counter
+	observations *obs.Counter
+	predictLat   *obs.Histogram
+	observeLat   *obs.Histogram
+	categories   *obs.Gauge
+	historySize  *obs.Gauge
+}
+
+// categoryCounter is implemented by predictors that can report how many
+// categories they currently store (core.Predictor does).
+type categoryCounter interface{ Categories() int }
+
+// historySizer is implemented by predictors that can report their stored
+// data-point count (core.Predictor does).
+type historySizer interface{ HistorySize() int }
+
+// Instrument wraps p so its predictions and observations are measured into
+// reg, under the metric prefix predict.<p.Name()>.
+func Instrument(p Predictor, reg *obs.Registry) *Instrumented {
+	prefix := "predict." + p.Name() + "."
+	return &Instrumented{
+		inner:        p,
+		predictions:  reg.Counter(prefix + "predictions"),
+		misses:       reg.Counter(prefix + "misses"),
+		observations: reg.Counter(prefix + "observations"),
+		predictLat:   reg.Histogram(prefix + "predict_seconds"),
+		observeLat:   reg.Histogram(prefix + "observe_seconds"),
+		categories:   reg.Gauge(prefix + "categories"),
+		historySize:  reg.Gauge(prefix + "history_size"),
+	}
+}
+
+// Name implements Predictor, delegating to the wrapped predictor.
+func (i *Instrumented) Name() string { return i.inner.Name() }
+
+// Predict implements Predictor, timing the inner call and tallying misses.
+func (i *Instrumented) Predict(j *workload.Job, age int64) (int64, bool) {
+	start := time.Now()
+	sec, ok := i.inner.Predict(j, age)
+	i.predictLat.Observe(time.Since(start).Seconds())
+	i.predictions.Inc()
+	if !ok {
+		i.misses.Inc()
+	}
+	return sec, ok
+}
+
+// Observe implements Predictor, timing the inner call and refreshing the
+// category/history gauges when the wrapped predictor exposes them.
+func (i *Instrumented) Observe(j *workload.Job) {
+	start := time.Now()
+	i.inner.Observe(j)
+	i.observeLat.Observe(time.Since(start).Seconds())
+	i.observations.Inc()
+	if c, ok := i.inner.(categoryCounter); ok {
+		i.categories.SetInt(int64(c.Categories()))
+	}
+	if h, ok := i.inner.(historySizer); ok {
+		i.historySize.SetInt(int64(h.HistorySize()))
+	}
+}
+
+// Unwrap returns the wrapped predictor (for tests and type probes).
+func (i *Instrumented) Unwrap() Predictor { return i.inner }
+
+// Static check.
+var _ Predictor = (*Instrumented)(nil)

@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// countingPred is a minimal predictor that also reports category/history
+// sizes, standing in for core.Predictor without an import cycle.
+type countingPred struct {
+	observed int
+}
+
+func (p *countingPred) Name() string { return "counting" }
+func (p *countingPred) Predict(j *workload.Job, age int64) (int64, bool) {
+	if p.observed == 0 {
+		return 0, false
+	}
+	return 100, true
+}
+func (p *countingPred) Observe(j *workload.Job) { p.observed++ }
+func (p *countingPred) Categories() int         { return p.observed * 2 }
+func (p *countingPred) HistorySize() int        { return p.observed * 3 }
+
+func TestInstrumentCountsAndGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := &countingPred{}
+	p := Instrument(inner, reg)
+	if p.Name() != "counting" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if p.Unwrap() != inner {
+		t.Fatal("Unwrap should return the wrapped predictor")
+	}
+
+	j := &workload.Job{ID: 1, Nodes: 4, RunTime: 100}
+	if _, ok := p.Predict(j, 0); ok {
+		t.Fatal("empty predictor should miss")
+	}
+	p.Observe(j)
+	p.Observe(j)
+	if sec, ok := p.Predict(j, 0); !ok || sec != 100 {
+		t.Fatalf("predict = %d, %v", sec, ok)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["predict.counting.predictions"]; got != 2 {
+		t.Fatalf("predictions = %d, want 2", got)
+	}
+	if got := s.Counters["predict.counting.misses"]; got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+	if got := s.Counters["predict.counting.observations"]; got != 2 {
+		t.Fatalf("observations = %d, want 2", got)
+	}
+	if got := s.Gauges["predict.counting.categories"]; got != 4 {
+		t.Fatalf("categories gauge = %g, want 4", got)
+	}
+	if got := s.Gauges["predict.counting.history_size"]; got != 6 {
+		t.Fatalf("history gauge = %g, want 6", got)
+	}
+	if s.Histograms["predict.counting.predict_seconds"].Count != 2 ||
+		s.Histograms["predict.counting.observe_seconds"].Count != 2 {
+		t.Fatalf("latency histograms = %+v", s.Histograms)
+	}
+}
+
+// TestInstrumentPlainPredictor: wrapping a predictor without the size
+// interfaces leaves the gauges untouched but still counts traffic.
+func TestInstrumentPlainPredictor(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := Instrument(MaxRuntime{}, reg)
+	j := &workload.Job{ID: 1, Nodes: 1, MaxRunTime: 500}
+	p.Observe(j)
+	if sec, ok := p.Predict(j, 0); !ok || sec != 500 {
+		t.Fatalf("predict = %d, %v", sec, ok)
+	}
+	s := reg.Snapshot()
+	if s.Counters["predict.maxrt.predictions"] != 1 ||
+		s.Counters["predict.maxrt.observations"] != 1 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if s.Gauges["predict.maxrt.categories"] != 0 {
+		t.Fatalf("categories gauge = %g, want 0", s.Gauges["predict.maxrt.categories"])
+	}
+}

@@ -6,19 +6,29 @@
 // A scheduler (or metascheduler) feeds completions to /v1/observe and asks
 // /v1/predict for run times and /v1/predictwait for queue waits.
 //
-// The server serializes access to the predictor with a mutex; prediction
-// is microseconds, so a single lock suffices far beyond the event rates of
-// batch systems.
+// The server guards the predictor with a read-write mutex: observations
+// and checkpoints take the write lock, while predictions — which never
+// mutate the category database — share a read lock, so concurrent
+// /v1/predict and /v1/predictwait requests proceed in parallel and only
+// serialize behind observes.
+//
+// Every endpoint is instrumented through an internal/obs registry
+// (request counts, error counts, latency histograms, predictor hit/miss
+// tallies); GET /v1/metrics returns the full snapshot as JSON, and
+// EnablePprof mounts net/http/pprof under /debug/pprof/.
 package service
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/waitpred"
@@ -56,21 +66,54 @@ func (j *JobJSON) toJob() *workload.Job {
 
 // Server is the HTTP prediction service.
 type Server struct {
-	mu           sync.Mutex
+	mu           sync.RWMutex
 	pred         *core.Predictor
 	machineNodes int
 	observations int64
 	statePath    string // checkpoint destination; "" disables /v1/checkpoint
+	reg          *obs.Registry
+	log          *obs.Logger
+	pprof        bool
+
+	// Cached instrument handles (allocated once in New, not per request).
+	mObserve     *obs.Counter
+	mPredictOK   *obs.Counter
+	mPredictMiss *obs.Counter
+	mWaitErrors  *obs.Counter
 }
 
 // New creates a Server around a predictor for a machine of the given size.
 func New(pred *core.Predictor, machineNodes int) *Server {
-	return &Server{pred: pred, machineNodes: machineNodes}
+	reg := obs.NewRegistry()
+	return &Server{
+		pred: pred, machineNodes: machineNodes,
+		reg:          reg,
+		log:          obs.Nop(),
+		mObserve:     reg.Counter("service.observe.jobs"),
+		mPredictOK:   reg.Counter("service.predict.hits"),
+		mPredictMiss: reg.Counter("service.predict.misses"),
+		mWaitErrors:  reg.Counter("service.predictwait.errors"),
+	}
 }
 
 // SetStatePath configures where /v1/checkpoint (and Checkpoint) write the
 // predictor state.
 func (s *Server) SetStatePath(path string) { s.statePath = path }
+
+// SetLogger replaces the server's logger (default: discard).
+func (s *Server) SetLogger(l *obs.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on handlers
+// returned by subsequent Handler calls.
+func (s *Server) EnablePprof() { s.pprof = true }
+
+// Metrics returns the server's metrics registry, so embedders (cmd/qwaitd)
+// can log periodic snapshots or add their own series.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Checkpoint saves the predictor state to the configured path.
 func (s *Server) Checkpoint() error {
@@ -82,15 +125,73 @@ func (s *Server) Checkpoint() error {
 	return saveStateFile(s.pred, s.statePath)
 }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every endpoint is wrapped
+// with request/error counters and a latency histogram named after it.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/observe", s.handleObserve)
-	mux.HandleFunc("/v1/predict", s.handlePredict)
-	mux.HandleFunc("/v1/predictwait", s.handlePredictWait)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/v1/observe", s.instrument("observe", s.handleObserve))
+	mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("/v1/predictwait", s.instrument("predictwait", s.handlePredictWait))
+	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
+	mux.HandleFunc("/v1/metrics", s.instrument("metrics", s.handleMetrics))
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusWriter captures the response status for error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint handler with a request counter, an error
+// counter (status ≥ 400), and a latency histogram, all named
+// http.<endpoint>.*.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.Counter("http." + name + ".requests")
+	errors := s.reg.Counter("http." + name + ".errors")
+	latency := s.reg.Histogram("http." + name + ".latency_seconds")
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start).Seconds()
+		requests.Inc()
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+		latency.Observe(elapsed)
+		if s.log.Enabled(obs.LevelDebug) {
+			s.log.Debug("request", "endpoint", name, "status", sw.status,
+				"seconds", elapsed)
+		}
+	}
+}
+
+// handleMetrics serves the full metrics snapshot, refreshing the predictor
+// gauges (category count, stored history size, template count) first.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	cats := s.pred.Categories()
+	hist := s.pred.HistorySize()
+	tmpl := len(s.pred.Templates())
+	s.mu.RUnlock()
+	s.reg.Gauge("predictor.categories").SetInt(int64(cats))
+	s.reg.Gauge("predictor.history_size").SetInt(int64(hist))
+	s.reg.Gauge("predictor.templates").SetInt(int64(tmpl))
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -151,6 +252,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	s.pred.Observe(job)
 	s.observations++
 	s.mu.Unlock()
+	s.mObserve.Inc()
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -177,9 +279,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := req.Job.toJob()
-	s.mu.Lock()
+	s.mu.RLock()
 	det, ok := s.pred.PredictDetailed(job, req.Age)
-	s.mu.Unlock()
+	s.mu.RUnlock()
+	if ok {
+		s.mPredictOK.Inc()
+	} else {
+		s.mPredictMiss.Inc()
+	}
 	resp := PredictResponse{OK: ok}
 	if ok {
 		resp.Seconds = det.Seconds
@@ -240,11 +347,12 @@ func (s *Server) handlePredictWait(w http.ResponseWriter, r *http.Request) {
 	for i := range req.Running {
 		running = append(running, req.Running[i].toJob())
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	start, err := waitpred.PredictStart(req.Now, target, queue, running,
 		s.machineNodes, pol, s.pred, predict.MaxRuntime{}, 0)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
+		s.mWaitErrors.Inc()
 		errorJSON(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -263,14 +371,14 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	resp := StatsResponse{
 		Categories:   s.pred.Categories(),
 		Observations: s.observations,
 		MachineNodes: s.machineNodes,
 		Templates:    len(s.pred.Templates()),
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 

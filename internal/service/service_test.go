@@ -2,13 +2,17 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -237,5 +241,185 @@ func TestCheckpointWithoutPath(t *testing.T) {
 	resp := post(t, ts.URL+"/v1/checkpoint", struct{}{}, nil)
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("checkpoint without path: status %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpointReflectsTraffic(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// A predict before any history misses; observes then a hit.
+	var pr PredictResponse
+	post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(50, "carol", 8, 0, 900)}, &pr)
+	if pr.OK {
+		t.Fatal("predict with no history should miss")
+	}
+	for i := 0; i < 4; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "carol", 8, 300, 900)}, nil)
+	}
+	post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(51, "carol", 8, 0, 900)}, &pr)
+	if !pr.OK {
+		t.Fatal("predict after history should hit")
+	}
+
+	snap := getMetrics(t, ts.URL)
+	if got := snap.Counters["http.observe.requests"]; got != 4 {
+		t.Fatalf("observe requests = %d, want 4", got)
+	}
+	if got := snap.Counters["http.predict.requests"]; got != 2 {
+		t.Fatalf("predict requests = %d, want 2", got)
+	}
+	if snap.Counters["service.predict.hits"] != 1 || snap.Counters["service.predict.misses"] != 1 {
+		t.Fatalf("hit/miss = %d/%d, want 1/1",
+			snap.Counters["service.predict.hits"], snap.Counters["service.predict.misses"])
+	}
+	lat := snap.Histograms["http.predict.latency_seconds"]
+	if lat.Count != 2 || lat.P50 <= 0 || lat.Max <= 0 {
+		t.Fatalf("predict latency histogram = %+v", lat)
+	}
+	if snap.Gauges["predictor.categories"] <= 0 || snap.Gauges["predictor.history_size"] <= 0 {
+		t.Fatalf("predictor gauges = %+v", snap.Gauges)
+	}
+
+	// Quantiles and counts move with more traffic.
+	for i := 0; i < 10; i++ {
+		post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(60+i, "carol", 8, 0, 900)}, nil)
+	}
+	snap2 := getMetrics(t, ts.URL)
+	if got := snap2.Counters["http.predict.requests"]; got != 12 {
+		t.Fatalf("predict requests after more traffic = %d, want 12", got)
+	}
+	if snap2.Histograms["http.predict.latency_seconds"].Count != 12 {
+		t.Fatalf("latency count = %d, want 12",
+			snap2.Histograms["http.predict.latency_seconds"].Count)
+	}
+}
+
+func getMetrics(t *testing.T, baseURL string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestErrorCounting: failed requests land in the per-endpoint error counter.
+func TestErrorCounting(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(1, "a", 4, 0, 0)}, nil) // invalid
+	snap := getMetrics(t, ts.URL)
+	if snap.Counters["http.observe.errors"] != 1 {
+		t.Fatalf("observe errors = %d, want 1", snap.Counters["http.observe.errors"])
+	}
+}
+
+// TestParallelPredictReaders exercises the read-lock path: many concurrent
+// /v1/predict and /v1/predictwait readers race observes. Run under -race
+// this validates the RWMutex conversion.
+func TestParallelPredictReaders(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "dave", 4, 120, 600)}, nil)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 12; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch c % 3 {
+				case 0: // writer
+					post(t, ts.URL+"/v1/observe",
+						ObserveRequest{Job: job(1000+c*100+i, "dave", 4, int64(60+i), 600)}, nil)
+				case 1: // predict reader
+					var pr PredictResponse
+					post(t, ts.URL+"/v1/predict",
+						PredictRequest{Job: job(2000+c*100+i, "dave", 4, 0, 600)}, &pr)
+					if !pr.OK {
+						t.Errorf("predict lost history mid-flight")
+						return
+					}
+				case 2: // predictwait reader
+					target := JobJSON{ID: 3000 + c*100 + i, User: "dave", Nodes: 4,
+						MaxRunTime: 600, SubmitTime: 0}
+					post(t, ts.URL+"/v1/predictwait", PredictWaitRequest{
+						Policy: "FCFS", Target: target, Queue: []JobJSON{target},
+					}, nil)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	snap := getMetrics(t, ts.URL)
+	if snap.Counters["http.predict.requests"] != 100 ||
+		snap.Counters["http.predictwait.requests"] != 100 {
+		t.Fatalf("request counters = %+v", snap.Counters)
+	}
+}
+
+func TestPprofMounting(t *testing.T) {
+	pred := core.New(core.DefaultTemplates(
+		workload.MaskOf(workload.CharUser, workload.CharExec), true))
+	s := New(pred, 64)
+	s.EnablePprof()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	// Without EnablePprof the profile endpoints do not exist.
+	ts2, _ := newTestServer(t)
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("pprof mounted without EnablePprof")
+	}
+}
+
+// TestServeGracefulShutdown starts the production server, makes a request,
+// cancels the context, and expects a clean (nil) return.
+func TestServeGracefulShutdown(t *testing.T) {
+	pred := core.New(core.DefaultTemplates(
+		workload.MaskOf(workload.CharUser, workload.CharExec), true))
+	s := New(pred, 64)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ServeListener(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	post(t, url+"/v1/observe", ObserveRequest{Job: job(1, "eve", 2, 50, 100)}, nil)
+	snap := getMetrics(t, url)
+	if snap.Counters["http.observe.requests"] != 1 {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }

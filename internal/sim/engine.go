@@ -12,7 +12,9 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -54,6 +56,33 @@ type Options struct {
 	// OnCancel, when non-nil, is invoked when a queued job's CancelAfter
 	// deadline expires and it is withdrawn.
 	OnCancel func(now int64, j *workload.Job)
+	// Metrics, when non-nil, receives the run's instrumentation: counters
+	// sim.events / sim.arrivals / sim.starts / sim.completions /
+	// sim.cancellations / sim.predictions, the live gauge sim.clock_seconds,
+	// and at completion sim.wall_seconds and sim.events_per_second (simulator
+	// throughput in events per wall-clock second).
+	Metrics *obs.Registry
+}
+
+// simMetrics caches the engine's instrument handles so the event loop pays
+// one nil check plus atomic adds, nothing more.
+type simMetrics struct {
+	events, arrivals, starts, completions, cancellations *obs.Counter
+	clock                                                *obs.Gauge
+}
+
+func newSimMetrics(reg *obs.Registry) *simMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &simMetrics{
+		events:        reg.Counter("sim.events"),
+		arrivals:      reg.Counter("sim.arrivals"),
+		starts:        reg.Counter("sim.starts"),
+		completions:   reg.Counter("sim.completions"),
+		cancellations: reg.Counter("sim.cancellations"),
+		clock:         reg.Gauge("sim.clock_seconds"),
+	}
 }
 
 // Result summarizes a completed simulation.
@@ -149,6 +178,8 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 		defaultRT = predict.DefaultRuntime
 	}
 
+	wallStart := time.Now()
+	met := newSimMetrics(opts.Metrics)
 	wc := w.Clone()
 	jobs := wc.Jobs
 	res := &Result{
@@ -211,6 +242,10 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 				pol.Name(), len(queue))
 		}
 		now = next
+		if met != nil {
+			met.events.Inc()
+			met.clock.SetInt(now)
+		}
 
 		// 1. Completions at this instant (before arrivals, so freed nodes
 		// are visible to the scheduling pass).
@@ -221,6 +256,9 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 				opts.OnFinish(now, j)
 			}
 			pred.Observe(j)
+			if met != nil {
+				met.completions.Inc()
+			}
 		}
 
 		// 2. Cancellation deadlines at this instant (before arrivals and
@@ -236,6 +274,9 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 			if opts.OnCancel != nil {
 				opts.OnCancel(now, e.job)
 			}
+			if met != nil {
+				met.cancellations.Inc()
+			}
 		}
 
 		// 3. Arrivals at this instant.
@@ -249,6 +290,9 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 			}
 			if opts.OnSubmit != nil {
 				opts.OnSubmit(now, j, queue, running)
+			}
+			if met != nil {
+				met.arrivals.Inc()
 			}
 		}
 
@@ -273,6 +317,9 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 				heap.Push(&running, j)
 				if opts.OnStart != nil {
 					opts.OnStart(now, j)
+				}
+				if met != nil {
+					met.starts.Inc()
 				}
 			}
 		}
@@ -305,6 +352,14 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 	res.WaitDist = stats.Summarize(waits)
 	if res.MakespanSec > 0 {
 		res.Utilization = float64(work) / (float64(wc.MachineNodes) * float64(res.MakespanSec))
+	}
+	if met != nil {
+		opts.Metrics.Counter("sim.predictions").Add(res.Predictions)
+		wall := time.Since(wallStart).Seconds()
+		opts.Metrics.Gauge("sim.wall_seconds").Set(wall)
+		if wall > 0 {
+			opts.Metrics.Gauge("sim.events_per_second").Set(float64(met.events.Value()) / wall)
+		}
 	}
 	return res, nil
 }

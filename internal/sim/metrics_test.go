@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// TestRunMetrics: a run with a registry attached reports event, arrival,
+// start, completion, and prediction counts plus throughput gauges.
+func TestRunMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := wl(4, j(1, 0, 100, 4), j(2, 10, 50, 4), j(3, 20, 30, 2))
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["sim.arrivals"]; got != 3 {
+		t.Fatalf("arrivals = %d, want 3", got)
+	}
+	if got := s.Counters["sim.starts"]; got != 3 {
+		t.Fatalf("starts = %d, want 3", got)
+	}
+	if got := s.Counters["sim.completions"]; got != 3 {
+		t.Fatalf("completions = %d, want 3", got)
+	}
+	if got := s.Counters["sim.events"]; got <= 0 {
+		t.Fatalf("events = %d, want > 0", got)
+	}
+	if got := s.Counters["sim.predictions"]; got != res.Predictions {
+		t.Fatalf("predictions counter = %d, result says %d", got, res.Predictions)
+	}
+	if s.Counters["sim.cancellations"] != 0 {
+		t.Fatalf("cancellations = %d, want 0", s.Counters["sim.cancellations"])
+	}
+	// The clock gauge ends at the final completion; throughput is positive.
+	last := res.Jobs[0].EndTime
+	for _, jb := range res.Jobs {
+		if jb.EndTime > last {
+			last = jb.EndTime
+		}
+	}
+	if got := s.Gauges["sim.clock_seconds"]; int64(got) != last {
+		t.Fatalf("clock gauge = %g, want %d", got, last)
+	}
+	if s.Gauges["sim.events_per_second"] <= 0 || s.Gauges["sim.wall_seconds"] <= 0 {
+		t.Fatalf("throughput gauges = %+v", s.Gauges)
+	}
+}
+
+// TestRunMetricsCancellation: withdrawn jobs hit the cancellation counter.
+func TestRunMetricsCancellation(t *testing.T) {
+	reg := obs.NewRegistry()
+	blocker := j(1, 0, 1000, 4)
+	impatient := j(2, 10, 50, 4)
+	impatient.CancelAfter = 100
+	w := wl(4, blocker, impatient)
+	if _, err := Run(w, fcfs{}, predict.Oracle{}, Options{Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["sim.cancellations"] != 1 {
+		t.Fatalf("cancellations = %d, want 1", s.Counters["sim.cancellations"])
+	}
+}
+
+// TestRunWithoutMetrics: a nil registry must not change behaviour (the
+// instrumented run's schedule is identical to the bare run's).
+func TestRunWithoutMetrics(t *testing.T) {
+	mk := func() *workload.Workload {
+		return wl(4, j(1, 0, 100, 4), j(2, 10, 50, 2), j(3, 15, 25, 2))
+	}
+	bare, err := Run(mk(), fcfs{}, predict.Oracle{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Run(mk(), fcfs{}, predict.Oracle{}, Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bare.Jobs {
+		if bare.Jobs[i].StartTime != inst.Jobs[i].StartTime {
+			t.Fatalf("job %d start differs: %d vs %d",
+				i, bare.Jobs[i].StartTime, inst.Jobs[i].StartTime)
+		}
+	}
+}
