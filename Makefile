@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench tables examples clean fmt-check bench-smoke ci
+.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke ci
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repository-specific static analysis: determinism (detrand, wallclock),
+# float comparisons, dropped errors, observability naming. See
+# CONTRIBUTING.md for the invariant list and //lint:allow usage.
+lint:
+	$(GO) run ./cmd/repolint ./...
+
+# govulncheck is not vendored; run it when the tool is on PATH (CI installs
+# it), skip quietly otherwise so offline development keeps working.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# -shuffle=on randomizes test execution order each run, so accidental
+# inter-test state dependence surfaces instead of hiding.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 cover:
 	$(GO) test -cover ./...
@@ -53,5 +70,6 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 
 # The exact pipeline .github/workflows/ci.yml runs, for local use before
-# pushing: lint, build, test, race, bench smoke.
-ci: fmt-check vet build test race bench-smoke
+# pushing: format check, vet, repolint, vuln scan, build, test, race, bench
+# smoke.
+ci: fmt-check vet lint vuln build test race bench-smoke

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ga"
@@ -77,7 +78,9 @@ func run(args []string, stdout io.Writer) error {
 	if *greedy {
 		res, err = ga.GreedySearch(enc, eval, ga.CandidatePool(enc))
 	} else {
-		cfg := ga.Config{PopSize: *pop, Generations: *gens, Seed: *gaSeed}
+		// time.Now is injected here, at the edge: the search itself must
+		// stay wall-clock-free (repolint wallclock check).
+		cfg := ga.Config{PopSize: *pop, Generations: *gens, Seed: *gaSeed, Now: time.Now}
 		if *progress {
 			// Progress lines from the search's per-generation hook: best
 			// error so far, evaluator invocations, and generation wall time.

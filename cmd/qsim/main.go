@@ -51,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *compress != 1 {
+	if *compress != 1 { //lint:allow floatcmp flag-default check; "1" parses to exactly 1.0
 		w = workload.Compress(w, *compress)
 	}
 	if *cancel > 0 {
@@ -105,7 +105,7 @@ func loadWorkload(name, in string, nodes, scale int, seed int64) (*workload.Work
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer f.Close() //lint:allow errdrop read-only file; a close error cannot lose data
 		return workload.ReadSWF(f, workload.SWFOptions{Name: in, MachineNodes: nodes})
 	}
 	if name == "" {
@@ -114,12 +114,18 @@ func loadWorkload(name, in string, nodes, scale int, seed int64) (*workload.Work
 	return workload.Study(name, scale, seed)
 }
 
-func writeCSV(path string, res *sim.Result) error {
+func writeCSV(path string, res *sim.Result) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Close errors matter on a written file (buffered data may only hit the
+	// disk at close); surface one unless an earlier error is already set.
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	cw := csv.NewWriter(f)
 	if err := cw.Write([]string{"id", "user", "queue", "nodes", "submit", "start", "end", "wait", "runtime", "cancelled"}); err != nil {
 		return err
@@ -139,12 +145,16 @@ func writeCSV(path string, res *sim.Result) error {
 	return cw.Error()
 }
 
-func writeUsageCSV(path string, res *sim.Result) error {
+func writeUsageCSV(path string, res *sim.Result) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	cw := csv.NewWriter(f)
 	if err := cw.Write([]string{"time", "busy_nodes"}); err != nil {
 		return err

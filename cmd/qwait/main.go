@@ -106,7 +106,9 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Backstop for the early-return error paths; the success path closes
+	// explicitly below so a flush-at-close failure is reported.
+	defer func() { _ = f.Close() }()
 	cw := csv.NewWriter(f)
 	if err := cw.Write([]string{"id", "submit", "predicted_wait", "actual_wait"}); err != nil {
 		return err
@@ -123,6 +125,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %d predictions to %s\n", len(recs), *csvOut)

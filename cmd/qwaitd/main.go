@@ -65,7 +65,7 @@ func main() {
 		go logMetricsPeriodically(ctx, logger, a.srv.Metrics(), a.metricsInterval)
 	}
 	logger.Info("listening", "addr", a.addr, "pprof", a.pprofOn,
-		"metricsInterval", a.metricsInterval)
+		"metrics_interval", a.metricsInterval)
 	if err := a.srv.Serve(ctx, a.addr); err != nil {
 		logger.Error("serve failed", "err", err)
 		os.Exit(1)
@@ -166,7 +166,7 @@ func build(args []string, stdout io.Writer) (*app, error) {
 			return nil, err
 		}
 		w, err := workload.ReadSWF(f, workload.SWFOptions{Name: *warm})
-		f.Close()
+		_ = f.Close() // read-only file; the ReadSWF error is the interesting one
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsEveryCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-list"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v", code, err)
+	}
+	for _, name := range []string{"detrand", "wallclock", "floatcmp", "errdrop", "obsnames"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-checks", "nosuch"}, &stdout, &stderr)
+	if code != 2 || err == nil {
+		t.Fatalf("run(-checks nosuch) = %d, %v; want exit 2 and an error", code, err)
+	}
+}
+
+// TestRealTreeIsClean is the end-to-end form of the self-check: the
+// shipped binary over the shipped tree reports nothing.
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", "..", "./..."}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("repolint ./... exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}

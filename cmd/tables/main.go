@@ -123,7 +123,7 @@ func searchTemplates(cfg exp.Config, stderr io.Writer) error {
 		}
 		enc := ga.NewEncoding(w)
 		res, err := ga.Search(enc, ga.RuntimeError(ga.FromTrace(w)), ga.Config{
-			PopSize: 20, Generations: 15, Seed: 1,
+			PopSize: 20, Generations: 15, Seed: 1, Now: time.Now,
 		})
 		if err != nil {
 			return err

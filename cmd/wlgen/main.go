@@ -46,7 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		if ferr != nil {
 			return ferr
 		}
-		defer f.Close()
+		defer f.Close() //lint:allow errdrop read-only file; a close error cannot lose data
 		w, err = workload.ReadSWF(f, workload.SWFOptions{Name: *in, MachineNodes: *nodes})
 	case *name != "":
 		w, err = workload.Study(*name, *scale, *seed)
@@ -79,7 +79,7 @@ func run(args []string, stdout io.Writer) error {
 			return ferr
 		}
 		if err := workload.WriteSWF(f, w); err != nil {
-			f.Close()
+			_ = f.Close() // the WriteSWF error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -51,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 			return ferr
 		}
 		w, err = workload.ReadSWF(f, workload.SWFOptions{Name: *in, MachineNodes: *nodes})
-		f.Close()
+		_ = f.Close() // read-only file; the ReadSWF error is the interesting one
 	case *name != "":
 		w, err = workload.Study(*name, *scale, *seed)
 	default:

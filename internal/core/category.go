@@ -131,7 +131,7 @@ func (c *category) estimate(t Template, nodes int, age int64, level float64) (pr
 		if math.IsNaN(v) {
 			return 0, 0, false
 		}
-		if v == 0 {
+		if v == 0 { //lint:allow floatcmp exact-zero variance guard for a category of identical run times
 			return mean, 0, true
 		}
 		tq := stats.TQuantile(0.5+level/2, float64(agg.n-1))

@@ -3,6 +3,7 @@ package ga
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -238,9 +239,13 @@ func TestSearchProgressHooks(t *testing.T) {
 	eval := RuntimeError(FromTrace(w))
 	reg := obs.NewRegistry()
 	var stats []GenerationStats
+	// An injected stepping clock (one second per reading) makes the
+	// elapsed times exact: each generation reads the clock twice.
+	fake := time.Unix(0, 0)
 	res, err := Search(enc, eval, Config{
 		PopSize: 8, Generations: 3, Seed: 9, Obs: reg,
 		OnGeneration: func(g GenerationStats) { stats = append(stats, g) },
+		Now:          func() time.Time { fake = fake.Add(time.Second); return fake },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -252,7 +257,7 @@ func TestSearchProgressHooks(t *testing.T) {
 		if g.Generation != i || g.Generations != 3 {
 			t.Fatalf("stats[%d] = %+v", i, g)
 		}
-		if g.Evaluations <= 0 || g.Elapsed < 0 {
+		if g.Evaluations <= 0 || g.Elapsed != time.Second {
 			t.Fatalf("stats[%d] = %+v", i, g)
 		}
 		if i > 0 && g.BestError > stats[i-1].BestError {

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand forbids non-reproducible randomness in deterministic packages:
+// the global math/rand top-level functions (Intn, Float64, Shuffle, …),
+// which draw from a shared process-wide source, and rand.New/rand.NewSource
+// seeded from the wall clock. Every table in the paper depends on replaying
+// identical random streams from explicit seeds, so deterministic code must
+// thread an injected, explicitly seeded *rand.Rand instead.
+var DetRand = &Analyzer{
+	Name:      "detrand",
+	Doc:       "forbid global math/rand functions and time-seeded sources in deterministic packages",
+	AppliesTo: isDeterministicPkg,
+	Run:       runDetRand,
+}
+
+var randPkgs = []string{"math/rand", "math/rand/v2"}
+
+// detrandConstructors may be called — they build the injected generator —
+// but their seed arguments must not involve the time package.
+var detrandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDetRand(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, ok := pkgSelector(info, call.Fun, randPkgs...); ok && detrandConstructors[name] {
+					for _, arg := range call.Args {
+						reportTimeSeed(pass, name, arg)
+					}
+				}
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgSelector(info, sel, randPkgs...)
+			if !ok {
+				return true
+			}
+			if detrandConstructors[name] {
+				return true // seed arguments are vetted above
+			}
+			if _, isFunc := info.Uses[sel.Sel].(*types.Func); isFunc {
+				pass.Reportf(sel.Pos(),
+					"global math/rand.%s draws from the shared process-wide source; inject a seeded *rand.Rand instead",
+					name)
+			}
+			return true
+		})
+	}
+}
+
+// reportTimeSeed flags any reference into the time package inside a rand
+// constructor's seed argument (the rand.NewSource(time.Now().UnixNano())
+// anti-pattern). Nested rand constructors — rand.New(rand.NewSource(…)) —
+// are not descended into; the inner call is vetted on its own, so each
+// offending time reference is reported exactly once.
+func reportTimeSeed(pass *Pass, ctor string, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if name, ok := pkgSelector(pass.Pkg.Info, inner.Fun, randPkgs...); ok && detrandConstructors[name] {
+				return false
+			}
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgSelector(pass.Pkg.Info, expr, "time"); ok {
+			pass.Reportf(expr.Pos(),
+				"rand.%s seeded from time.%s is not reproducible; seed from configuration instead",
+				ctor, name)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids silently discarding error return values: a call whose
+// results include an error must not appear as a bare expression, defer, or
+// go statement. Assigning the error to the blank identifier (`_ = f()`) is
+// accepted as an explicit, reviewable acknowledgement; a bare call is not,
+// because nothing distinguishes "considered and dismissed" from
+// "forgotten". Print-style helpers writing to in-memory buffers or stdio
+// (fmt.Print*, fmt.Fprint*, strings.Builder, bytes.Buffer methods) are
+// exempt — their error paths are unreachable or conventionally ignored.
+//
+// The check applies everywhere except the runnable examples, which favour
+// brevity.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarding error results in bare call, defer, and go statements",
+	AppliesTo: func(pkgPath string) bool {
+		for _, seg := range strings.Split(pkgPath, "/") {
+			if seg == "examples" {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runErrDrop,
+}
+
+// errdropExempt lists callees whose dropped errors are conventionally
+// acceptable, by types.Func.FullName (exact for package functions, prefix
+// for methods of a type).
+var errdropExemptFuncs = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+}
+
+var errdropExemptRecvPrefixes = []string{
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var kind string
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+				kind = "call"
+			case *ast.DeferStmt:
+				call, kind = s.Call, "deferred call"
+			case *ast.GoStmt:
+				call, kind = s.Call, "go call"
+			default:
+				return true
+			}
+			if call == nil || !returnsError(pass.Pkg.Info, call) || errdropExempt(pass.Pkg.Info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s discards its error result; handle it, assign to _, or justify with //lint:allow errdrop",
+				kind)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func errdropExempt(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if errdropExemptFuncs[full] {
+		return true
+	}
+	for _, p := range errdropExemptRecvPrefixes {
+		if strings.HasPrefix(full, p) {
+			return true
+		}
+	}
+	return false
+}

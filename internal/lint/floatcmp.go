@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != between floating-point operands in non-test
+// code. Run times, utilizations, scaled fitnesses, and t-distribution
+// quantiles are all float64 here; exact equality on values that went
+// through arithmetic is almost always a latent bug (two mathematically
+// equal expressions routinely differ in the last ulp). Compare against a
+// tolerance (math.Abs(a-b) <= eps) or restructure; where exact equality is
+// genuinely intended — bit-level sentinel checks, de-duplication of stored
+// values — say so with //lint:allow floatcmp.
+//
+// Comparisons where both operands are compile-time constants are exempt
+// (the compiler evaluates them exactly, no runtime rounding is involved).
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= between floating-point operands; use an epsilon or math.Abs",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(info, be.X) && !isFloat(info, be.Y) {
+				return true
+			}
+			if isConst(info, be.X) && isConst(info, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use math.Abs(a-b) <= eps or justify with //lint:allow floatcmp",
+				be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether the expression's type is (or is based on)
+// float32 or float64.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConst reports whether the expression is a compile-time constant.
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

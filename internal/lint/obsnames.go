@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsNames keeps the /v1/metrics output machine-parseable: every metric
+// name passed to the internal/obs registry (Registry.Counter / Gauge /
+// Histogram) and every log key passed to obs.Logger (Debug/Info/Warn/Error
+// key-value pairs, Logger.With) must be built from literal snake_case
+// parts — lowercase words joined by underscores, with dots separating
+// namespace segments ("sim.events_per_second"). Dynamic name components
+// (predictor names, endpoint names) are allowed between literal parts, but
+// a name with no literal part at all is opaque to grep and to dashboards
+// and is rejected.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "require literal snake_case metric and log-key names at internal/obs call sites",
+	Run:  runObsNames,
+}
+
+// obsNamePat is one dot-separated name: snake_case segments.
+var obsNamePat = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// obsRegistryMethods maps Registry methods to "first argument is a name".
+var obsRegistryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// obsLoggerKV maps Logger methods to the index of their first key argument
+// (keys are every second argument from there on).
+var obsLoggerKV = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1, // (msg, k, v, k, v, …)
+	"With": 0, // (k, v, k, v, …)
+}
+
+func runObsNames(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			recv, method := recvAndName(fn)
+			if !strings.HasSuffix(recv, "/obs.Registry") && !strings.HasSuffix(recv, "/obs.Logger") {
+				return true
+			}
+			switch {
+			case strings.HasSuffix(recv, "/obs.Registry") && obsRegistryMethods[method]:
+				if len(call.Args) > 0 {
+					checkObsName(pass, call.Args[0], "metric name")
+				}
+			case strings.HasSuffix(recv, "/obs.Logger"):
+				start, ok := obsLoggerKV[method]
+				if !ok {
+					return true
+				}
+				if call.Ellipsis.IsValid() {
+					return true // kv slice passed through; nothing literal to check
+				}
+				for i := start; i < len(call.Args); i += 2 {
+					checkObsName(pass, call.Args[i], "log key")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recvAndName splits a method's FullName "(*path/pkg.Type).Method" into
+// the receiver type path and the method name; package functions return
+// ("", name).
+func recvAndName(fn *types.Func) (recv, name string) {
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(") {
+		return "", fn.Name()
+	}
+	end := strings.LastIndex(full, ").")
+	if end < 0 {
+		return "", fn.Name()
+	}
+	recv = strings.TrimPrefix(full[1:end], "*")
+	return recv, full[end+2:]
+}
+
+// checkObsName validates one name argument. Three cases: a compile-time
+// constant is validated whole; an expression containing string literals
+// (concatenations like "http."+name+".requests") has each literal fragment
+// validated with dots allowed at the seams; an expression with no literal
+// part at all is rejected as opaque.
+func checkObsName(pass *Pass, arg ast.Expr, what string) {
+	info := pass.Pkg.Info
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !obsNamePat.MatchString(name) {
+			pass.Reportf(arg.Pos(), "%s %q is not snake_case (want %s)", what, name, obsNamePat)
+		}
+		return
+	}
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[lit]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return true
+		}
+		found = true
+		frag := constant.StringVal(tv.Value)
+		if !validObsFragment(frag) {
+			pass.Reportf(lit.Pos(), "%s fragment %q is not snake_case (want %s)", what, frag, obsNamePat)
+		}
+		return true
+	})
+	if !found {
+		pass.Reportf(arg.Pos(),
+			"%s must contain a literal snake_case part so metrics stay greppable; found a fully dynamic expression",
+			what)
+	}
+}
+
+// validObsFragment accepts a literal piece of a concatenated name: the
+// usual pattern, tolerating a leading or trailing dot where the dynamic
+// part joins ("predict.", ".requests").
+func validObsFragment(frag string) bool {
+	frag = strings.Trim(frag, ".")
+	if frag == "" {
+		return false
+	}
+	return obsNamePat.MatchString(frag)
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos        token.Position
+	checks     []string
+	justified  bool // non-empty justification after the check list
+	standalone bool // comment is the only thing on its line
+}
+
+// directivePrefix introduces a suppression comment: //lint:allow <checks> <why>.
+const directivePrefix = "lint:allow"
+
+// collectDirectives extracts every //lint:allow directive from a package's
+// files. Determining whether a directive is standalone (and therefore
+// applies to the following line) requires the raw source line, so the file
+// is re-read from disk; a file that cannot be read yields no directives.
+func collectDirectives(fset *token.FileSet, pkg *Package) []directive {
+	var out []directive
+	lines := make(map[string][]string) // filename -> source lines
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. "lint:allowother"
+				}
+				pos := fset.Position(c.Slash)
+				d := directive{pos: pos}
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							d.checks = append(d.checks, name)
+						}
+					}
+					d.justified = len(fields) > 1
+				}
+				src, cached := lines[pos.Filename]
+				if !cached {
+					data, err := os.ReadFile(pos.Filename)
+					if err == nil {
+						src = strings.Split(string(data), "\n")
+					}
+					lines[pos.Filename] = src
+				}
+				if pos.Line-1 < len(src) {
+					before := src[pos.Line-1]
+					if pos.Column-1 <= len(before) {
+						d.standalone = strings.TrimSpace(before[:pos.Column-1]) == ""
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages, applies //lint:allow
+// suppression, and reports malformed directives. Diagnostics come back
+// sorted by position.
+func Run(loader *Loader, analyzers []*Analyzer, paths []string) ([]Diagnostic, error) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Fset: loader.Fset, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+		// suppressed[file][line][check]: a trailing directive covers its own
+		// line; a standalone directive covers the line below it.
+		suppressed := make(map[string]map[int]map[string]bool)
+		mark := func(file string, line int, check string) {
+			if suppressed[file] == nil {
+				suppressed[file] = make(map[int]map[string]bool)
+			}
+			if suppressed[file][line] == nil {
+				suppressed[file][line] = make(map[string]bool)
+			}
+			suppressed[file][line][check] = true
+		}
+		for _, d := range collectDirectives(loader.Fset, pkg) {
+			if len(d.checks) == 0 {
+				diags = append(diags, Diagnostic{
+					Check: "directive", Pos: d.pos,
+					Message: "//lint:allow needs a check name and a justification",
+				})
+				continue
+			}
+			for _, check := range d.checks {
+				if !known[check] {
+					diags = append(diags, Diagnostic{
+						Check: "directive", Pos: d.pos,
+						Message: fmt.Sprintf("//lint:allow names unknown check %q", check),
+					})
+					continue
+				}
+				if !d.justified {
+					diags = append(diags, Diagnostic{
+						Check: "directive", Pos: d.pos,
+						Message: "//lint:allow " + check + " needs a justification after the check name",
+					})
+				}
+				line := d.pos.Line
+				if d.standalone {
+					line++
+				}
+				mark(d.pos.Filename, line, check)
+			}
+		}
+		for _, d := range raw {
+			if suppressed[d.Pos.Filename][d.Pos.Line][d.Check] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}

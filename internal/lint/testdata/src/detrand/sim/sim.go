@@ -1,0 +1,29 @@
+// Package sim is a detrand fixture: its import path ends in /sim, so the
+// analyzer treats it as one of the deterministic packages.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalFuncs(xs []int) int {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+	return rand.Intn(10)                                                  // want `global math/rand\.Intn`
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from time\.Now`
+}
+
+func explicitlySeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: reproducible seed from configuration
+}
+
+func injected(rng *rand.Rand) float64 {
+	return rng.Float64() // ok: method on an injected generator
+}
+
+func allowed() int {
+	return rand.Int() //lint:allow detrand fixture demonstrating a justified suppression
+}

@@ -1,0 +1,29 @@
+// Package a exercises the //lint:allow directive machinery: justified
+// directives suppress (trailing and standalone forms), unjustified or
+// malformed ones are themselves reported.
+package a
+
+import "os"
+
+func trailing() {
+	os.Remove("a") //lint:allow errdrop trailing directive with a justification
+}
+
+func standalone() {
+	//lint:allow errdrop standalone directive covers the next line
+	os.Remove("b")
+}
+
+func unjustified() {
+	//lint:allow errdrop
+	os.Remove("c")
+}
+
+func unknownCheck() {
+	os.Remove("d") //lint:allow nosuchcheck with a justification
+}
+
+func bare() {
+	//lint:allow
+	os.Remove("e")
+}

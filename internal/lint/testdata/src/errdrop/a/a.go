@@ -1,0 +1,45 @@
+// Package a is an errdrop fixture.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func bareCall() {
+	os.Remove("x") // want `call discards its error result`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `deferred call discards its error result`
+}
+
+func goStmt() {
+	go os.Remove("x") // want `go call discards its error result`
+}
+
+func indirect(f func() error) {
+	f() // want `call discards its error result`
+}
+
+func acknowledged() {
+	_ = os.Remove("x") // ok: explicit, reviewable discard
+}
+
+func handled() error {
+	return os.Remove("x") // ok: propagated
+}
+
+func exemptPrinters(sb *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("hello")           // ok: stdio printing is exempt
+	fmt.Fprintf(sb, "x=%d", 1)     // ok
+	sb.WriteString("y")            // ok: strings.Builder never fails
+	buf.WriteString("z")           // ok: bytes.Buffer never fails
+	fmt.Fprintln(os.Stderr, "err") // ok
+}
+
+func allowed(f *os.File) {
+	defer f.Close() //lint:allow errdrop fixture file opened read-only
+}

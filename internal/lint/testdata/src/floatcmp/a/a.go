@@ -1,0 +1,34 @@
+// Package a is a floatcmp fixture.
+package a
+
+type meters float64
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func named(a, b meters) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func zeroSentinel(v float64) bool {
+	return v == 0 // want `floating-point == comparison`
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+const half = 0.5
+
+func constants() bool {
+	return half == 0.5 // ok: both operands are compile-time constants
+}
+
+func allowed(a, b float64) bool {
+	return a == b //lint:allow floatcmp fixture demonstrating a justified suppression
+}

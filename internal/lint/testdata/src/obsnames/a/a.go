@@ -1,0 +1,28 @@
+// Package a is an obsnames fixture. It exercises the real
+// repro/internal/obs API so the analyzer's method matching is tested
+// against the actual types.
+package a
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+const submitted = "jobs_submitted" // named constants are validated by value
+
+func metrics(reg *obs.Registry, endpoint string) {
+	reg.Counter("sim.events").Inc()                        // ok
+	reg.Counter(submitted).Inc()                           // ok: constant resolves to snake_case
+	reg.Gauge("queueDepth").Set(1)                         // want `metric name "queueDepth" is not snake_case`
+	reg.Histogram("http." + endpoint + ".latency_seconds") // ok: literal fragments around a dynamic part
+	reg.Counter("Bad." + endpoint).Inc()                   // want `metric name fragment "Bad\." is not snake_case`
+	reg.Counter(endpoint).Inc()                            // want `must contain a literal snake_case part`
+}
+
+func logging(endpoint string) {
+	l := obs.NewLogger(io.Discard, obs.LevelDebug)
+	l.Info("listening", "addr", ":8080", "badKey", 2)       // want `log key "badKey" is not snake_case`
+	l.With("component", "sim").Debug("tick", "an-other", 4) // want `log key "an-other" is not snake_case`
+	l.Error("free text message is fine", "err", io.EOF)     // ok
+}

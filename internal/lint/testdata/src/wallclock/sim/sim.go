@@ -1,0 +1,25 @@
+// Package sim is a wallclock fixture: its import path ends in /sim, so the
+// analyzer treats it as one of the deterministic packages.
+package sim
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func pureTime(sec int64) time.Time {
+	return time.Unix(sec, 0) // ok: conversion, no clock access
+}
+
+type clocked struct {
+	now func() time.Time // ok: the injected-clock pattern the check asks for
+}
+
+func (c clocked) read() time.Time { return c.now() }
+
+func allowed() time.Time {
+	return time.Now() //lint:allow wallclock fixture demonstrating a justified suppression
+}

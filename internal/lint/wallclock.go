@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock forbids reading or waiting on the wall clock inside
+// deterministic packages. The simulator, schedulers, GA search, and
+// predictors all run on a simulated clock (int64 seconds); a time.Now or
+// time.Sleep in those packages either leaks real time into results that
+// must be reproducible or stalls a simulation that should run as fast as
+// the hardware allows. Code that genuinely needs elapsed wall time (e.g.
+// per-generation progress reporting) must accept an injected
+// `now func() time.Time`, defaulted at the edge in cmd/, the way
+// obs.Logger does — or carry a justified //lint:allow wallclock directive.
+var WallClock = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "forbid wall-clock access (time.Now, time.Since, time.Sleep, …) in deterministic packages",
+	AppliesTo: isDeterministicPkg,
+	Run:       runWallClock,
+}
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// real clock. Pure types and conversions (time.Duration, time.Unix) are
+// fine; timers and tickers are as forbidden as Now itself.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+func runWallClock(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgSelector(pass.Pkg.Info, sel, "time")
+			if !ok || !wallClockFuncs[name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in a deterministic package; inject a clock (now func() time.Time) from cmd/ instead",
+				name)
+			return true
+		})
+	}
+}

@@ -62,6 +62,13 @@ type Options struct {
 	// and at completion sim.wall_seconds and sim.events_per_second (simulator
 	// throughput in events per wall-clock second).
 	Metrics *obs.Registry
+	// Now supplies wall-clock readings for the throughput metrics above.
+	// The engine itself runs entirely on the simulated clock, so the
+	// default is a frozen clock (sim.wall_seconds stays zero and
+	// sim.events_per_second is skipped); callers that want real throughput
+	// numbers inject time.Now at the edge, as cmd/ does. repolint's
+	// wallclock check keeps time.Now out of this package.
+	Now func() time.Time
 }
 
 // simMetrics caches the engine's instrument handles so the event loop pays
@@ -178,7 +185,11 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 		defaultRT = predict.DefaultRuntime
 	}
 
-	wallStart := time.Now()
+	wallNow := opts.Now
+	if wallNow == nil {
+		wallNow = func() time.Time { return time.Time{} } // frozen clock: deterministic by default
+	}
+	wallStart := wallNow()
 	met := newSimMetrics(opts.Metrics)
 	wc := w.Clone()
 	jobs := wc.Jobs
@@ -355,7 +366,7 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 	}
 	if met != nil {
 		opts.Metrics.Counter("sim.predictions").Add(res.Predictions)
-		wall := time.Since(wallStart).Seconds()
+		wall := wallNow().Sub(wallStart).Seconds()
 		opts.Metrics.Gauge("sim.wall_seconds").Set(wall)
 		if wall > 0 {
 			opts.Metrics.Gauge("sim.events_per_second").Set(float64(met.events.Value()) / wall)

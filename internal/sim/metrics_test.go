@@ -2,18 +2,29 @@ package sim
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/workload"
 )
 
+// steppingClock returns an injectable clock that advances one second per
+// reading, so wall-time metrics are exact in tests.
+func steppingClock() func() time.Time {
+	fake := time.Unix(1000, 0)
+	return func() time.Time {
+		fake = fake.Add(time.Second)
+		return fake
+	}
+}
+
 // TestRunMetrics: a run with a registry attached reports event, arrival,
 // start, completion, and prediction counts plus throughput gauges.
 func TestRunMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	w := wl(4, j(1, 0, 100, 4), j(2, 10, 50, 4), j(3, 20, 30, 2))
-	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{Metrics: reg})
+	res, err := Run(w, fcfs{}, predict.Oracle{}, Options{Metrics: reg, Now: steppingClock()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +57,13 @@ func TestRunMetrics(t *testing.T) {
 	if got := s.Gauges["sim.clock_seconds"]; int64(got) != last {
 		t.Fatalf("clock gauge = %g, want %d", got, last)
 	}
-	if s.Gauges["sim.events_per_second"] <= 0 || s.Gauges["sim.wall_seconds"] <= 0 {
-		t.Fatalf("throughput gauges = %+v", s.Gauges)
+	// The stepping clock reads exactly twice (start and end of the run),
+	// so the measured wall time is exactly one second.
+	if got := s.Gauges["sim.wall_seconds"]; got != 1 {
+		t.Fatalf("wall_seconds = %g, want 1 (stepping clock)", got)
+	}
+	if got := s.Gauges["sim.events_per_second"]; got != float64(s.Counters["sim.events"]) {
+		t.Fatalf("events_per_second = %g, want %d", got, s.Counters["sim.events"])
 	}
 }
 

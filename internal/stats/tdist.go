@@ -153,7 +153,7 @@ func tQuantileSlow(p, nu float64) float64 {
 		return math.Inf(-1)
 	case p >= 1:
 		return math.Inf(1)
-	case p == 0.5:
+	case p == 0.5: //lint:allow floatcmp exact symmetry point of the t distribution; 0.5 is representable
 		return 0
 	case p < 0.5:
 		return -TQuantile(1-p, nu)

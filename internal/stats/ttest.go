@@ -26,7 +26,7 @@ func WelchT(xs, ys []float64) (TTestResult, error) {
 	nx, ny := float64(len(xs)), float64(len(ys))
 	se2 := vx/nx + vy/ny
 	if se2 <= 0 {
-		if mx == my {
+		if mx == my { //lint:allow floatcmp degenerate zero-variance case: means of identical constants compare exactly
 			// Identical constants: no evidence of difference.
 			return TTestResult{T: 0, DF: nx + ny - 2, P: 1}, nil
 		}
@@ -58,7 +58,7 @@ func PairedT(xs, ys []float64) (TTestResult, error) {
 	m, v := MeanVar(diffs)
 	n := float64(len(diffs))
 	if v <= 0 {
-		if m == 0 {
+		if m == 0 { //lint:allow floatcmp degenerate zero-variance case: exact-zero constant difference
 			return TTestResult{T: 0, DF: n - 1, P: 1}, nil
 		}
 		// Constant nonzero difference: infinitely strong evidence.
