@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke ci
+.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke fuzz-smoke ci
 
 all: build vet lint test
 
@@ -68,6 +68,11 @@ fmt-check:
 # One iteration of every benchmark so benchmark code cannot bit-rot.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+# A short fuzzing run of the SWF parser — long enough to catch regressions
+# in input validation, short enough for a pre-push check.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadSWF -fuzztime=10s ./internal/workload
 
 # The exact pipeline .github/workflows/ci.yml runs, for local use before
 # pushing: format check, vet, repolint, vuln scan, build, test, race, bench

@@ -4,22 +4,33 @@
 // for predictions:
 //
 //	qwaitd -addr :8642 -nodes 512 [-templates set.json] [-warm trace.swf]
-//	       [-state file] [-pprof] [-metrics-interval 30s] [-log-level info]
+//	       [-data dir] [-snapshot-interval 5m] [-pprof]
+//	       [-metrics-interval 30s] [-log-level info]
 //
 //	POST /v1/observe      {"job": {...}}                 record a completion
 //	POST /v1/predict      {"job": {...}, "age": 120}     run-time prediction
 //	POST /v1/predictwait  {"now":..., "policy":"Backfill",
 //	                       "target":{...}, "queue":[...], "running":[...]}
-//	POST /v1/checkpoint                                   save state (-state)
+//	POST /v1/checkpoint                                   snapshot the store
 //	GET  /v1/stats                                        service counters
 //	GET  /v1/metrics                                      full metrics snapshot
 //	GET  /debug/pprof/                                    profiles (-pprof)
 //
 // Job objects carry the Table-2 characteristics (user, executable, queue,
 // ...), nodes, and maxRunTime; see internal/service for the full schema.
-// With -state, the predictor history is restored at boot and saved after a
-// graceful SIGINT/SIGTERM shutdown. With -metrics-interval, a metrics
-// snapshot is logged (logfmt, stderr) at that period.
+//
+// With -data, the category history lives in a durable internal/histstore
+// store under that directory: every observation is journaled to a
+// write-ahead log, snapshots are taken periodically (-snapshot-interval),
+// on POST /v1/checkpoint, and on graceful shutdown, and a restart — even
+// after a hard kill — recovers the exact history from snapshot + WAL.
+//
+// The -state flag (single-file checkpoints, saved only on graceful
+// shutdown) is deprecated. With both -state and -data, the old state file
+// is imported once into an empty store and the store takes over; with
+// -state alone the legacy behavior remains, with a warning. With
+// -metrics-interval, a metrics snapshot is logged (logfmt, stderr) at that
+// period.
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/histstore"
 	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/workload"
@@ -42,12 +54,14 @@ import (
 // app is the configured-but-not-yet-listening daemon, separated from main
 // so the construction path is testable end to end.
 type app struct {
-	srv             *service.Server
-	addr            string
-	statePath       string
-	pprofOn         bool
-	metricsInterval time.Duration
-	logLevel        obs.Level
+	srv              *service.Server
+	store            *histstore.Store // nil without -data
+	addr             string
+	statePath        string
+	pprofOn          bool
+	metricsInterval  time.Duration
+	snapshotInterval time.Duration
+	logLevel         obs.Level
 }
 
 func main() {
@@ -58,11 +72,17 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, a.logLevel)
 	a.srv.SetLogger(logger)
+	if a.statePath != "" {
+		logger.Warn("flag -state is deprecated; use -data for durable history storage")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if a.metricsInterval > 0 {
 		go logMetricsPeriodically(ctx, logger, a.srv.Metrics(), a.metricsInterval)
+	}
+	if a.store != nil && a.snapshotInterval > 0 {
+		go snapshotPeriodically(ctx, logger, a.store, a.snapshotInterval)
 	}
 	logger.Info("listening", "addr", a.addr, "pprof", a.pprofOn,
 		"metrics_interval", a.metricsInterval)
@@ -70,13 +90,42 @@ func main() {
 		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
-	// Graceful shutdown path: drain done, save state if configured.
-	if a.statePath != "" {
+	// Graceful shutdown path: drain done, persist the history.
+	if a.store != nil {
+		if err := a.store.Snapshot(); err != nil {
+			logger.Error("snapshot on shutdown failed", "err", err)
+			os.Exit(1)
+		}
+		if err := a.store.Close(); err != nil {
+			logger.Error("store close failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("history store snapshotted", "dir", a.store.Dir())
+	} else if a.statePath != "" {
 		if err := a.srv.Checkpoint(); err != nil {
 			logger.Error("checkpoint on shutdown failed", "err", err)
 			os.Exit(1)
 		}
 		logger.Info("state saved", "path", a.statePath)
+	}
+}
+
+// snapshotPeriodically compacts the store's WAL into a snapshot at the
+// given period, so recovery replay stays short on long-running daemons.
+func snapshotPeriodically(ctx context.Context, logger *obs.Logger, st *histstore.Store, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := st.Snapshot(); err != nil {
+				logger.Error("periodic snapshot failed", "err", err)
+			} else if logger.Enabled(obs.LevelDebug) {
+				logger.Debug("periodic snapshot", "dir", st.Dir())
+			}
+		}
 	}
 }
 
@@ -134,8 +183,10 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	addr := fs.String("addr", ":8642", "listen address")
 	nodes := fs.Int("nodes", 512, "machine size in nodes (for wait predictions)")
 	templates := fs.String("templates", "", "JSON template set (from gasearch -o); default: a generic set")
-	warm := fs.String("warm", "", "SWF trace to pre-train the predictor with")
-	state := fs.String("state", "", "checkpoint file: restored at boot, saved on graceful shutdown and POST /v1/checkpoint")
+	warm := fs.String("warm", "", "SWF trace to pre-train the predictor with (skipped when the history store already has data)")
+	dataDir := fs.String("data", "", "history store directory: WAL-journaled observations, snapshots on checkpoint/shutdown, crash recovery at boot")
+	state := fs.String("state", "", "DEPRECATED single-file checkpoint; with -data it is imported once into an empty store")
+	snapshotInterval := fs.Duration("snapshot-interval", 5*time.Minute, "period between automatic history-store snapshots (0 disables; requires -data)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	metricsInterval := fs.Duration("metrics-interval", 0, "log a metrics snapshot at this period (0 disables)")
 	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
@@ -158,27 +209,81 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		ts = core.DefaultTemplates(
 			workload.MaskOf(workload.CharUser, workload.CharExec, workload.CharQueue), true)
 	}
-	pred := core.New(ts)
+
+	var (
+		st   *histstore.Store
+		opts []core.Option
+	)
+	if *dataDir != "" {
+		var err error
+		st, err = histstore.Open(*dataDir)
+		if err != nil {
+			return nil, fmt.Errorf("opening history store %s: %w", *dataDir, err)
+		}
+		opts = append(opts, core.WithStore(st),
+			core.WithStoreErrorHandler(func(err error) {
+				fmt.Fprintln(os.Stderr, "qwaitd: history store insert failed:", err)
+			}))
+	}
+	pred := core.New(ts, opts...)
+	if st != nil && st.Categories() > 0 {
+		fmt.Fprintf(stdout, "recovered %d categories (%d points) from %s\n",
+			st.Categories(), st.Points(), *dataDir)
+	}
+
+	if *state != "" {
+		fmt.Fprintln(stdout, "warning: -state is deprecated; use -data for durable history storage")
+	}
+	if *state != "" && st != nil {
+		// One-time migration: import the legacy checkpoint into an empty
+		// store, snapshot immediately so the store owns the history, and
+		// never touch the old file again.
+		switch {
+		case st.Categories() > 0:
+			fmt.Fprintf(stdout, "ignoring -state %s: history store already has data\n", *state)
+		default:
+			restored, err := service.LoadStateFile(pred, *state)
+			if err != nil {
+				return nil, fmt.Errorf("migrating legacy state %s: %w", *state, err)
+			}
+			if restored {
+				if err := st.Snapshot(); err != nil {
+					return nil, fmt.Errorf("snapshotting migrated state: %w", err)
+				}
+				fmt.Fprintf(stdout, "migrated legacy state %s into %s (%d categories)\n",
+					*state, *dataDir, pred.Categories())
+			}
+		}
+	}
 
 	if *warm != "" {
-		f, err := os.Open(*warm)
-		if err != nil {
-			return nil, err
+		if st != nil && st.Categories() > 0 {
+			fmt.Fprintf(stdout, "skipping -warm %s: history store already has data\n", *warm)
+		} else {
+			f, err := os.Open(*warm)
+			if err != nil {
+				return nil, err
+			}
+			w, err := workload.ReadSWF(f, workload.SWFOptions{Name: *warm})
+			_ = f.Close() // read-only file; the ReadSWF error is the interesting one
+			if err != nil {
+				return nil, err
+			}
+			for _, j := range w.Jobs {
+				pred.Observe(j)
+			}
+			if err := pred.StoreErr(); err != nil {
+				return nil, fmt.Errorf("warming history store: %w", err)
+			}
+			fmt.Fprintf(stdout, "warmed with %d jobs from %s (%d categories)\n",
+				len(w.Jobs), *warm, pred.Categories())
 		}
-		w, err := workload.ReadSWF(f, workload.SWFOptions{Name: *warm})
-		_ = f.Close() // read-only file; the ReadSWF error is the interesting one
-		if err != nil {
-			return nil, err
-		}
-		for _, j := range w.Jobs {
-			pred.Observe(j)
-		}
-		fmt.Fprintf(stdout, "warmed with %d jobs from %s (%d categories)\n",
-			len(w.Jobs), *warm, pred.Categories())
 	}
 
 	srv := service.New(pred, *nodes)
-	if *state != "" {
+	if st != nil {
+		srv.SetStore(st)
+	} else if *state != "" {
 		srv.SetStatePath(*state)
 		restored, err := service.LoadStateFile(pred, *state)
 		if err != nil {
@@ -193,8 +298,9 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	}
 	fmt.Fprintf(stdout, "configured: %d templates, %d-node machine\n", len(ts), *nodes)
 	return &app{
-		srv: srv, addr: *addr, statePath: *state,
+		srv: srv, store: st, addr: *addr, statePath: *state,
 		pprofOn: *pprofOn, metricsInterval: *metricsInterval,
-		logLevel: obs.ParseLevel(*logLevel),
+		snapshotInterval: *snapshotInterval,
+		logLevel:         obs.ParseLevel(*logLevel),
 	}, nil
 }

@@ -219,3 +219,159 @@ func TestMetricsFieldsFlattening(t *testing.T) {
 		t.Fatalf("kv[4] = %v", kv[4])
 	}
 }
+
+// observeJob posts one completed job to a test server.
+func observeJob(t *testing.T, url string, id int, user string, runTime int64) {
+	t.Helper()
+	body, err := json.Marshal(map[string]interface{}{
+		"job": map[string]interface{}{
+			"id": id, "user": user, "nodes": 4,
+			"runTime": runTime, "maxRunTime": runTime * 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe status %d", resp.StatusCode)
+	}
+}
+
+// TestBuildWithDataRecovers drives the durable path end to end: observe
+// through the HTTP surface into a -data store, abandon the daemon without
+// any snapshot (simulated kill — the WAL alone carries the history), then
+// rebuild on the same directory and expect identical categories.
+func TestBuildWithDataRecovers(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	a, err := build([]string{"-data", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.store == nil {
+		t.Fatal("no store attached with -data")
+	}
+	ts := httptest.NewServer(a.srv.Handler())
+	for i := 0; i < 30; i++ {
+		observeJob(t, ts.URL, i, "alice", int64(600+i))
+	}
+	ts.Close()
+	wantCats := a.store.Categories()
+	if wantCats == 0 {
+		t.Fatal("observations produced no categories")
+	}
+	// No Snapshot, no Close: recovery must come from the WAL.
+	sb.Reset()
+	a2, err := build([]string{"-data", dir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.store.Categories() != wantCats {
+		t.Fatalf("recovered %d categories, want %d", a2.store.Categories(), wantCats)
+	}
+	if !strings.Contains(sb.String(), "recovered") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	if err := a2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildStateMigration covers the -state deprecation shim: a legacy
+// checkpoint is imported once into an empty -data store, the store
+// snapshots immediately, and later boots ignore the old file.
+func TestBuildStateMigration(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "warm.swf")
+	state := filepath.Join(dir, "state.jsonl")
+	storeDir := filepath.Join(dir, "hist")
+	writeTestSWF(t, trace)
+
+	// Produce a legacy checkpoint with the old single-file flow.
+	var sb strings.Builder
+	legacy, err := build([]string{"-warm", trace, "-state", state}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-state is deprecated") {
+		t.Fatalf("no deprecation warning:\n%s", sb.String())
+	}
+	if err := legacy.srv.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot with both flags: the legacy file migrates into the store.
+	sb.Reset()
+	a, err := build([]string{"-state", state, "-data", storeDir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "migrated legacy state") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	wantCats := a.store.Categories()
+	if wantCats == 0 {
+		t.Fatal("migration imported nothing")
+	}
+	if err := a.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second boot finds the store populated and ignores -state.
+	sb.Reset()
+	a2, err := build([]string{"-state", state, "-data", storeDir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ignoring -state") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	if a2.store.Categories() != wantCats {
+		t.Fatalf("second boot: %d categories, want %d", a2.store.Categories(), wantCats)
+	}
+	if err := a2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildWarmSkippedOnWarmStore: -warm must not double-train a store
+// that already carries recovered history.
+func TestBuildWarmSkippedOnWarmStore(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "warm.swf")
+	storeDir := filepath.Join(dir, "hist")
+	writeTestSWF(t, trace)
+
+	var sb strings.Builder
+	a, err := build([]string{"-warm", trace, "-data", storeDir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "warmed with") {
+		t.Fatalf("cold store was not warmed:\n%s", sb.String())
+	}
+	wantPoints := a.store.Points()
+	if err := a.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sb.Reset()
+	a2, err := build([]string{"-warm", trace, "-data", storeDir}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "skipping -warm") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	if a2.store.Points() != wantPoints {
+		t.Fatalf("warm store re-trained: %d points, want %d", a2.store.Points(), wantPoints)
+	}
+	if err := a2.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,157 +3,81 @@ package core
 import (
 	"math"
 
+	"repro/internal/histstore"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
-// point is one completed job's contribution to a category.
-type point struct {
-	runTime float64 // absolute run time, seconds
-	ratio   float64 // runTime / maxRunTime, or NaN when no maximum exists
-	nodes   float64
-}
+// Categories are histstore.Category values: a bounded ring of points with
+// incremental Welford moments, shared between the predictor's two modes.
+// In batch mode the predictor owns a private map of them; in store-backed
+// mode they live inside a sharded (optionally durable) histstore.Store and
+// this file's estimate logic runs under the store's shard read locks.
+// Using the identical category representation and arithmetic in both modes
+// is what makes store-backed predictions bit-for-bit equal to the batch
+// predictor's — the determinism tests rely on it.
 
-// category holds the bounded history of one (template, value-combination)
-// pair, with O(1) aggregates for the common case (mean prediction, no age
-// conditioning) and a ring buffer for the general case.
-type category struct {
-	maxHistory int // 0 = unlimited
-	points     []point
-	head       int // ring start when bounded and full
-	full       bool
-
-	// Running aggregates over the *current* contents, maintained across
-	// insertion and eviction, for absolute values and ratios.
-	absAgg aggregate
-	ratAgg aggregate
-}
-
-// aggregate keeps Σx and Σx² so mean/variance are O(1).
-type aggregate struct {
-	n    int
-	sum  float64
-	sum2 float64
-}
-
-func (a *aggregate) add(x float64) {
-	if math.IsNaN(x) {
-		return
+// pointOf converts a completed job to its category contribution.
+func pointOf(j *workload.Job) histstore.Point {
+	p := histstore.Point{
+		RunTime: float64(j.RunTime),
+		Ratio:   math.NaN(),
+		Nodes:   float64(j.Nodes),
 	}
-	a.n++
-	a.sum += x
-	a.sum2 += x * x
-}
-
-func (a *aggregate) remove(x float64) {
-	if math.IsNaN(x) {
-		return
-	}
-	a.n--
-	a.sum -= x
-	a.sum2 -= x * x
-}
-
-// meanVar returns the mean and unbiased sample variance of the aggregate.
-// Catastrophic cancellation is clamped at zero variance.
-func (a *aggregate) meanVar() (float64, float64) {
-	if a.n == 0 {
-		return math.NaN(), math.NaN()
-	}
-	mean := a.sum / float64(a.n)
-	if a.n < 2 {
-		return mean, math.NaN()
-	}
-	v := (a.sum2 - a.sum*mean) / float64(a.n-1)
-	if v < 0 {
-		v = 0
-	}
-	return mean, v
-}
-
-func newCategory(maxHistory int) *category {
-	return &category{maxHistory: maxHistory}
-}
-
-// size returns the number of points currently stored.
-func (c *category) size() int { return len(c.points) }
-
-// insert adds a completed job, evicting the oldest point when the bounded
-// history is full (paper step 3(b)ii).
-func (c *category) insert(j *workload.Job) {
-	p := point{runTime: float64(j.RunTime), nodes: float64(j.Nodes), ratio: math.NaN()}
 	if j.MaxRunTime > 0 {
-		p.ratio = float64(j.RunTime) / float64(j.MaxRunTime)
+		p.Ratio = float64(j.RunTime) / float64(j.MaxRunTime)
 	}
-	if c.maxHistory > 0 && len(c.points) == c.maxHistory {
-		old := c.points[c.head]
-		c.absAgg.remove(old.runTime)
-		c.ratAgg.remove(old.ratio)
-		c.points[c.head] = p
-		c.head = (c.head + 1) % c.maxHistory
-		c.full = true
-	} else {
-		c.points = append(c.points, p)
-	}
-	c.absAgg.add(p.runTime)
-	c.ratAgg.add(p.ratio)
+	return p
 }
 
-// forEach visits every stored point (order unspecified).
-func (c *category) forEach(f func(point)) {
-	for _, p := range c.points {
-		f(p)
-	}
-}
-
-// estimate computes the template's prediction from this category for a job
-// requesting `nodes` nodes that has been running for `age` seconds, at the
-// given confidence level. It returns the predicted value (in the template's
-// value space: seconds for absolute templates, a max-run-time fraction for
-// relative ones), the confidence-interval half-width in the same space, and
-// whether the category could provide a valid prediction.
-func (c *category) estimate(t Template, nodes int, age int64, level float64) (pred, half float64, ok bool) {
+// estimateCategory computes the template's prediction from a category for
+// a job requesting `nodes` nodes that has been running for `age` seconds,
+// at the given confidence level. It returns the predicted value (in the
+// template's value space: seconds for absolute templates, a max-run-time
+// fraction for relative ones), the confidence-interval half-width in the
+// same space, and whether the category could provide a valid prediction.
+func estimateCategory(c *histstore.Category, t Template, nodes int, age int64, level float64) (pred, half float64, ok bool) {
 	need := t.minPoints()
-	if c.size() < need {
+	if c.Size() < need {
 		return 0, 0, false
 	}
 
-	// Fast path: mean prediction with no age filter uses O(1) aggregates.
+	// Fast path: mean prediction with no age filter uses the O(1) moments.
 	if t.Pred == PredMean && (!t.UseAge || age <= 0) {
-		agg := &c.absAgg
+		m := c.Abs()
 		if t.Relative {
-			agg = &c.ratAgg
+			m = c.Rat()
 		}
-		if agg.n < need {
+		if m.N < need {
 			return 0, 0, false
 		}
-		mean, v := agg.meanVar()
+		mean, v := m.MeanVar()
 		if math.IsNaN(v) {
 			return 0, 0, false
 		}
 		if v == 0 { //lint:allow floatcmp exact-zero variance guard for a category of identical run times
 			return mean, 0, true
 		}
-		tq := stats.TQuantile(0.5+level/2, float64(agg.n-1))
-		return mean, tq * math.Sqrt(v/float64(agg.n)), true
+		tq := stats.TQuantile(0.5+level/2, float64(m.N-1))
+		return mean, tq * math.Sqrt(v/float64(m.N)), true
 	}
 
 	// General path: collect the relevant values.
 	filterAge := t.UseAge && age > 0
 	var ys, xs []float64
-	c.forEach(func(p point) {
-		if filterAge && p.runTime <= float64(age) {
+	c.ForEach(func(p histstore.Point) {
+		if filterAge && p.RunTime <= float64(age) {
 			return
 		}
-		y := p.runTime
+		y := p.RunTime
 		if t.Relative {
-			y = p.ratio
+			y = p.Ratio
 			if math.IsNaN(y) {
 				return
 			}
 		}
 		ys = append(ys, y)
-		xs = append(xs, p.nodes)
+		xs = append(xs, p.Nodes)
 	})
 	if len(ys) < need {
 		return 0, 0, false

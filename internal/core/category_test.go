@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/histstore"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -48,9 +49,9 @@ func (n *naiveCategory) meanEstimate(t Template, nodes int, age int64, level flo
 	return mean, half, true
 }
 
-// TestCategoryMatchesNaiveModel drives the optimized ring-buffer category
-// and the naive model with identical random operation sequences and
-// compares every estimate.
+// TestCategoryMatchesNaiveModel drives the ring-buffer category (with its
+// O(1) Welford fast path) and the naive model with identical random
+// operation sequences and compares every estimate.
 func TestCategoryMatchesNaiveModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 60; trial++ {
@@ -63,7 +64,7 @@ func TestCategoryMatchesNaiveModel(t *testing.T) {
 			{Pred: PredMean, MaxHistory: maxHist, Relative: true},
 			{Pred: PredMean, MaxHistory: maxHist, UseAge: true},
 		} {
-			fast := newCategory(maxHist)
+			fast := histstore.NewCategory(maxHist)
 			naive := &naiveCategory{maxHistory: maxHist}
 			for op := 0; op < 80; op++ {
 				j := &workload.Job{
@@ -73,14 +74,14 @@ func TestCategoryMatchesNaiveModel(t *testing.T) {
 				if rng.Intn(4) > 0 {
 					j.MaxRunTime = j.RunTime * int64(1+rng.Intn(4))
 				}
-				fast.insert(j)
+				fast.Insert(pointOf(j))
 				naive.insert(j)
 
 				age := int64(0)
 				if tpl.UseAge && rng.Intn(2) == 0 {
 					age = int64(rng.Intn(4000))
 				}
-				gm, gh, gok := fast.estimate(tpl, 8, age, 0.9)
+				gm, gh, gok := estimateCategory(fast, tpl, 8, age, 0.9)
 				wm, wh, wok := naive.meanEstimate(tpl, 8, age, 0.9)
 				if gok != wok {
 					t.Fatalf("trial %d op %d tpl %s: ok %v vs %v (hist %d)",
@@ -99,33 +100,52 @@ func TestCategoryMatchesNaiveModel(t *testing.T) {
 	}
 }
 
-// TestCategoryAggregatesStayConsistent hammers one bounded category and
-// verifies the O(1) aggregates equal a from-scratch recomputation at the
-// end (guarding against drift from incremental add/remove).
-func TestCategoryAggregatesStayConsistent(t *testing.T) {
+// TestCategoryMomentsStayConsistent hammers one bounded category and
+// verifies the O(1) Welford moments equal a from-scratch recomputation at
+// the end (guarding against drift from incremental add/remove).
+func TestCategoryMomentsStayConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	c := newCategory(32)
+	c := histstore.NewCategory(32)
 	for i := 0; i < 10_000; i++ {
 		j := &workload.Job{Nodes: 1, RunTime: int64(1 + rng.Intn(100000))}
 		if rng.Intn(3) > 0 {
 			j.MaxRunTime = j.RunTime + int64(rng.Intn(100000))
 		}
-		c.insert(j)
+		c.Insert(pointOf(j))
 	}
-	var sum, sum2 float64
-	n := 0
-	c.forEach(func(p point) {
-		sum += p.runTime
-		sum2 += p.runTime * p.runTime
-		n++
-	})
-	if n != c.absAgg.n {
-		t.Fatalf("aggregate n = %d, recount %d", c.absAgg.n, n)
+	var vals []float64
+	c.ForEach(func(p histstore.Point) { vals = append(vals, p.RunTime) })
+	if len(vals) != c.Abs().N {
+		t.Fatalf("moments n = %d, recount %d", c.Abs().N, len(vals))
 	}
-	if math.Abs(sum-c.absAgg.sum) > 1e-6*math.Abs(sum) {
-		t.Fatalf("aggregate sum drifted: %v vs %v", c.absAgg.sum, sum)
+	var sum float64
+	for _, v := range vals {
+		sum += v
 	}
-	if math.Abs(sum2-c.absAgg.sum2) > 1e-6*math.Abs(sum2) {
-		t.Fatalf("aggregate sum2 drifted: %v vs %v", c.absAgg.sum2, sum2)
+	wantMean := sum / float64(len(vals))
+	var m2 float64
+	for _, v := range vals {
+		m2 += (v - wantMean) * (v - wantMean)
+	}
+	wantVar := m2 / float64(len(vals)-1)
+	mean, variance := c.Abs().MeanVar()
+	if math.Abs(mean-wantMean) > 1e-9*(1+math.Abs(wantMean)) {
+		t.Fatalf("mean drifted: %v vs %v", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar) > 1e-6*(1+math.Abs(wantVar)) {
+		t.Fatalf("variance drifted: %v vs %v", variance, wantVar)
+	}
+}
+
+// TestPointOf checks the job-to-point conversion, in particular the NaN
+// ratio sentinel for jobs without a requested maximum.
+func TestPointOf(t *testing.T) {
+	p := pointOf(&workload.Job{Nodes: 4, RunTime: 30, MaxRunTime: 120})
+	if p.RunTime != 30 || p.Nodes != 4 || p.Ratio != 0.25 {
+		t.Fatalf("pointOf with max: %+v", p)
+	}
+	p = pointOf(&workload.Job{Nodes: 2, RunTime: 30})
+	if !math.IsNaN(p.Ratio) {
+		t.Fatalf("pointOf without max: ratio %v, want NaN", p.Ratio)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/histstore"
 )
 
 // Checkpoint/restore for the predictor's category database, so a
@@ -15,6 +17,13 @@ import (
 // a predictor with a different template set is refused — category keys
 // embed template indices, so histories are only meaningful to the set that
 // created them.
+//
+// Store-backed deployments normally rely on the histstore's own WAL +
+// snapshot durability instead; this format remains as the legacy
+// interchange path (and the one-time migration source for old -state
+// files). Loading into a store-backed predictor replaces the store's
+// contents without journaling the import — callers should snapshot the
+// store right after a successful load.
 
 // stateHeader is the first line of a checkpoint.
 type stateHeader struct {
@@ -23,8 +32,8 @@ type stateHeader struct {
 	Categories int    `json:"categories"`
 }
 
-// statePoint mirrors point with JSON tags. Ratio uses -1 for "absent"
-// (NaN is not valid JSON).
+// statePoint mirrors histstore.Point with JSON tags. Ratio uses -1 for
+// "absent" (NaN is not valid JSON).
 type statePoint struct {
 	RunTime float64 `json:"rt"`
 	Ratio   float64 `json:"ratio"`
@@ -49,31 +58,52 @@ func (p *Predictor) templateFingerprint() string {
 	return s
 }
 
+// stateCategoryOf extracts one category's checkpoint line. Category
+// accessors copy, so the result stays valid after any lock protecting c is
+// released.
+func stateCategoryOf(key string, c *histstore.Category) stateCategory {
+	pts := c.Points()
+	sc := stateCategory{
+		Key:        key,
+		MaxHistory: c.MaxHistory(),
+		Head:       c.Head(),
+		Points:     make([]statePoint, 0, len(pts)),
+	}
+	for _, pt := range pts {
+		sp := statePoint{RunTime: pt.RunTime, Ratio: pt.Ratio, Nodes: pt.Nodes}
+		if math.IsNaN(sp.Ratio) {
+			sp.Ratio = -1
+		}
+		sc.Points = append(sc.Points, sp)
+	}
+	return sc
+}
+
 // SaveState writes the predictor's full category database.
 func (p *Predictor) SaveState(w io.Writer) error {
+	var cats []stateCategory
+	if p.store != nil {
+		// Extract under the store's shard read locks; a concurrent writer
+		// may land between shards, but each category line is consistent.
+		p.store.ForEach(func(key string, c *histstore.Category) {
+			cats = append(cats, stateCategoryOf(key, c))
+		})
+	} else {
+		cats = make([]stateCategory, 0, len(p.cats))
+		for key, c := range p.cats {
+			cats = append(cats, stateCategoryOf(key, c))
+		}
+	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(stateHeader{
 		Version:    1,
 		Templates:  p.templateFingerprint(),
-		Categories: len(p.cats),
+		Categories: len(cats),
 	}); err != nil {
 		return err
 	}
-	for key, c := range p.cats {
-		sc := stateCategory{
-			Key:        key,
-			MaxHistory: c.maxHistory,
-			Head:       c.head,
-			Points:     make([]statePoint, 0, len(c.points)),
-		}
-		for _, pt := range c.points {
-			sp := statePoint{RunTime: pt.runTime, Ratio: pt.ratio, Nodes: pt.nodes}
-			if math.IsNaN(sp.Ratio) {
-				sp.Ratio = -1
-			}
-			sc.Points = append(sc.Points, sp)
-		}
+	for _, sc := range cats {
 		if err := enc.Encode(sc); err != nil {
 			return err
 		}
@@ -83,7 +113,9 @@ func (p *Predictor) SaveState(w io.Writer) error {
 
 // LoadState replaces the predictor's category database with a checkpoint
 // previously written by SaveState. It fails (leaving the predictor
-// unchanged) if the checkpoint was produced under a different template set.
+// unchanged) if the checkpoint was produced under a different template set
+// or contains invalid data; the whole file is parsed and validated before
+// anything is installed.
 func (p *Predictor) LoadState(r io.Reader) error {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var hdr stateHeader
@@ -96,34 +128,32 @@ func (p *Predictor) LoadState(r io.Reader) error {
 	if hdr.Templates != p.templateFingerprint() {
 		return fmt.Errorf("core: checkpoint was created under a different template set")
 	}
-	cats := make(map[string]*category, hdr.Categories)
+	cats := make(map[string]*histstore.Category, hdr.Categories)
 	for i := 0; i < hdr.Categories; i++ {
 		var sc stateCategory
 		if err := dec.Decode(&sc); err != nil {
 			return fmt.Errorf("core: checkpoint category %d: %v", i, err)
 		}
-		c := newCategory(sc.MaxHistory)
-		if sc.MaxHistory > 0 && (sc.Head < 0 || sc.Head >= sc.MaxHistory+1) {
-			return fmt.Errorf("core: checkpoint category %q: head %d out of range", sc.Key, sc.Head)
-		}
-		if sc.MaxHistory > 0 && len(sc.Points) > sc.MaxHistory {
-			return fmt.Errorf("core: checkpoint category %q: %d points exceed history %d",
-				sc.Key, len(sc.Points), sc.MaxHistory)
-		}
-		c.head = sc.Head
+		pts := make([]histstore.Point, 0, len(sc.Points))
 		for _, sp := range sc.Points {
-			pt := point{runTime: sp.RunTime, ratio: sp.Ratio, nodes: sp.Nodes}
+			pt := histstore.Point{RunTime: sp.RunTime, Ratio: sp.Ratio, Nodes: sp.Nodes}
 			if sp.Ratio < 0 {
-				pt.ratio = math.NaN()
+				pt.Ratio = math.NaN()
 			}
-			if pt.runTime <= 0 || pt.nodes <= 0 {
-				return fmt.Errorf("core: checkpoint category %q: invalid point %+v", sc.Key, sp)
-			}
-			c.points = append(c.points, pt)
-			c.absAgg.add(pt.runTime)
-			c.ratAgg.add(pt.ratio)
+			pts = append(pts, pt)
+		}
+		c, err := histstore.RestorePoints(sc.MaxHistory, sc.Head, pts)
+		if err != nil {
+			return fmt.Errorf("core: checkpoint category %q: %v", sc.Key, err)
 		}
 		cats[sc.Key] = c
+	}
+	if p.store != nil {
+		p.store.Reset()
+		for key, c := range cats {
+			p.store.Put(key, c)
+		}
+		return nil
 	}
 	p.cats = cats
 	return nil

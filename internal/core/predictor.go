@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
+	"repro/internal/histstore"
 	"repro/internal/predict"
 	"repro/internal/workload"
 )
@@ -25,14 +27,26 @@ type Prediction struct {
 // database per template and predicts via the smallest-confidence-interval
 // category estimate (§2.1, steps 1–3).
 //
-// Predictor is not safe for concurrent use; simulations are single-threaded
-// and parallel experiments each own a Predictor.
+// The predictor has two storage modes. In batch mode (the default) it owns
+// a private category map; this is the single-threaded configuration the
+// simulations and experiments use, and it is not safe for concurrent use.
+// With WithStore the category database lives in a sharded
+// histstore.Store — Observe and Predict become concurrency-safe (guarded
+// by the store's shard locks), completions stream in as O(templates)
+// incremental updates, and, when the store was opened durably, every
+// observation is journaled for crash recovery. Both modes share the same
+// category representation and estimate arithmetic, so their predictions
+// are bit-for-bit identical.
 type Predictor struct {
 	templates  []Template
 	level      float64
-	cats       map[string]*category
+	cats       map[string]*histstore.Category // batch mode; nil when store-backed
+	store      *histstore.Store               // store-backed mode; nil in batch mode
 	name       string
 	firstMatch bool
+
+	onStoreErr func(error)  // called on store insert failures (WAL errors)
+	storeErr   atomic.Value // sticky first error when no handler is set
 }
 
 // Option configures a Predictor.
@@ -62,13 +76,35 @@ func WithFirstMatch() Option {
 	return func(p *Predictor) { p.firstMatch = true }
 }
 
+// WithStore backs the predictor's category database with a sharded
+// histstore.Store instead of a private map: Observe writes through the
+// store (journaled when the store is durable) and predictions read live
+// category moments under shard read locks, making the predictor safe for
+// concurrent use.
+func WithStore(st *histstore.Store) Option {
+	return func(p *Predictor) {
+		if st != nil {
+			p.store = st
+			p.cats = nil
+		}
+	}
+}
+
+// WithStoreErrorHandler installs f as the handler for store insert
+// failures (write-ahead-log errors surfaced by Observe, whose interface
+// signature cannot return them). Without a handler the first error is
+// retained and exposed by StoreErr.
+func WithStoreErrorHandler(f func(error)) Option {
+	return func(p *Predictor) { p.onStoreErr = f }
+}
+
 // New creates a Predictor with the given template set. An empty template
 // set is legal but never predicts.
 func New(templates []Template, opts ...Option) *Predictor {
 	p := &Predictor{
 		templates: append([]Template(nil), templates...),
 		level:     DefaultConfidence,
-		cats:      make(map[string]*category),
+		cats:      make(map[string]*histstore.Category),
 		name:      "smith",
 	}
 	for _, o := range opts {
@@ -90,16 +126,37 @@ func (p *Predictor) Templates() []Template {
 	return append([]Template(nil), p.templates...)
 }
 
+// Store returns the backing store, or nil in batch mode.
+func (p *Predictor) Store() *histstore.Store { return p.store }
+
+// StoreErr returns the first store insert failure seen by Observe when no
+// WithStoreErrorHandler is installed (nil otherwise, and always nil in
+// batch mode).
+func (p *Predictor) StoreErr() error {
+	if err, ok := p.storeErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Categories returns the number of categories currently stored.
-func (p *Predictor) Categories() int { return len(p.cats) }
+func (p *Predictor) Categories() int {
+	if p.store != nil {
+		return p.store.Categories()
+	}
+	return len(p.cats)
+}
 
 // HistorySize returns the total number of data points stored across all
 // categories — the predictor's working-set size, reported as a gauge by
-// the observability layer. O(categories).
+// the observability layer. O(1) store-backed, O(categories) in batch mode.
 func (p *Predictor) HistorySize() int {
+	if p.store != nil {
+		return p.store.Points()
+	}
 	var n int
 	for _, c := range p.cats {
-		n += c.size()
+		n += c.Size()
 	}
 	return n
 }
@@ -125,11 +182,24 @@ func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, boo
 			continue
 		}
 		key := t.Key(i, j)
-		c, exists := p.cats[key]
-		if !exists {
-			continue
+		var (
+			val, half float64
+			ok        bool
+			n         int
+		)
+		if p.store != nil {
+			p.store.View(key, func(c *histstore.Category) {
+				val, half, ok = estimateCategory(c, t, j.Nodes, age, p.level)
+				n = c.Size()
+			})
+		} else {
+			c, exists := p.cats[key]
+			if !exists {
+				continue
+			}
+			val, half, ok = estimateCategory(c, t, j.Nodes, age, p.level)
+			n = c.Size()
 		}
-		val, half, ok := c.estimate(t, j.Nodes, age, p.level)
 		if !ok {
 			continue
 		}
@@ -155,7 +225,7 @@ func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, boo
 				Interval: halfSec,
 				Template: i,
 				Category: key,
-				N:        c.size(),
+				N:        n,
 			}
 		}
 		if found && p.firstMatch {
@@ -173,15 +243,29 @@ func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, boo
 
 // Observe implements predict.Predictor: insert the completed job into the
 // category of every template, creating categories as needed (paper step 3).
+// Store-backed, each insert is an O(1) streaming update (journaled when
+// the store is durable); insert failures go to the configured error
+// handler because this interface method cannot return them.
 func (p *Predictor) Observe(j *workload.Job) {
+	pt := pointOf(j)
 	for i, t := range p.templates {
 		key := t.Key(i, j)
+		if p.store != nil {
+			if err := p.store.Insert(key, t.MaxHistory, pt); err != nil {
+				if p.onStoreErr != nil {
+					p.onStoreErr(err)
+				} else {
+					p.storeErr.CompareAndSwap(nil, err)
+				}
+			}
+			continue
+		}
 		c, ok := p.cats[key]
 		if !ok {
-			c = newCategory(t.MaxHistory)
+			c = histstore.NewCategory(t.MaxHistory)
 			p.cats[key] = c
 		}
-		c.insert(j)
+		c.Insert(pt)
 	}
 }
 

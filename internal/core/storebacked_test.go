@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/histstore"
+	"repro/internal/workload"
+)
+
+// mustPredictAll runs an observe/predict interleaving over a workload:
+// every job is predicted (at ages 0 and 600) against the history of all
+// earlier jobs, then observed. It returns the full prediction stream.
+func mustPredictAll(t *testing.T, p *Predictor, w *workload.Workload) []Prediction {
+	t.Helper()
+	var out []Prediction
+	for _, j := range w.Jobs {
+		for _, age := range []int64{0, 600} {
+			pr, ok := p.PredictDetailed(j, age)
+			if !ok {
+				pr = Prediction{Template: -1}
+			}
+			out = append(out, pr)
+		}
+		p.Observe(j)
+	}
+	if err := p.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// mustEqualPredictions compares two prediction streams bit-for-bit:
+// integer fields exactly, the interval by its IEEE-754 bits.
+func mustEqualPredictions(t *testing.T, name string, want, got []Prediction) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d predictions", name, len(want), len(got))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.Seconds != b.Seconds || a.Template != b.Template || a.Category != b.Category ||
+			a.N != b.N || math.Float64bits(a.Interval) != math.Float64bits(b.Interval) {
+			t.Fatalf("%s: prediction %d diverged: %+v vs %+v", name, i, a, b)
+		}
+	}
+}
+
+// TestStoreBackedMatchesBatch is the tentpole determinism proof: on every
+// study workload, a store-backed predictor (in-memory sharded store) emits
+// the bit-for-bit identical prediction stream to the batch predictor.
+func TestStoreBackedMatchesBatch(t *testing.T) {
+	for _, name := range workload.StudyNames {
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.Study(name, 40, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := DefaultTemplates(w.Chars, w.HasMaxRT)
+			batch := New(ts)
+			stored := New(ts, WithStore(histstore.New()))
+			want := mustPredictAll(t, batch, w)
+			got := mustPredictAll(t, stored, w)
+			mustEqualPredictions(t, name, want, got)
+			if batch.Categories() != stored.Categories() ||
+				batch.HistorySize() != stored.HistorySize() {
+				t.Fatalf("database shape: %d/%d categories, %d/%d points",
+					batch.Categories(), stored.Categories(),
+					batch.HistorySize(), stored.HistorySize())
+			}
+		})
+	}
+}
+
+// TestStoreBackedDurableMatchesBatch adds the durability dimension: the
+// store-backed predictor journals to a WAL, snapshots mid-stream, is
+// abandoned (simulated crash) and recovered into a fresh predictor — and
+// the combined prediction stream still matches the batch predictor
+// bit-for-bit.
+func TestStoreBackedDurableMatchesBatch(t *testing.T) {
+	w, err := workload.Study("ANL", 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := DefaultTemplates(w.Chars, w.HasMaxRT)
+	batch := New(ts)
+	want := mustPredictAll(t, batch, w)
+
+	dir := t.TempDir()
+	st, err := histstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := New(ts, WithStore(st))
+	half := &workload.Workload{Chars: w.Chars, HasMaxRT: w.HasMaxRT, Jobs: w.Jobs[:len(w.Jobs)/2]}
+	got := mustPredictAll(t, stored, half)
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	quarter := len(w.Jobs) * 3 / 4
+	tail := &workload.Workload{Chars: w.Chars, HasMaxRT: w.HasMaxRT, Jobs: w.Jobs[len(w.Jobs)/2 : quarter]}
+	got = append(got, mustPredictAll(t, stored, tail)...)
+
+	// Simulated crash: no Close, no final snapshot. Recovery replays the
+	// snapshot plus the WAL tail.
+	st2, err := histstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	recovered := New(ts, WithStore(st2))
+	rest := &workload.Workload{Chars: w.Chars, HasMaxRT: w.HasMaxRT, Jobs: w.Jobs[quarter:]}
+	got = append(got, mustPredictAll(t, recovered, rest)...)
+	mustEqualPredictions(t, "durable", want, got)
+}
+
+// TestStoreBackedSaveLoadState covers the legacy checkpoint path in store
+// mode: SaveState from a store-backed predictor restores into both batch
+// and store-backed predictors with identical predictions.
+func TestStoreBackedSaveLoadState(t *testing.T) {
+	w, err := workload.Study("CTC", 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := DefaultTemplates(w.Chars, w.HasMaxRT)
+	stored := New(ts, WithStore(histstore.New()))
+	for _, j := range w.Jobs {
+		stored.Observe(j)
+	}
+	if err := stored.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := stored.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	intoBatch := New(ts)
+	if err := intoBatch.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	intoStore := New(ts, WithStore(histstore.New()))
+	if err := intoStore.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if intoBatch.Categories() != stored.Categories() || intoStore.Categories() != stored.Categories() {
+		t.Fatalf("categories: %d / %d / %d", stored.Categories(), intoBatch.Categories(), intoStore.Categories())
+	}
+	for _, j := range w.Jobs[len(w.Jobs)-25:] {
+		a, aok := stored.PredictDetailed(j, 0)
+		b, bok := intoBatch.PredictDetailed(j, 0)
+		c, cok := intoStore.PredictDetailed(j, 0)
+		if aok != bok || aok != cok || a.Seconds != b.Seconds || a.Seconds != c.Seconds {
+			t.Fatalf("restored predictions diverged for job %d: %+v/%v %+v/%v %+v/%v",
+				j.ID, a, aok, b, bok, c, cok)
+		}
+	}
+}
+
+// TestStoreErrSticky verifies WAL failures surface through StoreErr when no
+// handler is installed, and through the handler when one is.
+func TestStoreErrSticky(t *testing.T) {
+	dir := t.TempDir()
+	st, err := histstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New([]Template{{Pred: PredMean}}, WithStore(st))
+	j := &workload.Job{Nodes: 1, RunTime: 10}
+	p.Observe(j)
+	if err := p.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the store makes every subsequent journaled insert fail.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(j)
+	if p.StoreErr() == nil {
+		t.Fatal("insert into closed store did not surface an error")
+	}
+
+	var handled error
+	st2 := histstore.New()
+	q := New([]Template{{Pred: PredMean}}, WithStore(st2),
+		WithStoreErrorHandler(func(e error) { handled = e }))
+	q.Observe(j)
+	if handled != nil || q.StoreErr() != nil {
+		t.Fatalf("memory-only insert errored: %v / %v", handled, q.StoreErr())
+	}
+}

@@ -1,0 +1,118 @@
+package histstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// benchKeys precomputes a realistic key population: a few thousand
+// (template, value-combination) categories, zipf-free uniform access.
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%d|u%d|e%d", i%12, i%997, i%311)
+	}
+	return keys
+}
+
+// BenchmarkStoreInsert measures parallel streaming inserts into the
+// sharded in-memory store — the per-completion cost of the online path.
+func BenchmarkStoreInsert(b *testing.B) {
+	s := New()
+	keys := benchKeys(4096)
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(ctr.Add(1)))
+		for pb.Next() {
+			k := keys[rng.Intn(len(keys))]
+			if err := s.Insert(k, 1024, pt(float64(1+rng.Intn(5000)), 6000, 8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreInsertPredict interleaves writers and readers 1:4 — the
+// production mix, where every submission triggers a fan-out of category
+// reads while completions stream in.
+func BenchmarkStoreInsertPredict(b *testing.B) {
+	s := New()
+	keys := benchKeys(4096)
+	warm := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<14; i++ {
+		k := keys[warm.Intn(len(keys))]
+		if err := s.Insert(k, 1024, pt(float64(1+warm.Intn(5000)), 6000, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		id := ctr.Add(1)
+		rng := rand.New(rand.NewSource(id))
+		write := id%5 == 0
+		for pb.Next() {
+			k := keys[rng.Intn(len(keys))]
+			if write {
+				if err := s.Insert(k, 1024, pt(float64(1+rng.Intn(5000)), 6000, 8)); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			s.View(k, func(c *Category) {
+				mean, v := c.Abs().MeanVar()
+				_ = mean
+				_ = v
+			})
+		}
+	})
+}
+
+// BenchmarkStoreInsertDurable is BenchmarkStoreInsert through the WAL —
+// the journaling overhead per insert (flush-per-record, no fsync).
+func BenchmarkStoreInsertDurable(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close() //lint:allow errdrop benchmark teardown; Close errors cannot affect timings
+	keys := benchKeys(4096)
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(ctr.Add(1)))
+		for pb.Next() {
+			k := keys[rng.Intn(len(keys))]
+			if err := s.Insert(k, 1024, pt(float64(1+rng.Intn(5000)), 6000, 8)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshot measures snapshotting a populated store (the
+// stop-the-writers pause an operator pays per checkpoint).
+func BenchmarkSnapshot(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close() //lint:allow errdrop benchmark teardown; Close errors cannot affect timings
+	rng := rand.New(rand.NewSource(2))
+	keys := benchKeys(2048)
+	for i := 0; i < 1<<15; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if err := s.Insert(k, 64, pt(float64(1+rng.Intn(5000)), 6000, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

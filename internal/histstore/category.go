@@ -1,0 +1,186 @@
+// Package histstore is the online category-history store behind the
+// paper's prediction technique. Every completed job is inserted into the
+// category of each matching template (§2.1 step 3), and predictions are
+// means or regressions over those categories — so at production scale the
+// category database is the hot shared state: millions of inserts streaming
+// in while every submission fans out into dozens of category reads.
+//
+// The store keeps that state
+//
+//   - incremental: each category carries Welford count/mean/M2 moments
+//     (stats.Moments) maintained across insertion and ring-buffer eviction,
+//     so the paper's mean predictions and confidence intervals are O(1)
+//     per category instead of a batch recompute;
+//   - concurrent: categories are sharded by key hash, each shard guarded
+//     by its own RWMutex, so inserts and predictions from many goroutines
+//     proceed in parallel and only collide within a shard;
+//   - durable: an append-only write-ahead log records every insert before
+//     it is applied, and periodic snapshots (written to a temporary file
+//     and atomically renamed) bound recovery time; recovery is snapshot
+//     load + WAL replay, and the WAL is compacted after each snapshot.
+//
+// The package is deliberately ignorant of jobs and templates: keys are
+// opaque strings (internal/core builds them from template/value
+// combinations) and values are Points. internal/core layers the paper's
+// estimate selection on top via its store-backed predictor mode.
+package histstore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Point is one completed job's contribution to a category.
+type Point struct {
+	// RunTime is the absolute run time in seconds.
+	RunTime float64
+	// Ratio is RunTime divided by the user-supplied maximum run time, or
+	// NaN when the job carried no maximum.
+	Ratio float64
+	// Nodes is the job's node count (a float so regressions can consume
+	// it directly).
+	Nodes float64
+}
+
+// Category is the bounded history of one (template, value-combination)
+// pair: a ring buffer of the most recent points plus running Welford
+// moments over the current contents, for absolute run times and for
+// run-time/maximum ratios.
+//
+// A Category is not internally synchronized; the Store serializes access
+// through its shard locks, and a batch (single-goroutine) predictor may
+// use one directly.
+type Category struct {
+	maxHistory int // 0 = unlimited
+	points     []Point
+	head       int // ring start when bounded and full
+
+	abs stats.Moments // moments of Point.RunTime
+	rat stats.Moments // moments of Point.Ratio (NaN-skipping)
+}
+
+// NewCategory creates an empty category retaining at most maxHistory
+// points (0 = unlimited).
+func NewCategory(maxHistory int) *Category {
+	if maxHistory < 0 {
+		maxHistory = 0
+	}
+	return &Category{maxHistory: maxHistory}
+}
+
+// MaxHistory returns the category's history bound (0 = unlimited).
+func (c *Category) MaxHistory() int { return c.maxHistory }
+
+// Size returns the number of points currently stored.
+func (c *Category) Size() int { return len(c.points) }
+
+// Abs returns the running moments of the absolute run times.
+func (c *Category) Abs() *stats.Moments { return &c.abs }
+
+// Rat returns the running moments of the run-time/maximum ratios.
+func (c *Category) Rat() *stats.Moments { return &c.rat }
+
+// Insert adds a completed job's point, evicting the oldest point when the
+// bounded history is full (paper step 3(b)ii). Moments are updated
+// incrementally: the evicted point is removed before the new one is added,
+// so they always describe exactly the ring's current contents.
+func (c *Category) Insert(p Point) {
+	if c.maxHistory > 0 && len(c.points) == c.maxHistory {
+		old := c.points[c.head]
+		c.abs.Remove(old.RunTime)
+		c.rat.Remove(old.Ratio)
+		c.points[c.head] = p
+		c.head = (c.head + 1) % c.maxHistory
+	} else {
+		c.points = append(c.points, p)
+	}
+	c.abs.Add(p.RunTime)
+	c.rat.Add(p.Ratio)
+}
+
+// ForEach visits every stored point (order unspecified).
+func (c *Category) ForEach(f func(Point)) {
+	for _, p := range c.points {
+		f(p)
+	}
+}
+
+// persistState is the category's full durable state: the raw ring slice
+// (in storage order, with the head index), plus both moment sets verbatim.
+// Snapshots persist the moments rather than rebuilding them from the
+// points because the live moments are the product of the category's whole
+// add/evict history; rebuilding from the surviving points alone would
+// drift from the live values in the low bits and break the store's
+// bit-for-bit recovery guarantee.
+type persistState struct {
+	MaxHistory int
+	Head       int
+	Points     []Point
+	Abs, Rat   stats.Moments
+}
+
+// state captures the category's durable state. The points slice is a copy.
+func (c *Category) state() persistState {
+	return persistState{
+		MaxHistory: c.maxHistory,
+		Head:       c.head,
+		Points:     append([]Point(nil), c.points...),
+		Abs:        c.abs,
+		Rat:        c.rat,
+	}
+}
+
+// restoreCategory rebuilds a category from persisted state, validating the
+// ring invariants.
+func restoreCategory(ps persistState) (*Category, error) {
+	if ps.MaxHistory < 0 {
+		return nil, fmt.Errorf("histstore: negative maxHistory %d", ps.MaxHistory)
+	}
+	if ps.MaxHistory > 0 && len(ps.Points) > ps.MaxHistory {
+		return nil, fmt.Errorf("histstore: %d points exceed history bound %d",
+			len(ps.Points), ps.MaxHistory)
+	}
+	if ps.Head != 0 && (ps.MaxHistory == 0 || ps.Head < 0 || ps.Head >= ps.MaxHistory) {
+		return nil, fmt.Errorf("histstore: ring head %d out of range for history %d",
+			ps.Head, ps.MaxHistory)
+	}
+	for _, p := range ps.Points {
+		if p.RunTime <= 0 || p.Nodes <= 0 || math.IsNaN(p.RunTime) || math.IsNaN(p.Nodes) {
+			return nil, fmt.Errorf("histstore: invalid point %+v", p)
+		}
+	}
+	c := NewCategory(ps.MaxHistory)
+	c.points = append(c.points, ps.Points...)
+	c.head = ps.Head
+	c.abs = ps.Abs
+	c.rat = ps.Rat
+	return c, nil
+}
+
+// RestorePoints rebuilds a category from a bare point sequence (no saved
+// moments), recomputing moments by sequential insertion. This is the
+// compatibility path for legacy core checkpoints, which predate moment
+// persistence; it restores the same predictions but not necessarily the
+// same low-order moment bits as the process that wrote the file.
+func RestorePoints(maxHistory, head int, pts []Point) (*Category, error) {
+	c, err := restoreCategory(persistState{MaxHistory: maxHistory, Head: head, Points: pts})
+	if err != nil {
+		return nil, err
+	}
+	c.abs = stats.Moments{}
+	c.rat = stats.Moments{}
+	for _, p := range pts {
+		c.abs.Add(p.RunTime)
+		c.rat.Add(p.Ratio)
+	}
+	return c, nil
+}
+
+// Head returns the ring-start index (for persistence).
+func (c *Category) Head() int { return c.head }
+
+// Points returns a copy of the raw ring contents in storage order (for
+// persistence; pair with Head to reconstruct the ring).
+func (c *Category) Points() []Point { return append([]Point(nil), c.points...) }

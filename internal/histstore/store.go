@@ -1,0 +1,273 @@
+package histstore
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultShards is the default shard count. Category keys hash uniformly
+// (user/executable/queue combinations), so 64 shards keep write collisions
+// rare well past the point where the WAL, not the locks, bounds insert
+// throughput.
+const DefaultShards = 64
+
+// shard is one lock domain of the category map.
+type shard struct {
+	mu   sync.RWMutex
+	cats map[string]*Category
+}
+
+// Store is the concurrency-safe category-statistics store. Reads
+// (View/Categories) take shard read locks and proceed in parallel; inserts
+// take one shard's write lock. A store opened with Open additionally
+// journals every insert to a write-ahead log and can persist snapshots;
+// a store from New is memory-only.
+type Store struct {
+	shards []shard
+	seed   maphash.Seed
+
+	// Aggregate sizes, maintained on the insert path so gauges and
+	// capacity planning never need a full sweep.
+	nCats   atomic.Int64
+	nPoints atomic.Int64
+
+	wal     *wal       // nil for memory-only stores
+	dir     string     // snapshot/WAL directory; "" for memory-only
+	walSync bool       // fsync the WAL after every append
+	snapMu  sync.Mutex // serializes Snapshot callers
+	metrics atomic.Pointer[storeMetrics]
+}
+
+// storeMetrics caches obs instrument handles for the store's hot paths.
+type storeMetrics struct {
+	categories  *obs.Gauge
+	points      *obs.Gauge
+	walRecords  *obs.Counter
+	walBytes    *obs.Gauge
+	walErrors   *obs.Counter
+	snapSeconds *obs.Histogram
+	insertLat   *obs.Histogram
+	predictLat  *obs.Histogram
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithShards sets the shard count (rounded up to a power of two; minimum 1).
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n < 1 {
+			n = 1
+		}
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		s.shards = make([]shard, p)
+	}
+}
+
+// WithSync makes a durable store fsync the WAL after every append. The
+// default flushes each record to the operating system (surviving a process
+// kill) without forcing it to the device (an OS crash can lose the tail);
+// WithSync trades insert throughput for device-level durability.
+func WithSync() Option {
+	return func(s *Store) { s.walSync = true }
+}
+
+// New creates a memory-only store (no WAL, no snapshots). Open creates a
+// durable one.
+func New(opts ...Option) *Store {
+	s := &Store{
+		shards: make([]shard, DefaultShards),
+		seed:   maphash.MakeSeed(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for i := range s.shards {
+		s.shards[i].cats = make(map[string]*Category)
+	}
+	return s
+}
+
+// SetMetrics registers the store's metrics on reg and starts recording.
+// Call once, before concurrent use; a nil registry detaches metrics.
+func (s *Store) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics.Store(nil)
+		return
+	}
+	m := &storeMetrics{
+		categories:  reg.Gauge("histstore.categories"),
+		points:      reg.Gauge("histstore.points"),
+		walRecords:  reg.Counter("histstore.wal.records"),
+		walBytes:    reg.Gauge("histstore.wal.bytes"),
+		walErrors:   reg.Counter("histstore.wal.errors"),
+		snapSeconds: reg.Histogram("histstore.snapshot.seconds"),
+		insertLat:   reg.Histogram("histstore.insert.latency_seconds"),
+		predictLat:  reg.Histogram("histstore.predict.latency_seconds"),
+	}
+	s.metrics.Store(m)
+	s.refreshGauges(m)
+}
+
+// refreshGauges pushes the current aggregate sizes into the gauges.
+func (s *Store) refreshGauges(m *storeMetrics) {
+	if m == nil {
+		return
+	}
+	m.categories.SetInt(s.nCats.Load())
+	m.points.SetInt(s.nPoints.Load())
+	if s.wal != nil {
+		m.walBytes.SetInt(s.wal.size())
+	}
+}
+
+// RefreshMetrics re-publishes the size gauges (categories, points, WAL
+// bytes); handlers that serve metrics snapshots call it first.
+func (s *Store) RefreshMetrics() { s.refreshGauges(s.metrics.Load()) }
+
+// shardOf returns the shard owning key.
+func (s *Store) shardOf(key string) *shard {
+	h := maphash.String(s.seed, key)
+	return &s.shards[h&uint64(len(s.shards)-1)]
+}
+
+// Insert records one completed-job point under key, creating the category
+// (with the given history bound) on first use. For durable stores the
+// point is appended to the WAL before it is applied — the write-ahead
+// contract — and a WAL append failure leaves the in-memory state unchanged
+// so memory never runs ahead of the log.
+func (s *Store) Insert(key string, maxHistory int, p Point) error {
+	m := s.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if s.wal != nil {
+		if err := s.wal.append(key, maxHistory, p); err != nil {
+			sh.mu.Unlock()
+			if m != nil {
+				m.walErrors.Inc()
+			}
+			return fmt.Errorf("histstore: wal append: %w", err)
+		}
+	}
+	s.applyLocked(sh, key, maxHistory, p)
+	sh.mu.Unlock()
+	if m != nil {
+		m.insertLat.Observe(time.Since(start).Seconds())
+		m.walRecords.Inc()
+		s.refreshGauges(m)
+	}
+	return nil
+}
+
+// applyLocked inserts a point into a shard the caller has write-locked.
+func (s *Store) applyLocked(sh *shard, key string, maxHistory int, p Point) {
+	c, ok := sh.cats[key]
+	if !ok {
+		c = NewCategory(maxHistory)
+		sh.cats[key] = c
+		s.nCats.Add(1)
+	}
+	before := c.Size()
+	c.Insert(p)
+	s.nPoints.Add(int64(c.Size() - before))
+}
+
+// View runs f on the category stored under key while holding the shard's
+// read lock, and reports whether the key exists. f must not retain the
+// category or mutate it; concurrent Views proceed in parallel.
+func (s *Store) View(key string, f func(*Category)) bool {
+	m := s.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	c, ok := sh.cats[key]
+	if ok {
+		f(c)
+	}
+	sh.mu.RUnlock()
+	if m != nil {
+		m.predictLat.Observe(time.Since(start).Seconds())
+	}
+	return ok
+}
+
+// Put installs a fully built category under key, replacing any existing
+// one. It is the bulk-restore path (snapshot load, legacy-checkpoint
+// migration) and does not journal; durable callers snapshot afterwards to
+// make the restored state recoverable.
+func (s *Store) Put(key string, c *Category) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if old, ok := sh.cats[key]; ok {
+		s.nCats.Add(-1)
+		s.nPoints.Add(int64(-old.Size()))
+	}
+	sh.cats[key] = c
+	s.nCats.Add(1)
+	s.nPoints.Add(int64(c.Size()))
+	sh.mu.Unlock()
+}
+
+// Reset drops every category (the in-memory half of a full restore).
+func (s *Store) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.cats = make(map[string]*Category)
+		sh.mu.Unlock()
+	}
+	s.nCats.Store(0)
+	s.nPoints.Store(0)
+}
+
+// Categories returns the number of categories currently stored.
+func (s *Store) Categories() int { return int(s.nCats.Load()) }
+
+// Points returns the total number of points stored across all categories.
+func (s *Store) Points() int { return int(s.nPoints.Load()) }
+
+// ForEach visits every (key, category) pair, one shard at a time under
+// that shard's read lock, in an unspecified order. f must not mutate the
+// category.
+func (s *Store) ForEach(f func(key string, c *Category)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, c := range sh.cats {
+			f(k, c)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// sortedKeys returns every category key in sorted order (deterministic
+// snapshot layout and tests).
+func (s *Store) sortedKeys() []string {
+	keys := make([]string, 0, s.Categories())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.cats {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,250 @@
+package histstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func pt(rt, maxRT, nodes float64) Point {
+	ratio := math.NaN()
+	if maxRT > 0 {
+		ratio = rt / maxRT
+	}
+	return Point{RunTime: rt, Ratio: ratio, Nodes: nodes}
+}
+
+func TestStoreInsertAndView(t *testing.T) {
+	s := New()
+	if err := s.Insert("k1", 0, pt(100, 200, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("k1", 0, pt(120, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("k2", 0, pt(7, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Categories() != 2 || s.Points() != 3 {
+		t.Fatalf("categories=%d points=%d, want 2/3", s.Categories(), s.Points())
+	}
+	var mean float64
+	var n int
+	if !s.View("k1", func(c *Category) {
+		mean, _ = c.Abs().MeanVar()
+		n = c.Size()
+	}) {
+		t.Fatal("k1 missing")
+	}
+	if n != 2 || mean != 110 {
+		t.Fatalf("k1: n=%d mean=%v, want 2/110", n, mean)
+	}
+	if s.View("nope", func(*Category) { t.Fatal("callback on missing key") }) {
+		t.Fatal("missing key reported present")
+	}
+	// Ratio moments only count points that carried a maximum.
+	s.View("k1", func(c *Category) {
+		if c.Rat().N != 1 {
+			t.Fatalf("ratio n = %d, want 1", c.Rat().N)
+		}
+	})
+}
+
+func TestStoreBoundedEviction(t *testing.T) {
+	s := New(WithShards(4))
+	for i := 0; i < 10; i++ {
+		if err := s.Insert("k", 4, pt(100, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Insert("k", 4, pt(500, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Points() != 4 {
+		t.Fatalf("points = %d, want history bound 4", s.Points())
+	}
+	s.View("k", func(c *Category) {
+		mean, v := c.Abs().MeanVar()
+		if mean != 500 || v != 0 {
+			t.Fatalf("post-eviction moments = (%v, %v), want (500, 0)", mean, v)
+		}
+	})
+}
+
+// TestCategoryMomentsMatchRecompute hammers a bounded category and checks
+// the incremental Welford moments against a from-scratch recomputation of
+// the surviving ring contents.
+func TestCategoryMomentsMatchRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCategory(32)
+	for i := 0; i < 10_000; i++ {
+		rt := float64(1 + rng.Intn(100000))
+		maxRT := 0.0
+		if rng.Intn(3) > 0 {
+			maxRT = rt + float64(rng.Intn(100000))
+		}
+		c.Insert(pt(rt, maxRT, 1))
+	}
+	var abs, rat []float64
+	c.ForEach(func(p Point) {
+		abs = append(abs, p.RunTime)
+		if !math.IsNaN(p.Ratio) {
+			rat = append(rat, p.Ratio)
+		}
+	})
+	checkMoments := func(name string, n int, mean, variance float64, vals []float64) {
+		t.Helper()
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		wantMean := sum / float64(len(vals))
+		var m2 float64
+		for _, v := range vals {
+			m2 += (v - wantMean) * (v - wantMean)
+		}
+		wantVar := m2 / float64(len(vals)-1)
+		if n != len(vals) {
+			t.Fatalf("%s: n=%d, recount %d", name, n, len(vals))
+		}
+		if math.Abs(mean-wantMean) > 1e-9*(1+math.Abs(wantMean)) {
+			t.Fatalf("%s: mean %v, want %v", name, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 1e-6*(1+math.Abs(wantVar)) {
+			t.Fatalf("%s: variance %v, want %v", name, variance, wantVar)
+		}
+	}
+	am, av := c.Abs().MeanVar()
+	checkMoments("abs", c.Abs().N, am, av, abs)
+	rm, rv := c.Rat().MeanVar()
+	checkMoments("rat", c.Rat().N, rm, rv, rat)
+}
+
+func TestStorePutResetAndForEach(t *testing.T) {
+	s := New()
+	c := NewCategory(2)
+	c.Insert(pt(10, 0, 1))
+	c.Insert(pt(20, 0, 1))
+	s.Put("a", c)
+	if err := s.Insert("b", 0, pt(5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Categories() != 2 || s.Points() != 3 {
+		t.Fatalf("categories=%d points=%d", s.Categories(), s.Points())
+	}
+	// Replacing a key keeps the aggregate counts right.
+	s.Put("a", NewCategory(0))
+	if s.Categories() != 2 || s.Points() != 1 {
+		t.Fatalf("after replace: categories=%d points=%d, want 2/1", s.Categories(), s.Points())
+	}
+	seen := map[string]int{}
+	s.ForEach(func(k string, c *Category) { seen[k] = c.Size() })
+	if len(seen) != 2 || seen["a"] != 0 || seen["b"] != 1 {
+		t.Fatalf("ForEach saw %v", seen)
+	}
+	s.Reset()
+	if s.Categories() != 0 || s.Points() != 0 {
+		t.Fatalf("after reset: categories=%d points=%d", s.Categories(), s.Points())
+	}
+}
+
+// TestStoreConcurrentInsertPredict drives parallel writers and readers
+// through the sharded maps; run under -race this is the store's
+// concurrency-safety proof.
+func TestStoreConcurrentInsertPredict(t *testing.T) {
+	s := New(WithShards(8))
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+	const (
+		writers = 4
+		readers = 4
+		keys    = 37
+		inserts = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < inserts; i++ {
+				k := fmt.Sprintf("cat-%d", rng.Intn(keys))
+				if err := s.Insert(k, 16, pt(float64(1+rng.Intn(1000)), 0, 1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < inserts; i++ {
+				k := fmt.Sprintf("cat-%d", rng.Intn(keys))
+				s.View(k, func(c *Category) {
+					mean, _ := c.Abs().MeanVar()
+					if c.Size() > 0 && (math.IsNaN(mean) || mean <= 0) {
+						t.Errorf("key %s: mean %v with %d points", k, mean, c.Size())
+					}
+				})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if s.Categories() != keys {
+		t.Fatalf("categories = %d, want %d", s.Categories(), keys)
+	}
+	if s.Points() != keys*16 {
+		t.Fatalf("points = %d, want every category at its bound (%d)", s.Points(), keys*16)
+	}
+	s.RefreshMetrics()
+	snap := reg.Snapshot()
+	if snap.Gauges["histstore.categories"] != float64(keys) {
+		t.Fatalf("categories gauge = %v", snap.Gauges["histstore.categories"])
+	}
+	if snap.Histograms["histstore.insert.latency_seconds"].Count != writers*inserts {
+		t.Fatalf("insert latency count = %d", snap.Histograms["histstore.insert.latency_seconds"].Count)
+	}
+	if snap.Histograms["histstore.predict.latency_seconds"].Count != readers*inserts {
+		t.Fatalf("predict latency count = %d", snap.Histograms["histstore.predict.latency_seconds"].Count)
+	}
+}
+
+func TestWithShardsRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {64, 64}, {65, 128}} {
+		s := New(WithShards(tc.in))
+		if len(s.shards) != tc.want {
+			t.Errorf("WithShards(%d) -> %d shards, want %d", tc.in, len(s.shards), tc.want)
+		}
+	}
+}
+
+func TestRestorePointsValidation(t *testing.T) {
+	if _, err := RestorePoints(2, 0, []Point{{RunTime: -1, Nodes: 1}}); err == nil {
+		t.Error("negative run time accepted")
+	}
+	if _, err := RestorePoints(2, 0, make([]Point, 3)); err == nil {
+		t.Error("points beyond history bound accepted")
+	}
+	if _, err := RestorePoints(2, 5, []Point{{RunTime: 1, Nodes: 1, Ratio: math.NaN()}}); err == nil {
+		t.Error("out-of-range head accepted")
+	}
+	c, err := RestorePoints(2, 1, []Point{
+		{RunTime: 10, Nodes: 1, Ratio: math.NaN()},
+		{RunTime: 20, Nodes: 2, Ratio: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 || c.Abs().N != 2 || c.Rat().N != 1 {
+		t.Fatalf("restored category: size=%d absN=%d ratN=%d", c.Size(), c.Abs().N, c.Rat().N)
+	}
+}

@@ -20,6 +20,21 @@ func metrics(reg *obs.Registry, endpoint string) {
 	reg.Counter(endpoint).Inc()                            // want `must contain a literal snake_case part`
 }
 
+// histstore exercises the history-store metric names the production code
+// registers, so a rename there that breaks the convention fails this
+// fixture before it reaches review.
+func histstore(reg *obs.Registry) {
+	reg.Gauge("histstore.categories").SetInt(3)                       // ok
+	reg.Gauge("histstore.points").SetInt(48)                          // ok
+	reg.Gauge("histstore.wal.bytes").SetInt(1 << 12)                  // ok
+	reg.Counter("histstore.wal.records").Inc()                        // ok
+	reg.Counter("histstore.wal.errors").Inc()                         // ok
+	reg.Histogram("histstore.snapshot.seconds").Observe(0.01)         // ok
+	reg.Histogram("histstore.insert.latency_seconds").Observe(0.001)  // ok
+	reg.Histogram("histstore.predict.latency_seconds").Observe(0.001) // ok
+	reg.Gauge("histstore.walBytes").SetInt(0)                         // want `metric name "histstore.walBytes" is not snake_case`
+}
+
 func logging(endpoint string) {
 	l := obs.NewLogger(io.Discard, obs.LevelDebug)
 	l.Info("listening", "addr", ":8080", "badKey", 2)       // want `log key "badKey" is not snake_case`

@@ -1,0 +1,96 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func rjob(user string, rt int64) *workload.Job {
+	return &workload.Job{User: user, Nodes: 1, RunTime: rt}
+}
+
+// TestRecentUserMeanRingWraparound pushes more completions than the ring
+// holds and checks the mean tracks exactly the last K values through
+// several full wraps of the ring.
+func TestRecentUserMeanRingWraparound(t *testing.T) {
+	p := NewRecentUserMean(3)
+	vals := []int64{10, 20, 30, 40, 50, 60, 70, 80}
+	for i, v := range vals {
+		p.Observe(rjob("u", v))
+		// Expected mean of the last min(i+1, 3) values.
+		lo := i + 1 - 3
+		if lo < 0 {
+			lo = 0
+		}
+		var sum int64
+		for _, w := range vals[lo : i+1] {
+			sum += w
+		}
+		want := sum / int64(i+1-lo)
+		got, ok := p.Predict(rjob("u", 0), 0)
+		if !ok || got != want {
+			t.Fatalf("after %d observes: predict = %d/%v, want %d", i+1, got, ok, want)
+		}
+	}
+}
+
+// TestRecentUserMeanZeroCapacity: K ≤ 0 must fall back to DefaultRecentK
+// both at construction and for a zero-value struct used directly.
+func TestRecentUserMeanZeroCapacity(t *testing.T) {
+	p := NewRecentUserMean(0)
+	if p.K != DefaultRecentK {
+		t.Fatalf("K = %d, want DefaultRecentK %d", p.K, DefaultRecentK)
+	}
+	for _, v := range []int64{100, 200, 300} {
+		p.Observe(rjob("u", v))
+	}
+	got, ok := p.Predict(rjob("u", 0), 0)
+	if !ok || got != 250 {
+		t.Fatalf("predict = %d/%v, want 250 (last-2 mean)", got, ok)
+	}
+
+	// A RecentUserMean created with a negative K behaves the same.
+	n := NewRecentUserMean(-5)
+	for _, v := range []int64{100, 200, 300} {
+		n.Observe(rjob("u", v))
+	}
+	got, ok = n.Predict(rjob("u", 0), 0)
+	if !ok || got != 250 {
+		t.Fatalf("negative-K predict = %d/%v, want 250", got, ok)
+	}
+}
+
+// TestRecentUserMeanDuplicateCompletions: repeated identical run times
+// (the common case of a user resubmitting the same job) keep the running
+// sum exact — the ring's incremental sum must not drift.
+func TestRecentUserMeanDuplicateCompletions(t *testing.T) {
+	p := NewRecentUserMean(4)
+	for i := 0; i < 1000; i++ {
+		p.Observe(rjob("u", 77))
+	}
+	got, ok := p.Predict(rjob("u", 0), 0)
+	if !ok || got != 77 {
+		t.Fatalf("predict = %d/%v, want 77 after duplicate completions", got, ok)
+	}
+	// Mixed duplicates across the wrap boundary.
+	for _, v := range []int64{1, 1, 9, 9} {
+		p.Observe(rjob("u", v))
+	}
+	got, ok = p.Predict(rjob("u", 0), 0)
+	if !ok || got != 5 {
+		t.Fatalf("predict = %d/%v, want 5", got, ok)
+	}
+	// The floor at 1 second holds for tiny histories.
+	q := NewRecentUserMean(2)
+	q.Observe(rjob("v", 0))
+	got, ok = q.Predict(rjob("v", 0), 0)
+	if !ok || got != 1 {
+		t.Fatalf("predict = %d/%v, want floor of 1", got, ok)
+	}
+
+	// Users are independent: u's flood never touches w's history.
+	if _, ok := p.Predict(rjob("w", 0), 0); ok {
+		t.Fatal("prediction for a user with no history")
+	}
+}

@@ -25,9 +25,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/histstore"
 	"repro/internal/obs"
 	"repro/internal/predict"
 	"repro/internal/sched"
@@ -68,9 +70,10 @@ func (j *JobJSON) toJob() *workload.Job {
 type Server struct {
 	mu           sync.RWMutex
 	pred         *core.Predictor
+	store        *histstore.Store // non-nil when the predictor is store-backed
 	machineNodes int
-	observations int64
-	statePath    string // checkpoint destination; "" disables /v1/checkpoint
+	observations atomic.Int64
+	statePath    string // legacy checkpoint destination; "" disables it
 	reg          *obs.Registry
 	log          *obs.Logger
 	pprof        bool
@@ -97,8 +100,20 @@ func New(pred *core.Predictor, machineNodes int) *Server {
 }
 
 // SetStatePath configures where /v1/checkpoint (and Checkpoint) write the
-// predictor state.
+// predictor state in the legacy single-file format. Ignored when a history
+// store is attached — the store's snapshot mechanism takes over.
 func (s *Server) SetStatePath(path string) { s.statePath = path }
+
+// SetStore attaches the history store backing the predictor. Checkpoints
+// become store snapshots, the store's metrics register with the server's
+// registry, and observes run under the read lock (the store's shard locks
+// make them safe), so they no longer serialize against predictions.
+func (s *Server) SetStore(st *histstore.Store) {
+	s.store = st
+	if st != nil {
+		st.SetMetrics(s.reg)
+	}
+}
 
 // SetLogger replaces the server's logger (default: discard).
 func (s *Server) SetLogger(l *obs.Logger) {
@@ -115,14 +130,26 @@ func (s *Server) EnablePprof() { s.pprof = true }
 // can log periodic snapshots or add their own series.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// Checkpoint saves the predictor state to the configured path.
+// Checkpoint persists the predictor's history: a store snapshot when a
+// history store is attached, otherwise the legacy single-file state dump.
 func (s *Server) Checkpoint() error {
+	if s.store != nil {
+		return s.store.Snapshot()
+	}
 	if s.statePath == "" {
 		return fmt.Errorf("service: no state path configured")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return saveStateFile(s.pred, s.statePath)
+}
+
+// checkpointDest reports where Checkpoint writes, for the HTTP response.
+func (s *Server) checkpointDest() string {
+	if s.store != nil {
+		return s.store.Dir()
+	}
+	return s.statePath
 }
 
 // Handler returns the service's HTTP handler. Every endpoint is wrapped
@@ -191,6 +218,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge("predictor.categories").SetInt(int64(cats))
 	s.reg.Gauge("predictor.history_size").SetInt(int64(hist))
 	s.reg.Gauge("predictor.templates").SetInt(int64(tmpl))
+	if s.store != nil {
+		s.store.RefreshMetrics()
+	}
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
@@ -203,7 +233,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"saved": s.statePath})
+	writeJSON(w, http.StatusOK, map[string]string{"saved": s.checkpointDest()})
 }
 
 // writeJSON writes v as a JSON response.
@@ -248,10 +278,20 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "completed job needs a positive runTime")
 		return
 	}
-	s.mu.Lock()
-	s.pred.Observe(job)
-	s.observations++
-	s.mu.Unlock()
+	if s.store != nil {
+		// Store-backed observes are concurrency-safe (the store's shard
+		// locks guard them), so they share the read lock and proceed in
+		// parallel with predictions; the write lock is only needed to
+		// exclude whole-database swaps (LoadState).
+		s.mu.RLock()
+		s.pred.Observe(job)
+		s.mu.RUnlock()
+	} else {
+		s.mu.Lock()
+		s.pred.Observe(job)
+		s.mu.Unlock()
+	}
+	s.observations.Add(1)
 	s.mObserve.Inc()
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
@@ -374,7 +414,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	resp := StatsResponse{
 		Categories:   s.pred.Categories(),
-		Observations: s.observations,
+		Observations: s.observations.Load(),
 		MachineNodes: s.machineNodes,
 		Templates:    len(s.pred.Templates()),
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/histstore"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -421,5 +422,108 @@ func TestServeGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+}
+
+// newStoreServer builds a server whose predictor is backed by a durable
+// history store in a temp dir.
+func newStoreServer(t *testing.T) (*httptest.Server, *Server, *histstore.Store) {
+	t.Helper()
+	st, err := histstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := core.New(core.DefaultTemplates(
+		workload.MaskOf(workload.CharUser, workload.CharExec), true),
+		core.WithStore(st))
+	s := New(pred, 64)
+	s.SetStore(st)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s, st
+}
+
+// TestStoreBackedCheckpointSnapshots: with a store attached,
+// /v1/checkpoint snapshots the store (reporting its directory) and a fresh
+// store opened on the same directory sees the full history.
+func TestStoreBackedCheckpointSnapshots(t *testing.T) {
+	ts, _, st := newStoreServer(t)
+	for i := 0; i < 12; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "carol", 4, 300+int64(i), 900)}, nil)
+	}
+	var saved map[string]string
+	resp := post(t, ts.URL+"/v1/checkpoint", nil, &saved)
+	if resp.StatusCode != http.StatusOK || saved["saved"] != st.Dir() {
+		t.Fatalf("checkpoint: status %d saved=%q want dir %q", resp.StatusCode, saved["saved"], st.Dir())
+	}
+	reopened, err := histstore.Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Categories() != st.Categories() || reopened.Points() != st.Points() {
+		t.Fatalf("snapshot lost history: %d/%d categories, %d/%d points",
+			st.Categories(), reopened.Categories(), st.Points(), reopened.Points())
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBackedMetricsExposed: /v1/metrics refreshes and reports the
+// store's gauges alongside the predictor's.
+func TestStoreBackedMetricsExposed(t *testing.T) {
+	ts, _, st := newStoreServer(t)
+	for i := 0; i < 5; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "dave", 2, 120, 600)}, nil)
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gauges["histstore.categories"] != float64(st.Categories()) {
+		t.Fatalf("histstore.categories gauge = %v, store has %d",
+			snap.Gauges["histstore.categories"], st.Categories())
+	}
+	if snap.Gauges["histstore.wal.bytes"] <= 0 {
+		t.Fatalf("histstore.wal.bytes gauge = %v", snap.Gauges["histstore.wal.bytes"])
+	}
+	if snap.Histograms["histstore.insert.latency_seconds"].Count == 0 {
+		t.Fatal("insert latency histogram empty after observes")
+	}
+	if snap.Gauges["predictor.history_size"] != float64(st.Points()) {
+		t.Fatalf("predictor.history_size = %v, store has %d points",
+			snap.Gauges["predictor.history_size"], st.Points())
+	}
+}
+
+// TestStoreBackedConcurrentObservePredict: store-backed observes share the
+// read lock, so mixed traffic runs concurrently; under -race this is the
+// service-layer safety proof.
+func TestStoreBackedConcurrentObservePredict(t *testing.T) {
+	ts, s, _ := newStoreServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := g*100 + i
+				post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(id, "erin", 4, 450, 900)}, nil)
+				var pr PredictResponse
+				post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(id, "erin", 4, 0, 900)}, &pr)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.observations.Load() != 100 {
+		t.Fatalf("observations = %d, want 100", s.observations.Load())
+	}
+	if err := s.pred.StoreErr(); err != nil {
+		t.Fatal(err)
 	}
 }

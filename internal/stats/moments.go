@@ -1,0 +1,73 @@
+package stats
+
+import "math"
+
+// Moments maintains running first and second central moments of a stream
+// with Welford's algorithm, extended with exact reversal so a bounded
+// history can evict its oldest point in O(1). Welford's update is the
+// numerically stable choice for long-lived streaming aggregates: unlike the
+// Σx/Σx² formulation, the variance never suffers catastrophic cancellation
+// when the mean is large relative to the spread, which is exactly the shape
+// of run-time categories (hours-long jobs with minutes of jitter).
+//
+// The zero value is an empty aggregate ready for use. NaN samples are
+// ignored by both Add and Remove, so optional values (a relative run time
+// for a job without a user-supplied maximum) can be streamed unguarded.
+type Moments struct {
+	// N is the number of samples currently contributing.
+	N int
+	// Mean is the running mean (0 when N == 0).
+	Mean float64
+	// M2 is the sum of squared deviations from the running mean.
+	M2 float64
+}
+
+// Add incorporates one sample.
+func (m *Moments) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	m.N++
+	d := x - m.Mean
+	m.Mean += d / float64(m.N)
+	m.M2 += d * (x - m.Mean)
+}
+
+// Remove reverses a previous Add of x. Removing a value that was never
+// added gives meaningless moments; callers (the bounded category ring)
+// only remove values they inserted.
+func (m *Moments) Remove(x float64) {
+	if math.IsNaN(x) || m.N == 0 {
+		return
+	}
+	if m.N == 1 {
+		*m = Moments{}
+		return
+	}
+	n1 := float64(m.N - 1)
+	prevMean := (float64(m.N)*m.Mean - x) / n1
+	m.M2 -= (x - prevMean) * (x - m.Mean)
+	if m.M2 < 0 {
+		m.M2 = 0 // guard the tiny negative residue of float reversal
+	}
+	m.Mean = prevMean
+	m.N--
+}
+
+// MeanVar returns the mean and the unbiased sample variance. The mean is
+// NaN when the aggregate is empty and the variance is NaN when fewer than
+// two samples contribute, mirroring the contract prediction code relies on
+// to reject under-populated categories.
+func (m *Moments) MeanVar() (mean, variance float64) {
+	if m.N == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if m.N < 2 {
+		return m.Mean, math.NaN()
+	}
+	v := m.M2 / float64(m.N-1)
+	if v < 0 {
+		v = 0
+	}
+	return m.Mean, v
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func recompute(vals []float64) (mean, variance float64, n int) {
+	var sum float64
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN(), 0
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, math.NaN(), n
+	}
+	var m2 float64
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		m2 += (v - mean) * (v - mean)
+	}
+	return mean, m2 / float64(n-1), n
+}
+
+func TestMomentsMatchesRecomputeUnderSlidingWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, window := range []int{1, 2, 7, 32} {
+		var m Moments
+		var live []float64
+		for i := 0; i < 5000; i++ {
+			x := 3600 + rng.NormFloat64()*90 // large mean, small spread: the hostile regime
+			if rng.Intn(10) == 0 {
+				x = math.NaN()
+			}
+			live = append(live, x)
+			m.Add(x)
+			if len(live) > window {
+				m.Remove(live[0])
+				live = live[1:]
+			}
+			wm, wv, wn := recompute(live)
+			if m.N != wn {
+				t.Fatalf("window %d step %d: n = %d, want %d", window, i, m.N, wn)
+			}
+			gm, gv := m.MeanVar()
+			if wn == 0 {
+				continue
+			}
+			if math.Abs(gm-wm) > 1e-9*(1+math.Abs(wm)) {
+				t.Fatalf("window %d step %d: mean %v, want %v", window, i, gm, wm)
+			}
+			if wn < 2 {
+				if !math.IsNaN(gv) {
+					t.Fatalf("window %d step %d: variance %v, want NaN for n<2", window, i, gv)
+				}
+				continue
+			}
+			if math.Abs(gv-wv) > 1e-6*(1+math.Abs(wv)) {
+				t.Fatalf("window %d step %d: variance %v, want %v", window, i, gv, wv)
+			}
+		}
+	}
+}
+
+func TestMomentsEmptyAndSingle(t *testing.T) {
+	var m Moments
+	if mean, v := m.MeanVar(); !math.IsNaN(mean) || !math.IsNaN(v) {
+		t.Fatalf("empty moments = (%v, %v), want NaN", mean, v)
+	}
+	m.Add(42)
+	mean, v := m.MeanVar()
+	if mean != 42 || !math.IsNaN(v) {
+		t.Fatalf("single sample = (%v, %v), want (42, NaN)", mean, v)
+	}
+	m.Remove(42)
+	if m.N != 0 || m.Mean != 0 || m.M2 != 0 {
+		t.Fatalf("remove-to-empty left residue: %+v", m)
+	}
+}
+
+func TestMomentsIgnoresNaN(t *testing.T) {
+	var m Moments
+	m.Add(math.NaN())
+	m.Add(10)
+	m.Add(20)
+	m.Remove(math.NaN())
+	mean, v := m.MeanVar()
+	if m.N != 2 || mean != 15 || v != 50 {
+		t.Fatalf("moments = n=%d (%v, %v), want n=2 (15, 50)", m.N, mean, v)
+	}
+}
+
+func TestMomentsIdenticalValuesZeroVariance(t *testing.T) {
+	var m Moments
+	for i := 0; i < 100; i++ {
+		m.Add(1234.5)
+	}
+	mean, v := m.MeanVar()
+	if mean != 1234.5 || v != 0 {
+		t.Fatalf("identical stream = (%v, %v), want (1234.5, 0)", mean, v)
+	}
+}

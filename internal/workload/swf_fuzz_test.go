@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSWF throws arbitrary bytes at the SWF parser. The parser must
+// never panic, and whenever it accepts an input the resulting workload
+// must satisfy the schedulability invariants every downstream consumer
+// (simulator, predictor, service) assumes: positive run times and node
+// counts within the machine, nondecreasing submit times, and maximum run
+// times present when the workload claims to carry them.
+func FuzzReadSWF(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("; comment only\n"))
+	f.Add([]byte("; MaxProcs: 128\n1 0 5 600 8 -1 -1 8 1200 -1 1 3 1 7 2 1 -1 -1\n"))
+	f.Add([]byte("1 0 5 600 8 -1 -1 8 1200 -1 1 3 1 7 2 1 -1 -1\n" +
+		"2 10 0 30 4 -1 -1 4 -1 -1 1 4 1 9 1 1 -1 -1\n"))
+	f.Add([]byte("not an swf line\n"))
+	f.Add([]byte("1 0 5 600 8\n"))                                  // too few fields
+	f.Add([]byte(strings.Repeat("9", 400) + " 0 0 0 0\n"))          // huge number
+	f.Add([]byte("1 -5 5 -600 8 -1 -1 0 0 -1 1 3 1 7 2 1 -1 -1\n")) // negatives
+
+	// One seed from the real writer, so the corpus includes a fully valid
+	// multi-job trace.
+	w, err := Study("SDSC95", 400, 11)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ReadSWF(bytes.NewReader(data), SWFOptions{Name: "fuzz"})
+		if err != nil {
+			return
+		}
+		if w == nil {
+			t.Fatal("nil workload with nil error")
+		}
+		if w.MachineNodes <= 0 {
+			t.Fatalf("accepted workload with machine size %d", w.MachineNodes)
+		}
+		var prev int64 = -1 << 62
+		for i, j := range w.Jobs {
+			if j.RunTime <= 0 {
+				t.Fatalf("job %d: run time %d", i, j.RunTime)
+			}
+			if j.Nodes <= 0 || j.Nodes > w.MachineNodes {
+				t.Fatalf("job %d: %d nodes on a %d-node machine", i, j.Nodes, w.MachineNodes)
+			}
+			if j.SubmitTime < prev {
+				t.Fatalf("job %d: submit %d before predecessor %d", i, j.SubmitTime, prev)
+			}
+			prev = j.SubmitTime
+			if w.HasMaxRT && j.MaxRunTime <= 0 {
+				t.Fatalf("job %d: HasMaxRT workload without a maximum", i)
+			}
+		}
+		// Accepted traces survive a write/read round trip.
+		var out bytes.Buffer
+		if err := WriteSWF(&out, w); err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		w2, err := ReadSWF(bytes.NewReader(out.Bytes()), SWFOptions{Name: "fuzz2", MachineNodes: w.MachineNodes})
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if len(w2.Jobs) != len(w.Jobs) {
+			t.Fatalf("round trip changed job count %d -> %d", len(w.Jobs), len(w2.Jobs))
+		}
+	})
+}

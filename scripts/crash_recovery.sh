@@ -1,0 +1,96 @@
+#!/usr/bin/env sh
+# Crash-recovery check for qwaitd's durable history store.
+#
+# Builds the daemon, streams observations into a -data store, captures a
+# set of predictions, kills the process with SIGKILL mid-WAL (no graceful
+# shutdown, no snapshot), restarts it on the same directory, and asserts
+# the restarted daemon returns byte-identical predictions and the same
+# category count. This is the end-to-end version of the histstore
+# durability unit tests: if WAL replay lost or double-counted anything,
+# the prediction JSON would differ.
+#
+# Usage: scripts/crash_recovery.sh [port]
+set -eu
+
+PORT="${1:-18642}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+DATA="${WORK}/hist"
+BIN="${WORK}/qwaitd"
+PID=""
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+wait_ready() {
+    i=0
+    while ! curl -sf "http://${ADDR}/v1/stats" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "FAIL: daemon did not become ready on ${ADDR}" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+predict_all() {
+    # Predictions for a spread of users/sizes, concatenated byte-for-byte.
+    out="$1"
+    : >"${out}"
+    for u in alice bob carol; do
+        for n in 2 8 32; do
+            curl -sf -X POST "http://${ADDR}/v1/predict" \
+                -d "{\"job\":{\"id\":9999,\"user\":\"${u}\",\"executable\":\"${u}/app\",\"nodes\":${n},\"maxRunTime\":7200}}" \
+                >>"${out}"
+            printf '\n' >>"${out}"
+        done
+    done
+}
+
+go build -o "${BIN}" ./cmd/qwaitd
+
+"${BIN}" -addr "${ADDR}" -nodes 128 -data "${DATA}" -snapshot-interval 0 &
+PID=$!
+wait_ready
+
+# Stream completions: three users, varied run times and node counts.
+i=0
+for u in alice bob carol; do
+    for rt in 120 340 560 780 1000 1220 1440 1660; do
+        i=$((i + 1))
+        curl -sf -X POST "http://${ADDR}/v1/observe" \
+            -d "{\"job\":{\"id\":${i},\"user\":\"${u}\",\"executable\":\"${u}/app\",\"nodes\":$((2 + i % 30)),\"runTime\":${rt},\"maxRunTime\":$((rt * 2))}}" \
+            >/dev/null
+    done
+done
+
+predict_all "${WORK}/before.json"
+CATS_BEFORE=$(curl -sf "http://${ADDR}/v1/stats" | sed 's/.*"categories":\([0-9]*\).*/\1/')
+
+# Hard kill: no graceful shutdown, no snapshot — the WAL alone must carry
+# the history.
+kill -9 "${PID}"
+wait "${PID}" 2>/dev/null || true
+PID=""
+
+"${BIN}" -addr "${ADDR}" -nodes 128 -data "${DATA}" -snapshot-interval 0 &
+PID=$!
+wait_ready
+
+predict_all "${WORK}/after.json"
+CATS_AFTER=$(curl -sf "http://${ADDR}/v1/stats" | sed 's/.*"categories":\([0-9]*\).*/\1/')
+
+if ! cmp -s "${WORK}/before.json" "${WORK}/after.json"; then
+    echo "FAIL: predictions changed across crash recovery" >&2
+    diff "${WORK}/before.json" "${WORK}/after.json" >&2 || true
+    exit 1
+fi
+if [ "${CATS_BEFORE}" != "${CATS_AFTER}" ] || [ "${CATS_BEFORE}" = "0" ]; then
+    echo "FAIL: categories ${CATS_BEFORE} -> ${CATS_AFTER} across crash recovery" >&2
+    exit 1
+fi
+echo "OK: ${CATS_BEFORE} categories and all predictions identical after SIGKILL + restart"
