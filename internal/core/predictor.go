@@ -46,8 +46,12 @@ type Predictor struct {
 	firstMatch bool
 
 	onStoreErr func(error)  // called on store insert failures (WAL errors)
-	storeErr   atomic.Value // sticky first error when no handler is set
+	storeErr   atomic.Value // sticky first insert error, boxed as storedErr
 }
+
+// storedErr boxes store insert failures in one concrete type, as
+// atomic.Value requires every stored value to share.
+type storedErr struct{ err error }
 
 // Option configures a Predictor.
 type Option func(*Predictor)
@@ -92,8 +96,9 @@ func WithStore(st *histstore.Store) Option {
 
 // WithStoreErrorHandler installs f as the handler for store insert
 // failures (write-ahead-log errors surfaced by Observe, whose interface
-// signature cannot return them). Without a handler the first error is
-// retained and exposed by StoreErr.
+// signature cannot return them). The first error is always retained and
+// exposed by StoreErr, handler or not; the handler additionally receives
+// every failure as it happens.
 func WithStoreErrorHandler(f func(error)) Option {
 	return func(p *Predictor) { p.onStoreErr = f }
 }
@@ -129,14 +134,20 @@ func (p *Predictor) Templates() []Template {
 // Store returns the backing store, or nil in batch mode.
 func (p *Predictor) Store() *histstore.Store { return p.store }
 
-// StoreErr returns the first store insert failure seen by Observe when no
-// WithStoreErrorHandler is installed (nil otherwise, and always nil in
-// batch mode).
+// StoreErr returns the first store insert failure seen by Observe (nil
+// when none has occurred, and always nil in batch mode). It is recorded
+// whether or not a WithStoreErrorHandler is installed, so callers that
+// stream many observations (e.g. trace warming) can check once at the end.
 func (p *Predictor) StoreErr() error {
-	if err, ok := p.storeErr.Load().(error); ok {
-		return err
+	if v, ok := p.storeErr.Load().(storedErr); ok {
+		return v.err
 	}
 	return nil
+}
+
+// recordStoreErr retains the first store insert failure for StoreErr.
+func (p *Predictor) recordStoreErr(err error) {
+	p.storeErr.CompareAndSwap(nil, storedErr{err})
 }
 
 // Categories returns the number of categories currently stored.
@@ -252,10 +263,9 @@ func (p *Predictor) Observe(j *workload.Job) {
 		key := t.Key(i, j)
 		if p.store != nil {
 			if err := p.store.Insert(key, t.MaxHistory, pt); err != nil {
+				p.recordStoreErr(err)
 				if p.onStoreErr != nil {
 					p.onStoreErr(err)
-				} else {
-					p.storeErr.CompareAndSwap(nil, err)
 				}
 			}
 			continue

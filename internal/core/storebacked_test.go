@@ -161,8 +161,10 @@ func TestStoreBackedSaveLoadState(t *testing.T) {
 	}
 }
 
-// TestStoreErrSticky verifies WAL failures surface through StoreErr when no
-// handler is installed, and through the handler when one is.
+// TestStoreErrSticky verifies WAL failures are always retained by StoreErr
+// — with or without a handler installed — and that a handler additionally
+// receives them. The sticky error is what lets warm-phase callers stream a
+// whole trace and abort on a single check at the end.
 func TestStoreErrSticky(t *testing.T) {
 	dir := t.TempDir()
 	st, err := histstore.Open(dir)
@@ -184,12 +186,28 @@ func TestStoreErrSticky(t *testing.T) {
 		t.Fatal("insert into closed store did not surface an error")
 	}
 
+	// With a handler installed the error reaches both the handler and the
+	// sticky StoreErr (qwaitd's warm-abort check relies on the latter).
+	dir2 := t.TempDir()
+	st2, err := histstore.Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var handled error
-	st2 := histstore.New()
 	q := New([]Template{{Pred: PredMean}}, WithStore(st2),
 		WithStoreErrorHandler(func(e error) { handled = e }))
 	q.Observe(j)
 	if handled != nil || q.StoreErr() != nil {
-		t.Fatalf("memory-only insert errored: %v / %v", handled, q.StoreErr())
+		t.Fatalf("healthy insert errored: %v / %v", handled, q.StoreErr())
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q.Observe(j)
+	if handled == nil {
+		t.Fatal("handler did not receive the insert failure")
+	}
+	if q.StoreErr() == nil {
+		t.Fatal("StoreErr not recorded when a handler is installed")
 	}
 }

@@ -44,6 +44,22 @@ type Point struct {
 	Nodes float64
 }
 
+// Validate reports whether the point may enter a category: run time and
+// node count must be positive and finite (Ratio may be NaN for jobs
+// without a user-supplied maximum). Store.Insert enforces this on the
+// write path so the WAL and snapshots never hold a point that recovery
+// would reject — recovery-time validation must never be the first gate
+// for data the write path accepted.
+func (p Point) Validate() error {
+	if !(p.RunTime > 0) || math.IsInf(p.RunTime, 0) {
+		return fmt.Errorf("histstore: point run time %v must be positive and finite", p.RunTime)
+	}
+	if !(p.Nodes > 0) || math.IsInf(p.Nodes, 0) {
+		return fmt.Errorf("histstore: point node count %v must be positive and finite", p.Nodes)
+	}
+	return nil
+}
+
 // Category is the bounded history of one (template, value-combination)
 // pair: a ring buffer of the most recent points plus running Welford
 // moments over the current contents, for absolute run times and for
@@ -147,8 +163,8 @@ func restoreCategory(ps persistState) (*Category, error) {
 			ps.Head, ps.MaxHistory)
 	}
 	for _, p := range ps.Points {
-		if p.RunTime <= 0 || p.Nodes <= 0 || math.IsNaN(p.RunTime) || math.IsNaN(p.Nodes) {
-			return nil, fmt.Errorf("histstore: invalid point %+v", p)
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("histstore: invalid point %+v: %w", p, err)
 		}
 	}
 	c := NewCategory(ps.MaxHistory)

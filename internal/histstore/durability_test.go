@@ -1,11 +1,15 @@
 package histstore
 
 import (
+	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -311,4 +315,127 @@ func TestDurableConcurrentInsertThenRecover(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustEqualStores(t, live, recovered)
+}
+
+// TestDurableInsertRejectsOversizedKey: a record that would exceed the
+// replay size bound must be refused at append time — if it were written,
+// recovery would misread it as a torn tail and truncate away every record
+// after it. The log must stay usable for normal keys afterwards.
+func TestDurableInsertRejectsOversizedKey(t *testing.T) {
+	dir := t.TempDir()
+	live, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Insert("before", 0, pt(100, 200, 4)); err != nil {
+		t.Fatal(err)
+	}
+	huge := strings.Repeat("k", walMaxRecord)
+	if err := live.Insert(huge, 0, pt(100, 200, 4)); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if live.Categories() != 1 {
+		t.Fatalf("rejected key mutated the store: %d categories", live.Categories())
+	}
+	if err := live.Insert("after", 0, pt(50, 0, 2)); err != nil {
+		t.Fatalf("log unusable after oversized-key rejection: %v", err)
+	}
+	recovered, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualStores(t, live, recovered)
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableInsertRejectsInvalidPointBeforeWAL: an invalid point must be
+// rejected before it reaches the journal, so the next boot replays cleanly
+// instead of failing on data the write path accepted.
+func TestDurableInsertRejectsInvalidPointBeforeWAL(t *testing.T) {
+	dir := t.TempDir()
+	live, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Insert("good", 0, pt(100, 200, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Insert("bad", 0, Point{RunTime: 10, Ratio: math.NaN(), Nodes: 0}); err == nil {
+		t.Fatal("invalid point accepted")
+	}
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery failed after rejected insert: %v", err)
+	}
+	if recovered.Categories() != 1 || recovered.Points() != 1 {
+		t.Fatalf("recovered %d categories / %d points, want 1/1",
+			recovered.Categories(), recovered.Points())
+	}
+	if err := recovered.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failingReader serves its data then fails with a non-EOF error, simulating
+// a device-level read fault in the middle of a WAL.
+type failingReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestReadFrameDistinguishesIOErrors: only a genuine torn tail (short read
+// or checksum mismatch) maps to errTornRecord — the signal openWAL is
+// allowed to truncate on. A real I/O error must surface as itself so
+// recovery fails instead of silently discarding intact records past it.
+func TestReadFrameDistinguishesIOErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := frame(&buf, recordPayload(1, "k", 0, pt(10, 0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	errDisk := errors.New("simulated disk fault")
+	// Fault at a record boundary: the first frame reads fine, the fault
+	// surfaces verbatim on the next read.
+	r := bufio.NewReader(&failingReader{data: whole, err: errDisk})
+	if _, _, err := readFrame(r); err != nil {
+		t.Fatalf("intact frame: %v", err)
+	}
+	if _, _, err := readFrame(r); !errors.Is(err, errDisk) || errors.Is(err, errTornRecord) {
+		t.Fatalf("disk fault at boundary surfaced as %v", err)
+	}
+	// Fault mid-frame: still the real error, not a torn tail.
+	r = bufio.NewReader(&failingReader{data: whole[:len(whole)/2], err: errDisk})
+	if _, _, err := readFrame(r); !errors.Is(err, errDisk) || errors.Is(err, errTornRecord) {
+		t.Fatalf("disk fault mid-frame surfaced as %v", err)
+	}
+	// A short file (EOF mid-frame) is the torn tail truncation exists for.
+	r = bufio.NewReader(bytes.NewReader(whole[:len(whole)/2]))
+	if _, _, err := readFrame(r); !errors.Is(err, errTornRecord) {
+		t.Fatalf("truncated frame surfaced as %v, want errTornRecord", err)
+	}
+	// A corrupt payload (checksum mismatch) is likewise a torn tail.
+	mangled := append([]byte(nil), whole...)
+	mangled[len(mangled)-1] ^= 0xff
+	r = bufio.NewReader(bytes.NewReader(mangled))
+	if _, _, err := readFrame(r); !errors.Is(err, errTornRecord) {
+		t.Fatalf("corrupt frame surfaced as %v, want errTornRecord", err)
+	}
 }

@@ -141,11 +141,15 @@ func (s *Store) shardOf(key string) *shard {
 }
 
 // Insert records one completed-job point under key, creating the category
-// (with the given history bound) on first use. For durable stores the
-// point is appended to the WAL before it is applied — the write-ahead
-// contract — and a WAL append failure leaves the in-memory state unchanged
-// so memory never runs ahead of the log.
+// (with the given history bound) on first use. Invalid points (see
+// Point.Validate) are rejected up front, before they can reach memory or
+// the WAL. For durable stores the point is appended to the WAL before it
+// is applied — the write-ahead contract — and a WAL append failure leaves
+// the in-memory state unchanged so memory never runs ahead of the log.
 func (s *Store) Insert(key string, maxHistory int, p Point) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	m := s.metrics.Load()
 	var start time.Time
 	if m != nil {
@@ -166,7 +170,9 @@ func (s *Store) Insert(key string, maxHistory int, p Point) error {
 	sh.mu.Unlock()
 	if m != nil {
 		m.insertLat.Observe(time.Since(start).Seconds())
-		m.walRecords.Inc()
+		if s.wal != nil {
+			m.walRecords.Inc()
+		}
 		s.refreshGauges(m)
 	}
 	return nil

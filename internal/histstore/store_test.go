@@ -248,3 +248,45 @@ func TestRestorePointsValidation(t *testing.T) {
 		t.Fatalf("restored category: size=%d absN=%d ratN=%d", c.Size(), c.Abs().N, c.Rat().N)
 	}
 }
+
+// TestInsertRejectsInvalidPoints: the write path refuses every point that
+// recovery (restoreCategory) would reject, so a durable store can never
+// journal or snapshot data that bricks its own next boot.
+func TestInsertRejectsInvalidPoints(t *testing.T) {
+	bad := []Point{
+		{RunTime: 0, Ratio: math.NaN(), Nodes: 1},
+		{RunTime: -5, Ratio: math.NaN(), Nodes: 1},
+		{RunTime: math.NaN(), Ratio: math.NaN(), Nodes: 1},
+		{RunTime: math.Inf(1), Ratio: math.NaN(), Nodes: 1},
+		{RunTime: 10, Ratio: math.NaN(), Nodes: 0},
+		{RunTime: 10, Ratio: math.NaN(), Nodes: -2},
+		{RunTime: 10, Ratio: math.NaN(), Nodes: math.NaN()},
+	}
+	s := New()
+	for _, p := range bad {
+		if err := s.Insert("k", 0, p); err == nil {
+			t.Errorf("invalid point %+v accepted", p)
+		}
+	}
+	if s.Categories() != 0 || s.Points() != 0 {
+		t.Fatalf("rejected points mutated the store: %d categories, %d points",
+			s.Categories(), s.Points())
+	}
+}
+
+// TestMemoryStoreWALRecordsMetricSilent: a memory-only store journals
+// nothing, so the WAL-records counter must stay at zero across inserts.
+func TestMemoryStoreWALRecordsMetricSilent(t *testing.T) {
+	s := New()
+	reg := obs.NewRegistry()
+	s.SetMetrics(reg)
+	for i := 0; i < 5; i++ {
+		if err := s.Insert("k", 0, pt(100, 200, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters["histstore.wal.records"]; n != 0 {
+		t.Fatalf("wal.records = %d on a memory-only store, want 0", n)
+	}
+}

@@ -128,6 +128,15 @@ func (w *wal) append(key string, maxHistory int, pt Point) error {
 	}
 	seq := w.seq + 1
 	payload := recordPayload(seq, key, maxHistory, pt)
+	if len(payload) > walMaxRecord {
+		// Replay treats any frame longer than walMaxRecord as a torn tail
+		// and truncates there, discarding every record after it — so an
+		// oversized record (an absurdly long category key) must never be
+		// written in the first place. Nothing has hit the file, so the log
+		// stays usable.
+		return fmt.Errorf("histstore: wal record of %d bytes exceeds the %d-byte bound (category key too long)",
+			len(payload), walMaxRecord)
+	}
 	if err := frame(w.bw, payload); err != nil {
 		w.broken = true
 		return err
@@ -242,8 +251,19 @@ func createWAL(path string, baseSeq uint64, syncAll bool) (*wal, error) {
 }
 
 // readFrame reads one framed record. It returns io.EOF for a clean end of
-// file and errTornRecord for a truncated or corrupt tail.
+// file, errTornRecord for a truncated or corrupt tail (safe to truncate
+// away), and any other error verbatim — a genuine I/O failure, where
+// nothing says the bytes past it are bad, so the caller must NOT truncate.
 var errTornRecord = errors.New("histstore: torn wal record")
+
+// tornOrIO maps short reads (the torn tail a crash mid-append leaves) to
+// errTornRecord and passes genuine I/O failures through unchanged.
+func tornOrIO(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return errTornRecord
+	}
+	return err
+}
 
 func readFrame(r *bufio.Reader) ([]byte, int, error) {
 	var hdr [walFrameBytes]byte
@@ -251,10 +271,10 @@ func readFrame(r *bufio.Reader) ([]byte, int, error) {
 		if errors.Is(err, io.EOF) {
 			return nil, 0, io.EOF // clean boundary
 		}
-		return nil, 0, errTornRecord
+		return nil, 0, err // a one-byte ReadFull fails with EOF or a real error
 	}
 	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
-		return nil, 0, errTornRecord
+		return nil, 0, tornOrIO(err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n > walMaxRecord {
@@ -262,7 +282,7 @@ func readFrame(r *bufio.Reader) ([]byte, int, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, 0, errTornRecord
+		return nil, 0, tornOrIO(err)
 	}
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
 		return nil, 0, errTornRecord
@@ -300,6 +320,13 @@ func openWAL(path string, s *Store, afterSeq uint64, syncAll bool) (w *wal, appl
 		}
 		if errors.Is(rerr, errTornRecord) {
 			break // crash tail: recover the clean prefix, drop the rest
+		}
+		if rerr != nil {
+			// A genuine read failure, not evidence of a torn tail:
+			// truncating here would discard records that may be intact, so
+			// fail the open and leave the file untouched.
+			_ = f.Close() //lint:allow errdrop read-only handle; the read error is the one worth reporting
+			return nil, 0, fmt.Errorf("histstore: %s: reading wal: %w", path, rerr)
 		}
 		seq, key, maxHistory, pt, perr := parseRecord(payload)
 		if perr != nil {

@@ -278,6 +278,16 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "completed job needs a positive runTime")
 		return
 	}
+	// Nodes and maxRunTime feed straight into the durable history; reject
+	// values the store (and recovery) would refuse before they are journaled.
+	if job.Nodes <= 0 {
+		errorJSON(w, http.StatusBadRequest, "completed job needs a positive nodes count")
+		return
+	}
+	if job.MaxRunTime < 0 {
+		errorJSON(w, http.StatusBadRequest, "maxRunTime must not be negative")
+		return
+	}
 	if s.store != nil {
 		// Store-backed observes are concurrency-safe (the store's shard
 		// locks guard them), so they share the read lock and proceed in

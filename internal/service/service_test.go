@@ -131,6 +131,22 @@ func TestObserveValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("zero runtime observe: status %d", resp.StatusCode)
 	}
+	// Nodes<=0 (e.g. the field omitted) and negative maxRunTime must be
+	// rejected before they reach the history store: the durable write path
+	// journals what it accepts, and recovery refuses such points, so letting
+	// one through would brick every subsequent boot.
+	resp = post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(2, "a", 0, 600, 0)}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero nodes observe: status %d", resp.StatusCode)
+	}
+	resp = post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(3, "a", -1, 600, 0)}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative nodes observe: status %d", resp.StatusCode)
+	}
+	resp = post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(4, "a", 4, 600, -30)}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative maxRunTime observe: status %d", resp.StatusCode)
+	}
 	// Unknown fields rejected.
 	raw := bytes.NewReader([]byte(`{"job":{"id":1,"nodes":1,"runTime":10},"bogus":true}`))
 	r, err := http.Post(ts.URL+"/v1/observe", "application/json", raw)
