@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke fuzz-smoke ci
+.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke fuzz-smoke trace-smoke trace-demo ci
 
 all: build vet lint test
 
@@ -73,6 +73,15 @@ bench-smoke:
 # in input validation, short enough for a pre-push check.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadSWF -fuzztime=10s ./internal/workload
+
+# Boot qwaitd with tracing, drive observe/predict traffic, and assert the
+# /v1/traces and /v1/accuracy endpoints are well-formed (the CI step).
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
+# Trace one prediction end to end and pretty-print its span tree.
+trace-demo:
+	$(GO) run ./examples/quickstart -trace
 
 # The exact pipeline .github/workflows/ci.yml runs, for local use before
 # pushing: format check, vet, repolint, vuln scan, build, test, race, bench

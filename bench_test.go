@@ -12,12 +12,14 @@ package repro
 // minutes; set -benchtime=1x for a single regeneration of each table.
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/ga"
+	"repro/internal/obs/trace"
 	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -231,6 +233,62 @@ func BenchmarkPredictorPredict(b *testing.B) {
 		if _, ok := p.Predict(probe, 0); !ok {
 			b.Fatal("no prediction")
 		}
+	}
+}
+
+// warmedPredictor trains a default predictor on the full ANL/20 study
+// workload and returns it with a probe job, for hot-path benchmarks.
+func warmedPredictor(b *testing.B) (*core.Predictor, *workload.Job) {
+	b.Helper()
+	w, err := workload.Study("ANL", 20, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.NewDefault(w)
+	for _, j := range w.Jobs {
+		p.Observe(j)
+	}
+	return p, w.Jobs[len(w.Jobs)-1]
+}
+
+// BenchmarkPredictHotPathBaseline is the reference point for the tracer
+// overhead pair below: one detailed prediction through the non-context API.
+func BenchmarkPredictHotPathBaseline(b *testing.B) {
+	p, probe := warmedPredictor(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.PredictDetailed(probe, 0); !ok {
+			b.Fatal("no prediction")
+		}
+	}
+}
+
+// BenchmarkPredictHotPathTracerDisabled measures the context-threaded
+// prediction path with no tracer installed — the cost every request pays
+// when tracing is off. The acceptance bar is ≤5% over the baseline.
+func BenchmarkPredictHotPathTracerDisabled(b *testing.B) {
+	p, probe := warmedPredictor(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.PredictDetailedCtx(ctx, probe, 0); !ok {
+			b.Fatal("no prediction")
+		}
+	}
+}
+
+// BenchmarkPredictHotPathTracerEnabled measures a fully sampled prediction:
+// root span, per-template children, and ring insertion each iteration.
+func BenchmarkPredictHotPathTracerEnabled(b *testing.B) {
+	p, probe := warmedPredictor(b)
+	tr := trace.New(trace.WithSampleRate(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, root := tr.StartRoot(context.Background(), "bench.predict")
+		if _, ok := p.PredictDetailedCtx(ctx, probe, 0); !ok {
+			b.Fatal("no prediction")
+		}
+		root.End()
 	}
 }
 

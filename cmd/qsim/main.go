@@ -7,6 +7,12 @@
 //
 //	qsim -workload ANL -policy Backfill -predictor smith [-scale N] [-seed S] [-csv out.csv]
 //	qsim -in trace.swf -policy LWF -predictor maxrt [-usage usage.csv]
+//	qsim -workload ANL -predictor smith -accuracy        # per-run error summary
+//
+// With -accuracy, every completion is scored (the prediction made just
+// before the predictor observes it, against the actual run time) and the
+// run ends with the workload's mean/RMS error, absolute-error quantiles,
+// and over/under counts — the live counterpart of the paper's Tables 4–9.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strconv"
 
 	"repro/internal/exp"
+	"repro/internal/obs/accuracy"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -43,6 +50,7 @@ func run(args []string, stdout io.Writer) error {
 	cancel := fs.Float64("cancel", 0, "make this fraction of jobs cancellable (failure injection)")
 	csvOut := fs.String("csv", "", "write the per-job schedule as CSV to this file")
 	usageOut := fs.String("usage", "", "write the node-usage timeline as CSV to this file")
+	accOn := fs.Bool("accuracy", false, "score every completion and print the prediction-error summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,7 +74,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	res, err := sim.Run(w, pol, pred, sim.Options{})
+	var acc *accuracy.Tracker
+	opts := sim.Options{}
+	if *accOn {
+		acc = accuracy.New()
+		opts.Accuracy = acc
+	}
+	res, err := sim.Run(w, pol, pred, opts)
 	if err != nil {
 		return err
 	}
@@ -83,6 +97,9 @@ func run(args []string, stdout io.Writer) error {
 	if res.Cancelled > 0 {
 		fmt.Fprintf(stdout, "cancelled   %d jobs withdrawn from the queue\n", res.Cancelled)
 	}
+	if acc != nil {
+		printAccuracy(stdout, acc)
+	}
 
 	if *csvOut != "" {
 		if err := writeCSV(*csvOut, res); err != nil {
@@ -97,6 +114,20 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "usage timeline written to %s\n", *usageOut)
 	}
 	return nil
+}
+
+// printAccuracy reports the per-key prediction-error summary accumulated
+// during the run (one key per workload name; minutes for readability, as
+// in the paper's tables).
+func printAccuracy(stdout io.Writer, acc *accuracy.Tracker) {
+	for _, key := range acc.Keys() {
+		ks := acc.Snapshot()[key]
+		fmt.Fprintf(stdout, "accuracy[%s] scored %d completions (%d over, %d under, %d exact)\n",
+			key, ks.Count, ks.Over, ks.Under, ks.Exact)
+		fmt.Fprintf(stdout, "accuracy[%s] mean err %.2f min, rms %.2f min, abs p50/p90/p99 %.1f / %.1f / %.1f min\n",
+			key, ks.MeanError/60, ks.RMSError/60,
+			ks.P50AbsError/60, ks.P90AbsError/60, ks.P99AbsError/60)
+	}
 }
 
 func loadWorkload(name, in string, nodes, scale int, seed int64) (*workload.Workload, error) {

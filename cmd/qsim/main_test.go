@@ -78,3 +78,26 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing trace should error")
 	}
 }
+
+func TestRunAccuracySummary(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "SDSC95", "-scale", "100", "-predictor", "smith",
+		"-accuracy"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"accuracy[SDSC95] scored", "mean err", "rms", "abs p50/p90/p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Without the flag the summary stays out of the report.
+	sb.Reset()
+	if err := run([]string{"-workload", "SDSC95", "-scale", "100", "-predictor", "smith"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "accuracy[") {
+		t.Fatalf("accuracy printed without -accuracy:\n%s", sb.String())
+	}
+}

@@ -6,6 +6,7 @@
 //	qwaitd -addr :8642 -nodes 512 [-templates set.json] [-warm trace.swf]
 //	       [-data dir] [-snapshot-interval 5m] [-pprof]
 //	       [-metrics-interval 30s] [-log-level info]
+//	       [-trace-sample 0.01] [-trace-slow 250ms] [-trace-ring 64]
 //
 //	POST /v1/observe      {"job": {...}}                 record a completion
 //	POST /v1/predict      {"job": {...}, "age": 120}     run-time prediction
@@ -13,7 +14,9 @@
 //	                       "target":{...}, "queue":[...], "running":[...]}
 //	POST /v1/checkpoint                                   snapshot the store
 //	GET  /v1/stats                                        service counters
-//	GET  /v1/metrics                                      full metrics snapshot
+//	GET  /v1/metrics                                      metrics (JSON or Prometheus text)
+//	GET  /v1/traces                                       recently kept request traces
+//	GET  /v1/accuracy                                     online prediction-accuracy stats
 //	GET  /debug/pprof/                                    profiles (-pprof)
 //
 // Job objects carry the Table-2 characteristics (user, executable, queue,
@@ -24,6 +27,15 @@
 // write-ahead log, snapshots are taken periodically (-snapshot-interval),
 // on POST /v1/checkpoint, and on graceful shutdown, and a restart — even
 // after a hard kill — recovers the exact history from snapshot + WAL.
+//
+// With -trace-sample and/or -trace-slow, requests are traced: each sampled
+// (or slower-than-threshold) request keeps a span tree decomposing the
+// handler into predictor, store, and simulation work, readable at
+// /v1/traces; -trace-ring bounds how many traces are retained. Every
+// observation also scores the prediction the daemon would have made for
+// it, so /v1/accuracy reports live mean/RMS error, absolute-error
+// quantiles, over/under counts, and drift state per stream, with drift
+// transitions logged as warnings.
 //
 // The -state flag (single-file checkpoints, saved only on graceful
 // shutdown) is deprecated. With both -state and -data, the old state file
@@ -47,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/histstore"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -190,6 +203,9 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	metricsInterval := fs.Duration("metrics-interval", 0, "log a metrics snapshot at this period (0 disables)")
 	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, error")
+	traceSample := fs.Float64("trace-sample", 0, "probability of keeping a request trace (0 disables sampling)")
+	traceSlow := fs.Duration("trace-slow", 0, "always keep traces slower than this (0 disables the slow rule)")
+	traceRing := fs.Int("trace-ring", trace.DefaultCapacity, "how many kept traces to retain for /v1/traces")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -295,6 +311,16 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	}
 	if *pprofOn {
 		srv.EnablePprof()
+	}
+	if *traceSample > 0 || *traceSlow > 0 {
+		srv.SetTracer(trace.New(
+			trace.WithWallClock(),
+			trace.WithSampleRate(*traceSample),
+			trace.WithSlowThreshold(*traceSlow),
+			trace.WithCapacity(*traceRing),
+		))
+		fmt.Fprintf(stdout, "tracing: sample %g, slow threshold %s, ring %d\n",
+			*traceSample, *traceSlow, *traceRing)
 	}
 	fmt.Fprintf(stdout, "configured: %d templates, %d-node machine\n", len(ts), *nodes)
 	return &app{

@@ -375,3 +375,51 @@ func TestBuildWarmSkippedOnWarmStore(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBuildTraceFlags: -trace-sample/-trace-slow attach a tracer, so kept
+// request traces become readable at /v1/traces.
+func TestBuildTraceFlags(t *testing.T) {
+	var sb strings.Builder
+	a, err := build([]string{"-trace-sample", "1", "-trace-ring", "8"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tracing: sample 1") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	ts := httptest.NewServer(a.srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr service.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !tr.Enabled {
+		t.Fatalf("tracer not enabled: %+v", tr)
+	}
+	// The GET above was itself traced at sample rate 1.
+	resp, err = http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tr.Traces) == 0 || tr.Traces[0].Root != "http.traces" {
+		t.Fatalf("traces = %+v", tr.Traces)
+	}
+
+	// Without trace flags no tracer is attached.
+	sb.Reset()
+	if _, err := build(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "tracing:") {
+		t.Fatalf("tracer attached by default:\n%s", sb.String())
+	}
+}

@@ -5,13 +5,20 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// With -trace, one prediction is traced end to end and its span tree is
+// pretty-printed — template matching, category lookups, and the estimate,
+// with real durations (`make trace-demo` runs this).
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/obs/trace"
 	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/waitpred"
@@ -19,6 +26,8 @@ import (
 )
 
 func main() {
+	traceOn := flag.Bool("trace", false, "trace one prediction and print its span tree")
+	flag.Parse()
 	// 1. A workload. Study("ANL", 20, 7) generates a 1/20-scale synthetic
 	// stand-in for the paper's Argonne SP trace: ~400 jobs from a Zipf user
 	// population, each user re-running a few applications with similar run
@@ -68,6 +77,18 @@ func main() {
 			j.ID, j.User, j.Nodes, det.Seconds, j.RunTime)
 		fmt.Printf("  winning template %s, category of %d similar jobs, 90%% CI ±%.0f s\n\n",
 			tpl, det.N, det.Interval)
+	}
+
+	// 4b. With -trace: repeat that prediction under a tracer and print the
+	// span tree — where the time went, template by template.
+	if *traceOn {
+		tr := trace.New(trace.WithWallClock(), trace.WithSampleRate(1))
+		ctx, root := tr.StartRoot(context.Background(), "quickstart.predict")
+		pred.PredictDetailedCtx(ctx, j, 0)
+		root.End()
+		if recent := tr.Recent(); len(recent) > 0 {
+			fmt.Printf("%s\n", recent[0].Pretty())
+		}
 	}
 
 	// 5. Queue wait-time prediction (§3 of the paper): simulate the

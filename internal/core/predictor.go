@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
 	"repro/internal/histstore"
+	"repro/internal/obs/trace"
 	"repro/internal/predict"
 	"repro/internal/workload"
 )
@@ -186,6 +188,35 @@ func (p *Predictor) Predict(j *workload.Job, age int64) (int64, bool) {
 
 // PredictDetailed is Predict with full diagnostic detail.
 func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, bool) {
+	return p.predictDetailed(context.Background(), nil, j, age)
+}
+
+// PredictDetailedCtx is PredictDetailed under the trace active in ctx: the
+// whole prediction becomes a "core.predict" span whose children decompose
+// it into per-template "template_match" work (category lookup through the
+// store's "histstore.view" spans, then "estimate"). Without an active
+// trace it is exactly PredictDetailed — the span plumbing short-circuits
+// on nil before allocating anything.
+func (p *Predictor) PredictDetailedCtx(ctx context.Context, j *workload.Job, age int64) (Prediction, bool) {
+	ctx, sp := trace.StartSpan(ctx, "core.predict")
+	if sp == nil {
+		return p.predictDetailed(ctx, nil, j, age)
+	}
+	pr, ok := p.predictDetailed(ctx, sp, j, age)
+	if ok {
+		sp.SetAttrInt("seconds", pr.Seconds)
+		sp.SetAttr("category", pr.Category)
+		sp.SetAttrInt("n", int64(pr.N))
+	} else {
+		sp.SetAttr("hit", "false")
+	}
+	sp.End()
+	return pr, ok
+}
+
+// predictDetailed is the shared prediction body; sp, when non-nil, is the
+// open "core.predict" span receiving per-template children.
+func (p *Predictor) predictDetailed(ctx context.Context, sp *trace.Span, j *workload.Job, age int64) (Prediction, bool) {
 	best := Prediction{Interval: math.Inf(1), Template: -1}
 	found := false
 	for i, t := range p.templates {
@@ -198,18 +229,34 @@ func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, boo
 			ok        bool
 			n         int
 		)
+		tsp := sp.StartChild("template_match")
+		estimate := func(c *histstore.Category) {
+			esp := tsp.StartChild("estimate")
+			val, half, ok = estimateCategory(c, t, j.Nodes, age, p.level)
+			n = c.Size()
+			esp.End()
+		}
 		if p.store != nil {
-			p.store.View(key, func(c *histstore.Category) {
-				val, half, ok = estimateCategory(c, t, j.Nodes, age, p.level)
-				n = c.Size()
-			})
+			if tsp != nil {
+				p.store.ViewCtx(trace.ContextWithSpan(ctx, tsp), key, estimate)
+			} else {
+				p.store.View(key, estimate)
+			}
 		} else {
 			c, exists := p.cats[key]
 			if !exists {
+				tsp.End()
 				continue
 			}
-			val, half, ok = estimateCategory(c, t, j.Nodes, age, p.level)
-			n = c.Size()
+			estimate(c)
+		}
+		if tsp != nil {
+			tsp.SetAttrInt("template", int64(i))
+			tsp.SetAttr("category", key)
+			if !ok {
+				tsp.SetAttr("hit", "false")
+			}
+			tsp.End()
 		}
 		if !ok {
 			continue
@@ -258,11 +305,31 @@ func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, boo
 // the store is durable); insert failures go to the configured error
 // handler because this interface method cannot return them.
 func (p *Predictor) Observe(j *workload.Job) {
+	p.observe(context.Background(), nil, j)
+}
+
+// ObserveCtx is Observe under the trace active in ctx: the fan-out across
+// templates becomes a "core.observe" span whose children are the store's
+// per-category "histstore.insert" spans (including WAL appends for durable
+// stores). Without an active trace it is exactly Observe.
+func (p *Predictor) ObserveCtx(ctx context.Context, j *workload.Job) {
+	ctx, sp := trace.StartSpan(ctx, "core.observe")
+	p.observe(ctx, sp, j)
+	sp.End()
+}
+
+func (p *Predictor) observe(ctx context.Context, sp *trace.Span, j *workload.Job) {
 	pt := pointOf(j)
 	for i, t := range p.templates {
 		key := t.Key(i, j)
 		if p.store != nil {
-			if err := p.store.Insert(key, t.MaxHistory, pt); err != nil {
+			var err error
+			if sp != nil {
+				err = p.store.InsertCtx(ctx, key, t.MaxHistory, pt)
+			} else {
+				err = p.store.Insert(key, t.MaxHistory, pt)
+			}
+			if err != nil {
 				p.recordStoreErr(err)
 				if p.onStoreErr != nil {
 					p.onStoreErr(err)

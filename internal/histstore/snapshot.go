@@ -2,6 +2,7 @@ package histstore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs/trace"
 	"repro/internal/stats"
 )
 
@@ -106,6 +108,26 @@ func (s *Store) Close() error {
 // recovers correctly: the rename is atomic, and an un-rotated WAL only
 // holds records the new snapshot already covers, which replay skips.
 func (s *Store) Snapshot() error {
+	return s.snapshot()
+}
+
+// SnapshotCtx is Snapshot recorded as a child span of the trace active in
+// ctx ("histstore.snapshot"). Without an active trace it is exactly
+// Snapshot.
+func (s *Store) SnapshotCtx(ctx context.Context) error {
+	_, sp := trace.StartSpan(ctx, "histstore.snapshot")
+	if sp == nil {
+		return s.snapshot()
+	}
+	err := s.snapshot()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return err
+}
+
+func (s *Store) snapshot() error {
 	if s.dir == "" {
 		return fmt.Errorf("histstore: memory-only store has no snapshot directory")
 	}

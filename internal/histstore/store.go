@@ -1,6 +1,7 @@
 package histstore
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // DefaultShards is the default shard count. Category keys hash uniformly
@@ -147,6 +149,25 @@ func (s *Store) shardOf(key string) *shard {
 // is applied — the write-ahead contract — and a WAL append failure leaves
 // the in-memory state unchanged so memory never runs ahead of the log.
 func (s *Store) Insert(key string, maxHistory int, p Point) error {
+	return s.insert(nil, key, maxHistory, p)
+}
+
+// InsertCtx is Insert with the shard operation recorded as a child span of
+// the trace active in ctx ("histstore.insert", with a nested
+// "histstore.wal_append" around the journal write for durable stores).
+// Without an active trace it is exactly Insert.
+func (s *Store) InsertCtx(ctx context.Context, key string, maxHistory int, p Point) error {
+	_, sp := trace.StartSpan(ctx, "histstore.insert")
+	if sp != nil {
+		sp.SetAttr("category", key)
+		defer sp.End()
+	}
+	return s.insert(sp, key, maxHistory, p)
+}
+
+// insert is the shared Insert body; sp, when non-nil, receives a child
+// span around the WAL append (the usual suspect when an insert is slow).
+func (s *Store) insert(sp *trace.Span, key string, maxHistory int, p Point) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -158,7 +179,10 @@ func (s *Store) Insert(key string, maxHistory int, p Point) error {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
 	if s.wal != nil {
-		if err := s.wal.append(key, maxHistory, p); err != nil {
+		wsp := sp.StartChild("histstore.wal_append")
+		err := s.wal.append(key, maxHistory, p)
+		wsp.End()
+		if err != nil {
 			sh.mu.Unlock()
 			if m != nil {
 				m.walErrors.Inc()
@@ -195,6 +219,27 @@ func (s *Store) applyLocked(sh *shard, key string, maxHistory int, p Point) {
 // read lock, and reports whether the key exists. f must not retain the
 // category or mutate it; concurrent Views proceed in parallel.
 func (s *Store) View(key string, f func(*Category)) bool {
+	return s.view(key, f)
+}
+
+// ViewCtx is View with the shard read recorded as a child span of the
+// trace active in ctx ("histstore.view", category and hit attributes).
+// Without an active trace it is exactly View.
+func (s *Store) ViewCtx(ctx context.Context, key string, f func(*Category)) bool {
+	_, sp := trace.StartSpan(ctx, "histstore.view")
+	if sp == nil {
+		return s.view(key, f)
+	}
+	sp.SetAttr("category", key)
+	ok := s.view(key, f)
+	if !ok {
+		sp.SetAttr("hit", "false")
+	}
+	sp.End()
+	return ok
+}
+
+func (s *Store) view(key string, f func(*Category)) bool {
 	m := s.metrics.Load()
 	var start time.Time
 	if m != nil {

@@ -133,9 +133,11 @@ func ByName(list string) ([]*Analyzer, error) {
 
 // deterministicPackages are the package names whose code must be
 // reproducible bit-for-bit: the simulator, schedulers, GA search, workload
-// synthesis, predictors, and the statistics they feed. Any package whose
-// import path contains one of these as a path segment is held to the
-// detrand and wallclock invariants.
+// synthesis, predictors, the statistics they feed, and the tracing and
+// accuracy layers those paths call into (their clocks are injected and
+// their sampling is seeded; only the cmd/ edges opt into wall time). Any
+// package whose import path contains one of these as a path segment is
+// held to the detrand and wallclock invariants.
 var deterministicPackages = map[string]bool{
 	"sim":      true,
 	"sched":    true,
@@ -146,6 +148,8 @@ var deterministicPackages = map[string]bool{
 	"workload": true,
 	"stats":    true,
 	"core":     true,
+	"trace":    true,
+	"accuracy": true,
 }
 
 // isDeterministicPkg reports whether the import path names one of the

@@ -35,6 +35,21 @@ func histstore(reg *obs.Registry) {
 	reg.Gauge("histstore.walBytes").SetInt(0)                         // want `metric name "histstore.walBytes" is not snake_case`
 }
 
+// tracing exercises the tracer counters and per-key accuracy gauges the
+// observability layer registers, so those name families stay snake_case.
+func tracing(reg *obs.Registry, key string) {
+	reg.Counter("trace.spans").Inc()                               // ok
+	reg.Counter("trace.spans.dropped").Inc()                       // ok
+	reg.Counter("trace.traces.kept").Inc()                         // ok
+	reg.Counter("trace.traces.dropped").Inc()                      // ok
+	reg.Gauge("accuracy." + key + ".mean_error_seconds").Set(0)    // ok: literal fragments around the key
+	reg.Gauge("accuracy." + key + ".rms_error_seconds").Set(0)     // ok
+	reg.Gauge("accuracy." + key + ".p99_abs_error_seconds").Set(0) // ok
+	reg.Gauge("accuracy." + key + ".drift_p").Set(1)               // ok
+	reg.Counter("trace.Spans").Inc()                               // want `metric name "trace\.Spans" is not snake_case`
+	reg.Gauge("accuracy." + key + ".driftP").Set(1)                // want `metric name fragment "\.driftP" is not snake_case`
+}
+
 func logging(endpoint string) {
 	l := obs.NewLogger(io.Discard, obs.LevelDebug)
 	l.Info("listening", "addr", ":8080", "badKey", 2)       // want `log key "badKey" is not snake_case`

@@ -1,0 +1,194 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// lcg is a tiny deterministic generator for synthetic error streams
+// (avoids math/rand so the tests are reproducible byte-for-byte).
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() float64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return float64(l.s>>11) / float64(1<<53) // [0, 1)
+}
+
+func TestCountsAndKeys(t *testing.T) {
+	tr := New()
+	tr.Record("all", 10, 5) // over by 5
+	tr.Record("all", 3, 9)  // under by 6
+	tr.Record("all", 7, 7)  // exact
+	tr.Record("tmpl_2", 1, 2)
+
+	keys := tr.Keys()
+	if len(keys) != 2 || keys[0] != "all" || keys[1] != "tmpl_2" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	ks := tr.Snapshot()["all"]
+	if ks.Count != 3 || ks.Over != 1 || ks.Under != 1 || ks.Exact != 1 {
+		t.Fatalf("counts %+v", ks)
+	}
+	if ks.MaxAbsError != 6 {
+		t.Fatalf("MaxAbsError = %v, want 6", ks.MaxAbsError)
+	}
+
+	// NaN inputs are ignored entirely.
+	tr.Record("all", math.NaN(), 1)
+	tr.Record("all", 1, math.NaN())
+	if got := tr.Snapshot()["all"].Count; got != 3 {
+		t.Fatalf("NaN samples counted: %d", got)
+	}
+}
+
+// TestSnapshotMatchesOfflineRecomputation is the acceptance check: the
+// tracker's streaming mean/RMS/p99 must equal, bit for bit, the values
+// recomputed offline from the identical completion stream using the same
+// primitives (stats.Moments and obs.Histogram fed in the same order).
+func TestSnapshotMatchesOfflineRecomputation(t *testing.T) {
+	tr := New()
+	gen := lcg{s: 12345}
+	type sample struct{ predicted, actual float64 }
+	samples := make([]sample, 0, 500)
+	for i := 0; i < 500; i++ {
+		actual := 10 + 5000*gen.next()
+		predicted := actual * (0.25 + 1.5*gen.next()) // error spanning under to over
+		samples = append(samples, sample{predicted, actual})
+		tr.Record("all", predicted, actual)
+	}
+
+	var m stats.Moments
+	var h obs.Histogram
+	for _, s := range samples {
+		e := s.predicted - s.actual
+		m.Add(e)
+		h.Observe(math.Abs(e))
+	}
+	wantRMS := math.Sqrt(m.M2/float64(m.N) + m.Mean*m.Mean)
+	hs := h.Snapshot()
+
+	ks := tr.Snapshot()["all"]
+	if ks.Count != int64(m.N) {
+		t.Fatalf("Count = %d, want %d", ks.Count, m.N)
+	}
+	if ks.MeanError != m.Mean {
+		t.Fatalf("MeanError = %v, offline %v (must be bit-for-bit equal)", ks.MeanError, m.Mean)
+	}
+	if ks.RMSError != wantRMS {
+		t.Fatalf("RMSError = %v, offline %v", ks.RMSError, wantRMS)
+	}
+	if ks.MeanAbsError != hs.Mean || ks.MaxAbsError != hs.Max {
+		t.Fatalf("abs error mean/max = %v/%v, offline %v/%v",
+			ks.MeanAbsError, ks.MaxAbsError, hs.Mean, hs.Max)
+	}
+	if ks.P50AbsError != hs.P50 || ks.P90AbsError != hs.P90 || ks.P99AbsError != hs.P99 {
+		t.Fatalf("quantiles = %v/%v/%v, offline %v/%v/%v",
+			ks.P50AbsError, ks.P90AbsError, ks.P99AbsError, hs.P50, hs.P90, hs.P99)
+	}
+}
+
+// stationary feeds n errors drawn from a fixed distribution.
+func stationary(tr *Tracker, key string, gen *lcg, n int, mean, spread float64) {
+	for i := 0; i < n; i++ {
+		e := mean + spread*(gen.next()-0.5)
+		tr.Record(key, e, 0) // predicted−actual == e
+	}
+}
+
+func TestDriftFiresOnStepChangeNotOnStationary(t *testing.T) {
+	// Stationary stream: the window never looks unlike the baseline.
+	var fired int
+	tr := New(WithWindow(32), WithMinBaseline(32), WithAlpha(0.01),
+		WithOnDrift(func(string, Drift) { fired++ }))
+	gen := lcg{s: 99}
+	stationary(tr, "flat", &gen, 1000, 10, 8)
+	if d := tr.Snapshot()["flat"].Drift; d.Drifting {
+		t.Fatalf("stationary stream flagged as drifting: %+v", d)
+	}
+	if fired != 0 {
+		t.Fatalf("OnDrift fired %d times on a stationary stream", fired)
+	}
+
+	// Step change: same distribution, then the error mean jumps 10x.
+	stationary(tr, "step", &gen, 200, 10, 8)
+	if d := tr.Snapshot()["step"].Drift; d.Drifting {
+		t.Fatalf("pre-step stream already drifting: %+v", d)
+	}
+	stationary(tr, "step", &gen, 64, 100, 8)
+	d := tr.Snapshot()["step"].Drift
+	if !d.Drifting {
+		t.Fatalf("step change not detected: %+v", d)
+	}
+	if d.P >= 0.01 {
+		t.Fatalf("drift p = %v, want < alpha", d.P)
+	}
+	if d.WindowMean < d.BaselineMean {
+		t.Fatalf("window mean %v should exceed baseline mean %v after upward step",
+			d.WindowMean, d.BaselineMean)
+	}
+	if fired != 1 {
+		t.Fatalf("OnDrift fired %d times, want exactly 1 (transition only)", fired)
+	}
+}
+
+func TestOnDriftFiresOncePerExcursion(t *testing.T) {
+	var fired int
+	tr := New(WithWindow(16), WithMinBaseline(16), WithAlpha(0.01),
+		WithOnDrift(func(key string, d Drift) {
+			if key != "k" || !d.Drifting {
+				t.Errorf("unexpected callback: %q %+v", key, d)
+			}
+			fired++
+		}))
+	gen := lcg{s: 7}
+	stationary(tr, "k", &gen, 100, 1, 2)
+	stationary(tr, "k", &gen, 50, 40, 2) // excursion: many drifting samples
+	if fired != 1 {
+		t.Fatalf("OnDrift fired %d times during one excursion, want 1", fired)
+	}
+}
+
+func TestPublishGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := New()
+	tr.Record("all", 12, 10)
+	tr.Record("all", 8, 10)
+	tr.Publish(reg)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["accuracy.all.count"]; got != 2 {
+		t.Fatalf("accuracy.all.count = %v, want 2", got)
+	}
+	if got := snap.Gauges["accuracy.all.rms_error_seconds"]; got != 2 {
+		t.Fatalf("accuracy.all.rms_error_seconds = %v, want 2", got)
+	}
+	for _, name := range []string{
+		"accuracy.all.mean_error_seconds",
+		"accuracy.all.p99_abs_error_seconds",
+		"accuracy.all.over",
+		"accuracy.all.under",
+		"accuracy.all.drift_p",
+		"accuracy.all.drifting",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %q not published", name)
+		}
+	}
+	// Publish on a nil registry is a no-op, not a panic.
+	tr.Publish(nil)
+}
+
+func TestOptionClamping(t *testing.T) {
+	tr := New(WithWindow(0), WithMinBaseline(-3), WithAlpha(2))
+	if tr.window != 2 || tr.minBaseline != 2 {
+		t.Fatalf("window/minBaseline = %d/%d, want 2/2", tr.window, tr.minBaseline)
+	}
+	if tr.alpha != DefaultAlpha {
+		t.Fatalf("alpha = %v, want default %v", tr.alpha, DefaultAlpha)
+	}
+	if tr.Window() != 2 {
+		t.Fatalf("Window() = %d", tr.Window())
+	}
+}

@@ -112,3 +112,46 @@ func TestHistIndexMonotone(t *testing.T) {
 		prev = i
 	}
 }
+
+func TestHistogramAllEqualSamples(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(3.5)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Min == max collapses the interpolation range: every quantile must be
+	// the exact common value, not a bucket-boundary approximation.
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.5 {
+			t.Fatalf("all-equal quantile(%g) = %g, want 3.5", q, got)
+		}
+	}
+	if s.P50 != 3.5 || s.P90 != 3.5 || s.P99 != 3.5 {
+		t.Fatalf("snapshot quantiles %g/%g/%g, want all 3.5", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestHistogramTwoValuesBracketQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(0.01)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	// Quantiles are clamped into [min, max] and ordered.
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < 0.01 || p99 > 100 || p50 > p99 {
+		t.Fatalf("p50=%g p99=%g outside [0.01, 100] or unordered", p50, p99)
+	}
+	// The median sits in the low mode, the p99 in the high mode.
+	if p50 > 1 {
+		t.Fatalf("p50 = %g, want within the low mode", p50)
+	}
+	if p99 < 10 {
+		t.Fatalf("p99 = %g, want within the high mode", p99)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type for Prometheus text
+// exposition format version 0.0.4, the wire format every Prometheus
+// scraper accepts.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format 0.0.4: counters and gauges as their direct types, histograms as
+// summaries (p50/p90/p99 quantile series plus _sum and _count). Metric
+// names are mangled from the registry's dotted snake_case to Prometheus
+// underscore form ("http.predict.latency_seconds" →
+// "http_predict_latency_seconds"); when two registry names mangle to the
+// same series only the first (in sorted registry order) is emitted, so
+// the output never contains a duplicate family. Output is built in memory
+// and written with a single Write.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	seen := make(map[string]bool)
+
+	counters := sortedKeys(s.Counters)
+	for _, name := range counters {
+		pn := promName(name)
+		if seen[pn] {
+			continue
+		}
+		seen[pn] = true
+		b.WriteString("# TYPE ")
+		b.WriteString(pn)
+		b.WriteString(" counter\n")
+		b.WriteString(pn)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(s.Counters[name], 10))
+		b.WriteByte('\n')
+	}
+
+	gauges := sortedKeys(s.Gauges)
+	for _, name := range gauges {
+		pn := promName(name)
+		if seen[pn] {
+			continue
+		}
+		seen[pn] = true
+		b.WriteString("# TYPE ")
+		b.WriteString(pn)
+		b.WriteString(" gauge\n")
+		b.WriteString(pn)
+		b.WriteByte(' ')
+		b.WriteString(promFloat(s.Gauges[name]))
+		b.WriteByte('\n')
+	}
+
+	hists := sortedKeys(s.Histograms)
+	for _, name := range hists {
+		pn := promName(name)
+		if seen[pn] {
+			continue
+		}
+		seen[pn] = true
+		hs := s.Histograms[name]
+		b.WriteString("# TYPE ")
+		b.WriteString(pn)
+		b.WriteString(" summary\n")
+		if hs.Count > 0 {
+			for _, q := range [...]struct {
+				label string
+				v     float64
+			}{{"0.5", hs.P50}, {"0.9", hs.P90}, {"0.99", hs.P99}} {
+				b.WriteString(pn)
+				b.WriteString(`{quantile="`)
+				b.WriteString(q.label)
+				b.WriteString(`"} `)
+				b.WriteString(promFloat(q.v))
+				b.WriteByte('\n')
+			}
+		}
+		b.WriteString(pn)
+		b.WriteString("_sum ")
+		b.WriteString(promFloat(hs.Sum))
+		b.WriteByte('\n')
+		b.WriteString(pn)
+		b.WriteString("_count ")
+		b.WriteString(strconv.FormatInt(hs.Count, 10))
+		b.WriteByte('\n')
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName mangles a registry name into a valid Prometheus metric name:
+// every character outside [a-zA-Z0-9_] becomes '_', and a leading digit
+// gains a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus parsers expect: shortest
+// round-trippable decimal, with +Inf/-Inf/NaN spelled per the format.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http.predict.requests").Add(7)
+	reg.Gauge("histstore.categories").Set(12.5)
+	h := reg.Histogram("http.predict.latency_seconds")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE http_predict_requests counter\n",
+		"http_predict_requests 7\n",
+		"# TYPE histstore_categories gauge\n",
+		"histstore_categories 12.5\n",
+		"# TYPE http_predict_latency_seconds summary\n",
+		`http_predict_latency_seconds{quantile="0.5"} `,
+		`http_predict_latency_seconds{quantile="0.99"} `,
+		"http_predict_latency_seconds_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") && strings.Contains(out, "latency_seconds.") {
+		t.Fatalf("unmangled dotted name leaked:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("exposition must end with a newline")
+	}
+
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestWritePrometheusEmptyHistogramSkipsQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("empty.latency_seconds") // registered, never observed
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	if strings.Contains(out, "quantile") {
+		t.Fatalf("empty histogram emitted quantiles:\n%s", out)
+	}
+	if !strings.Contains(out, "empty_latency_seconds_count 0\n") {
+		t.Fatalf("empty histogram missing _count 0:\n%s", out)
+	}
+}
+
+func TestPromNameMangling(t *testing.T) {
+	cases := map[string]string{
+		"http.predict.latency_seconds": "http_predict_latency_seconds",
+		"already_fine":                 "already_fine",
+		"9lives":                       "_9lives",
+		"a-b/c d":                      "a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		0:            "0",
+	}
+	for in, want := range cases {
+		if got := promFloat(in); got != want {
+			t.Fatalf("promFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Fatalf("promFloat(NaN) = %q", got)
+	}
+}
+
+func TestWritePrometheusDedupesCollidingNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(1)
+	reg.Counter("a_b").Add(2)
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if n := strings.Count(b.String(), "# TYPE a_b counter"); n != 1 {
+		t.Fatalf("colliding names emitted %d TYPE lines, want 1:\n%s", n, b.String())
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"context"
+	"testing"
+)
+
+// The tracing layer's budget: the disabled path (nil tracer or no root in
+// the context) must stay within a few nanoseconds, because every predict
+// and observe crosses it; the enabled path may allocate. The root
+// bench_test.go BenchmarkPredictHotPath* benchmarks measure the same
+// on/off delta end to end through core.Predictor.
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "noop")
+		sp.End()
+	}
+}
+
+func BenchmarkStartChildNilSpan(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sp.StartChild("noop")
+		c.SetAttrInt("i", int64(i))
+		c.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(WithSampleRate(1), WithCapacity(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, root := tr.StartRoot(context.Background(), "root")
+		c := root.StartChild("child")
+		c.End()
+		root.End()
+	}
+}

@@ -14,8 +14,17 @@
 //
 // Every endpoint is instrumented through an internal/obs registry
 // (request counts, error counts, latency histograms, predictor hit/miss
-// tallies); GET /v1/metrics returns the full snapshot as JSON, and
-// EnablePprof mounts net/http/pprof under /debug/pprof/.
+// tallies); GET /v1/metrics returns the full snapshot as JSON or, under
+// content negotiation, Prometheus text exposition. EnablePprof mounts
+// net/http/pprof under /debug/pprof/.
+//
+// With SetTracer attached, every request opens a root span and the hot
+// paths decompose into child spans (template matching, shard reads, WAL
+// appends, the wait-time forward simulation); GET /v1/traces returns the
+// ring of recently kept traces. Every completion POSTed to /v1/observe
+// also scores the prediction the server would have made for it, feeding
+// the accuracy tracker behind GET /v1/accuracy — the paper's Tables 4–9
+// error columns, computed live, with drift warnings in the log.
 package service
 
 import (
@@ -24,6 +33,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +42,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/histstore"
 	"repro/internal/obs"
+	"repro/internal/obs/accuracy"
+	"repro/internal/obs/trace"
 	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/waitpred"
@@ -77,6 +90,8 @@ type Server struct {
 	reg          *obs.Registry
 	log          *obs.Logger
 	pprof        bool
+	tracer       *trace.Tracer // nil until SetTracer; nil tracer is inert
+	acc          *accuracy.Tracker
 
 	// Cached instrument handles (allocated once in New, not per request).
 	mObserve     *obs.Counter
@@ -88,7 +103,7 @@ type Server struct {
 // New creates a Server around a predictor for a machine of the given size.
 func New(pred *core.Predictor, machineNodes int) *Server {
 	reg := obs.NewRegistry()
-	return &Server{
+	s := &Server{
 		pred: pred, machineNodes: machineNodes,
 		reg:          reg,
 		log:          obs.Nop(),
@@ -97,7 +112,28 @@ func New(pred *core.Predictor, machineNodes int) *Server {
 		mPredictMiss: reg.Counter("service.predict.misses"),
 		mWaitErrors:  reg.Counter("service.predictwait.errors"),
 	}
+	s.acc = accuracy.New(accuracy.WithOnDrift(func(key string, d accuracy.Drift) {
+		s.log.Warn("prediction accuracy drift", "key", key,
+			"window_mean_seconds", d.WindowMean, "baseline_mean_seconds", d.BaselineMean,
+			"p", d.P, "t", d.T)
+	}))
+	return s
 }
+
+// SetTracer attaches a request tracer: every endpoint opens a root span,
+// the tracer's counters register on the server's registry, and kept traces
+// become readable at GET /v1/traces. A nil tracer (the default) keeps the
+// span plumbing fully inert.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	s.tracer = t
+	if t != nil {
+		t.SetMetrics(s.reg)
+	}
+}
+
+// Accuracy returns the server's prediction-accuracy tracker (never nil),
+// so embedders can feed completions observed outside the HTTP surface.
+func (s *Server) Accuracy() *accuracy.Tracker { return s.acc }
 
 // SetStatePath configures where /v1/checkpoint (and Checkpoint) write the
 // predictor state in the legacy single-file format. Ignored when a history
@@ -162,6 +198,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("/v1/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/v1/traces", s.instrument("traces", s.handleTraces))
+	mux.HandleFunc("/v1/accuracy", s.instrument("accuracy", s.handleAccuracy))
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -193,7 +231,15 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() //lint:allow wallclock real HTTP request latency is exactly what this measures
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx, sp := s.tracer.StartRoot(r.Context(), "http."+name)
+		if sp != nil {
+			r = r.WithContext(ctx)
+		}
 		h(sw, r)
+		if sp != nil {
+			sp.SetAttrInt("status", int64(sw.status))
+			sp.End()
+		}
 		elapsed := time.Since(start).Seconds() //lint:allow wallclock real HTTP request latency is exactly what this measures
 		requests.Inc()
 		if sw.status >= 400 {
@@ -208,7 +254,11 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // handleMetrics serves the full metrics snapshot, refreshing the predictor
-// gauges (category count, stored history size, template count) first.
+// gauges (category count, stored history size, template count) and the
+// accuracy gauges first. The representation is negotiated: JSON by
+// default, Prometheus text exposition when the Accept header asks for
+// text/plain or application/openmetrics-text (or ?format=prometheus),
+// each with its explicit Content-Type.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	cats := s.pred.Categories()
@@ -221,7 +271,79 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		s.store.RefreshMetrics()
 	}
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	s.acc.Publish(s.reg)
+	snap := s.reg.Snapshot()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w) // client gone mid-write; nothing to do
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// wantsPrometheus decides the /v1/metrics representation: an explicit
+// ?format=prometheus (or json) query wins, otherwise the first recognized
+// media type in the Accept header does, and the default stays JSON so
+// existing scrapers keep working.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "openmetrics":
+		return true
+	case "json":
+		return false
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case "application/json":
+			return false
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+// TracesResponse is the GET /v1/traces payload: the tracer's ring of
+// recently kept traces, newest first.
+type TracesResponse struct {
+	Enabled bool          `json:"enabled"`
+	Traces  []trace.Trace `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := TracesResponse{Enabled: s.tracer.Enabled(), Traces: s.tracer.Recent()}
+	if resp.Traces == nil {
+		resp.Traces = []trace.Trace{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AccuracyResponse is the GET /v1/accuracy payload: per-key prediction
+// accuracy summaries (signed error moments, absolute-error quantiles,
+// over/under counts, drift state).
+type AccuracyResponse struct {
+	Window int                             `json:"window"`
+	Keys   map[string]accuracy.KeySnapshot `json:"keys"`
+}
+
+func (s *Server) handleAccuracy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		errorJSON(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, AccuracyResponse{
+		Window: s.acc.Window(),
+		Keys:   s.acc.Snapshot(),
+	})
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -229,7 +351,13 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if err := s.Checkpoint(); err != nil {
+	var err error
+	if s.store != nil {
+		err = s.store.SnapshotCtx(r.Context())
+	} else {
+		err = s.Checkpoint()
+	}
+	if err != nil {
 		errorJSON(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -288,17 +416,31 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, "maxRunTime must not be negative")
 		return
 	}
+	ctx := r.Context()
+	// Score the prediction this completion would have received before it
+	// enters the history (afterwards the job would predict itself): the
+	// online counterpart of the paper's Tables 4–9 error columns, tracked
+	// for the whole stream and for the winning template.
+	score := func() {
+		if det, ok := s.pred.PredictDetailedCtx(ctx, job, 0); ok {
+			err, actual := float64(det.Seconds), float64(job.RunTime)
+			s.acc.Record("all", err, actual)
+			s.acc.Record("template_"+strconv.Itoa(det.Template), err, actual)
+		}
+	}
 	if s.store != nil {
 		// Store-backed observes are concurrency-safe (the store's shard
 		// locks guard them), so they share the read lock and proceed in
 		// parallel with predictions; the write lock is only needed to
 		// exclude whole-database swaps (LoadState).
 		s.mu.RLock()
-		s.pred.Observe(job)
+		score()
+		s.pred.ObserveCtx(ctx, job)
 		s.mu.RUnlock()
 	} else {
 		s.mu.Lock()
-		s.pred.Observe(job)
+		score()
+		s.pred.ObserveCtx(ctx, job)
 		s.mu.Unlock()
 	}
 	s.observations.Add(1)
@@ -330,7 +472,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	job := req.Job.toJob()
 	s.mu.RLock()
-	det, ok := s.pred.PredictDetailed(job, req.Age)
+	det, ok := s.pred.PredictDetailedCtx(r.Context(), job, req.Age)
 	s.mu.RUnlock()
 	if ok {
 		s.mPredictOK.Inc()
@@ -398,7 +540,7 @@ func (s *Server) handlePredictWait(w http.ResponseWriter, r *http.Request) {
 		running = append(running, req.Running[i].toJob())
 	}
 	s.mu.RLock()
-	start, err := waitpred.PredictStart(req.Now, target, queue, running,
+	start, err := waitpred.PredictStartCtx(r.Context(), req.Now, target, queue, running,
 		s.machineNodes, pol, s.pred, predict.MaxRuntime{}, 0)
 	s.mu.RUnlock()
 	if err != nil {

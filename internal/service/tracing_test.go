@@ -1,0 +1,238 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+)
+
+// getWithAccept issues a GET with an Accept header and returns the
+// response plus its body.
+func getWithAccept(t *testing.T, url, accept string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestMetricsContentNegotiation is the regression for /v1/metrics
+// representation selection: JSON (with its explicit Content-Type) stays
+// the default; text/plain or openmetrics Accept values and the
+// ?format=prometheus override switch to Prometheus text exposition.
+func TestMetricsContentNegotiation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(1, "alice", 4, 100, 200)}, nil)
+
+	resp, body := getWithAccept(t, ts.URL+"/v1/metrics", "")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default Content-Type = %q, want application/json", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("default body is not JSON: %v", err)
+	}
+
+	for _, accept := range []string{
+		"text/plain",
+		"text/plain; version=0.0.4",
+		"application/openmetrics-text; version=1.0.0, text/plain",
+	} {
+		resp, body = getWithAccept(t, ts.URL+"/v1/metrics", accept)
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+			t.Fatalf("Accept %q: Content-Type = %q, want %q", accept, ct, obs.PrometheusContentType)
+		}
+		if !strings.Contains(body, "# TYPE http_metrics_requests counter") {
+			t.Fatalf("Accept %q: body not Prometheus exposition:\n%s", accept, body)
+		}
+		if !strings.Contains(body, "service_observe_jobs 1") {
+			t.Fatalf("Accept %q: observe counter missing:\n%s", accept, body)
+		}
+	}
+
+	// A client preferring JSON keeps JSON even when text/plain follows.
+	resp, _ = getWithAccept(t, ts.URL+"/v1/metrics", "application/json, text/plain")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json-first Accept: Content-Type = %q", ct)
+	}
+
+	// Explicit query override beats the Accept header.
+	resp, _ = getWithAccept(t, ts.URL+"/v1/metrics?format=prometheus", "application/json")
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("?format=prometheus: Content-Type = %q", ct)
+	}
+	resp, _ = getWithAccept(t, ts.URL+"/v1/metrics?format=json", "text/plain")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("?format=json: Content-Type = %q", ct)
+	}
+}
+
+// TestPredictTraceDecomposition is the tracing acceptance check: with a
+// tracer attached, a kept /v1/predict trace decomposes into at least four
+// named child spans below the HTTP root, through the predictor into the
+// history store.
+func TestPredictTraceDecomposition(t *testing.T) {
+	ts, s, _ := newStoreServer(t)
+	tr := trace.New(trace.WithSampleRate(1))
+	s.SetTracer(tr)
+
+	for i := 1; i <= 5; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "alice", 4, int64(100*i), 1000)}, nil)
+	}
+	var pr PredictResponse
+	post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(9, "alice", 4, 0, 1000)}, &pr)
+	if !pr.OK {
+		t.Fatalf("predict missed after observations: %+v", pr)
+	}
+
+	var got *trace.Trace
+	for i := range tr.Recent() {
+		if tr.Recent()[i].Root == "http.predict" {
+			got = &tr.Recent()[i]
+			break
+		}
+	}
+	if got == nil {
+		t.Fatalf("no http.predict trace kept; recent: %+v", tr.Recent())
+	}
+	names := make(map[string]int)
+	children := 0
+	for _, sp := range got.Spans {
+		names[sp.Name]++
+		if sp.Parent >= 0 {
+			children++
+		}
+	}
+	for _, want := range []string{"core.predict", "template_match", "histstore.view", "estimate"} {
+		if names[want] == 0 {
+			t.Fatalf("trace missing %q span; spans: %v", want, names)
+		}
+	}
+	if children < 4 {
+		t.Fatalf("predict trace has %d child spans, want >= 4", children)
+	}
+
+	// The observe path decomposes too, down to the WAL append.
+	var obsTrace *trace.Trace
+	for i := range tr.Recent() {
+		if tr.Recent()[i].Root == "http.observe" {
+			obsTrace = &tr.Recent()[i]
+			break
+		}
+	}
+	if obsTrace == nil {
+		t.Fatalf("no http.observe trace kept")
+	}
+	obsNames := make(map[string]int)
+	for _, sp := range obsTrace.Spans {
+		obsNames[sp.Name]++
+	}
+	for _, want := range []string{"core.observe", "histstore.insert", "histstore.wal_append"} {
+		if obsNames[want] == 0 {
+			t.Fatalf("observe trace missing %q span; spans: %v", want, obsNames)
+		}
+	}
+
+	// And /v1/traces serves the same ring.
+	resp, body := getWithAccept(t, ts.URL+"/v1/traces", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/traces status %d", resp.StatusCode)
+	}
+	var tres TracesResponse
+	if err := json.Unmarshal([]byte(body), &tres); err != nil {
+		t.Fatalf("/v1/traces not JSON: %v", err)
+	}
+	if !tres.Enabled || len(tres.Traces) == 0 {
+		t.Fatalf("/v1/traces = enabled %v, %d traces", tres.Enabled, len(tres.Traces))
+	}
+	if tres.Traces[0].ID == "" || len(tres.Traces[0].Spans) == 0 {
+		t.Fatalf("/v1/traces first trace malformed: %+v", tres.Traces[0])
+	}
+}
+
+// TestTracesEndpointWithoutTracer stays well-formed when no tracer is set.
+func TestTracesEndpointWithoutTracer(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := getWithAccept(t, ts.URL+"/v1/traces", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var tres TracesResponse
+	if err := json.Unmarshal([]byte(body), &tres); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if tres.Enabled || tres.Traces == nil || len(tres.Traces) != 0 {
+		t.Fatalf("tracerless response = %+v, want disabled with empty list", tres)
+	}
+}
+
+// TestAccuracyEndpointScoresCompletions: every /v1/observe scores the
+// prediction the server would have made, so the accuracy endpoint reports
+// the live error statistics, including the per-template stream.
+func TestAccuracyEndpointScoresCompletions(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// The first two completions cannot be scored (a confidence interval
+	// needs two points of history); the remaining four can.
+	for i := 1; i <= 6; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "alice", 4, 100, 1000)}, nil)
+	}
+	resp, body := getWithAccept(t, ts.URL+"/v1/accuracy", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/accuracy status %d", resp.StatusCode)
+	}
+	var ar AccuracyResponse
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatalf("/v1/accuracy not JSON: %v", err)
+	}
+	if ar.Window <= 0 {
+		t.Fatalf("window = %d", ar.Window)
+	}
+	all, ok := ar.Keys["all"]
+	if !ok {
+		t.Fatalf("accuracy keys missing \"all\": %v", ar.Keys)
+	}
+	if all.Count != 4 {
+		t.Fatalf("scored %d completions, want 4 (first two lack history)", all.Count)
+	}
+	// Identical 100s run times predict exactly; errors must be zero.
+	if all.Exact != 4 || all.MeanError != 0 || all.RMSError != 0 {
+		t.Fatalf("constant stream scored %+v, want exact zero error", all)
+	}
+	var hasTemplate bool
+	for k := range ar.Keys {
+		if strings.HasPrefix(k, "template_") {
+			hasTemplate = true
+		}
+	}
+	if !hasTemplate {
+		t.Fatalf("no per-template accuracy stream: %v", ar.Keys)
+	}
+
+	// The accuracy gauges reach /v1/metrics under both representations.
+	snap := getMetrics(t, ts.URL)
+	if _, ok := snap.Gauges["accuracy.all.count"]; !ok {
+		t.Fatalf("accuracy gauges not published: %v", snap.Gauges)
+	}
+	_, promBody := getWithAccept(t, ts.URL+"/v1/metrics", "text/plain")
+	if !strings.Contains(promBody, "accuracy_all_count 4") {
+		t.Fatalf("prometheus exposition missing accuracy gauge:\n%s", promBody)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/accuracy"
 	"repro/internal/predict"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -62,6 +63,13 @@ type Options struct {
 	// and at completion sim.wall_seconds and sim.events_per_second (simulator
 	// throughput in events per wall-clock second).
 	Metrics *obs.Registry
+	// Accuracy, when non-nil, scores every completion: the prediction the
+	// predictor makes for the job immediately before observing it, against
+	// the job's actual run time, recorded under the workload's name — the
+	// paper's Tables 4–9 error columns accumulated during the run. Jobs
+	// the predictor cannot predict are skipped, matching the tables (they
+	// score only predicted applications).
+	Accuracy *accuracy.Tracker
 	// Now supplies wall-clock readings for the throughput metrics above.
 	// The engine itself runs entirely on the simulated clock, so the
 	// default is a frozen clock (sim.wall_seconds stays zero and
@@ -265,6 +273,11 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 			free += j.Nodes
 			if opts.OnFinish != nil {
 				opts.OnFinish(now, j)
+			}
+			if opts.Accuracy != nil {
+				if sec, ok := pred.Predict(j, 0); ok {
+					opts.Accuracy.Record(w.Name, float64(sec), float64(j.RunTime))
+				}
 			}
 			pred.Observe(j)
 			if met != nil {

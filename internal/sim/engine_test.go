@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"repro/internal/obs/accuracy"
 	"repro/internal/predict"
 	"repro/internal/workload"
 )
@@ -230,5 +231,32 @@ func TestResultMeanWaitMinutes(t *testing.T) {
 	r := &Result{MeanWaitSec: 120}
 	if r.MeanWaitMinutes() != 2 {
 		t.Errorf("MeanWaitMinutes = %v", r.MeanWaitMinutes())
+	}
+}
+
+// TestRunFeedsAccuracyTracker: with Options.Accuracy set, every completion
+// the predictor can score is recorded under the workload's name — the
+// prediction made just before the observation, against the actual run time.
+func TestRunFeedsAccuracyTracker(t *testing.T) {
+	w := wl(4, j(1, 0, 100, 4), j(2, 10, 60, 4), j(3, 20, 80, 4))
+	var mean predict.RunningMean
+	acc := accuracy.New()
+	if _, err := Run(w, fcfs{}, &mean, Options{Accuracy: acc}); err != nil {
+		t.Fatal(err)
+	}
+	ks, ok := acc.Snapshot()["test"]
+	if !ok {
+		t.Fatalf("no accuracy stream for the workload: %v", acc.Keys())
+	}
+	// Job 1 completes with no history (unscored); job 2 is predicted 100
+	// (error +40); job 3 is predicted 80 (error 0).
+	if ks.Count != 2 {
+		t.Fatalf("scored %d completions, want 2", ks.Count)
+	}
+	if ks.Over != 1 || ks.Exact != 1 || ks.Under != 0 {
+		t.Fatalf("over/exact/under = %d/%d/%d, want 1/1/0", ks.Over, ks.Exact, ks.Under)
+	}
+	if ks.MeanError != 20 || ks.MaxAbsError != 40 {
+		t.Fatalf("mean/max error = %v/%v, want 20/40", ks.MeanError, ks.MaxAbsError)
 	}
 }

@@ -23,7 +23,25 @@ func WelchT(xs, ys []float64) (TTestResult, error) {
 	}
 	mx, vx := MeanVar(xs)
 	my, vy := MeanVar(ys)
-	nx, ny := float64(len(xs)), float64(len(ys))
+	return welchFromSummary(mx, vx, float64(len(xs)), my, vy, float64(len(ys)))
+}
+
+// WelchTMoments is WelchT computed from streaming summaries instead of
+// retained samples: the online accuracy tracker tests its recent error
+// window against the lifetime baseline without holding either sample in
+// memory. Both aggregates need at least two points.
+func WelchTMoments(x, y Moments) (TTestResult, error) {
+	if x.N < 2 || y.N < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	mx, vx := x.MeanVar()
+	my, vy := y.MeanVar()
+	return welchFromSummary(mx, vx, float64(x.N), my, vy, float64(y.N))
+}
+
+// welchFromSummary is the shared Welch machinery over (mean, variance, n)
+// summaries; WelchT and WelchTMoments differ only in how they summarize.
+func welchFromSummary(mx, vx, nx, my, vy, ny float64) (TTestResult, error) {
 	se2 := vx/nx + vy/ny
 	if se2 <= 0 {
 		if mx == my { //lint:allow floatcmp degenerate zero-variance case: means of identical constants compare exactly

@@ -121,3 +121,47 @@ func TestPairedTDegenerate(t *testing.T) {
 		t.Errorf("constant difference: %+v, %v", r, err)
 	}
 }
+
+// TestWelchTMomentsMatchesSlices checks the streaming-summary variant is
+// exactly the slice variant: identical T, DF, and P on the same data.
+func TestWelchTMomentsMatchesSlices(t *testing.T) {
+	xs := []float64{1.5, 2.25, 3.75, 2.0, 1.25, 4.5}
+	ys := []float64{5.5, 6.25, 4.75, 7.0, 5.0}
+	var mx, my Moments
+	for _, x := range xs {
+		mx.Add(x)
+	}
+	for _, y := range ys {
+		my.Add(y)
+	}
+	want, err := WelchT(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := WelchTMoments(mx, my)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.T != want.T || got.DF != want.DF || got.P != want.P {
+		t.Fatalf("WelchTMoments = %+v, WelchT = %+v; must be identical", got, want)
+	}
+}
+
+func TestWelchTMomentsDegenerate(t *testing.T) {
+	var one, two Moments
+	one.Add(1)
+	two.Add(1)
+	two.Add(2)
+	if _, err := WelchTMoments(one, two); err == nil {
+		t.Error("single-sample aggregate should error")
+	}
+	var ca, cb Moments
+	for i := 0; i < 4; i++ {
+		ca.Add(3)
+		cb.Add(3)
+	}
+	r, err := WelchTMoments(ca, cb)
+	if err != nil || r.P != 1 {
+		t.Errorf("identical constants: %+v, %v", r, err)
+	}
+}

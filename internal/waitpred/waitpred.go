@@ -14,12 +14,37 @@ package waitpred
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
+	"repro/internal/obs/trace"
 	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// PredictStartCtx is PredictStart with the forward simulation recorded as
+// a "waitpred.simulate" child span of the trace active in ctx (policy and
+// scheduler-state sizes as attributes). Without an active trace it is
+// exactly PredictStart.
+func PredictStartCtx(ctx context.Context, now int64, target *workload.Job,
+	queue, running []*workload.Job, totalNodes int, pol sim.Policy,
+	pred predict.Predictor, decision predict.Predictor, defaultRT int64) (int64, error) {
+
+	_, sp := trace.StartSpan(ctx, "waitpred.simulate")
+	if sp == nil {
+		return PredictStart(now, target, queue, running, totalNodes, pol, pred, decision, defaultRT)
+	}
+	sp.SetAttr("policy", pol.Name())
+	sp.SetAttrInt("queued", int64(len(queue)))
+	sp.SetAttrInt("running", int64(len(running)))
+	start, err := PredictStart(now, target, queue, running, totalNodes, pol, pred, decision, defaultRT)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return start, err
+}
 
 // endHeap orders virtual running jobs by assumed end time (ties by ID).
 type endHeap []*workload.Job

@@ -1,0 +1,106 @@
+#!/usr/bin/env sh
+# Tracing + accuracy smoke test for qwaitd's observability surface.
+#
+# Builds the daemon, boots it with tracing enabled (sample rate 1, durable
+# history store), drives observe/predict/predictwait traffic, and asserts:
+#
+#   - /v1/traces is well-formed JSON, enabled, and contains a predict trace
+#     that decomposes into the named child spans (core.predict,
+#     template_match, histstore.view) plus an observe trace reaching the
+#     WAL append;
+#   - /v1/accuracy reports the scored completions ("all" stream with a
+#     positive count and drift state);
+#   - /v1/metrics serves JSON by default and Prometheus text exposition
+#     under content negotiation, each with the right Content-Type.
+#
+# Usage: scripts/trace_smoke.sh [port]
+set -eu
+
+PORT="${1:-18652}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+BIN="${WORK}/qwaitd"
+PID=""
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+wait_ready() {
+    i=0
+    while ! curl -sf "http://${ADDR}/v1/stats" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            fail "daemon did not become ready on ${ADDR}"
+        fi
+        sleep 0.2
+    done
+}
+
+go build -o "${BIN}" ./cmd/qwaitd
+
+"${BIN}" -addr "${ADDR}" -nodes 128 -data "${WORK}/hist" -snapshot-interval 0 \
+    -trace-sample 1 -trace-ring 32 &
+PID=$!
+wait_ready
+
+# Traffic: completions for two users, then predictions over the history.
+i=0
+for u in alice bob; do
+    for rt in 300 600 900 1200 1500; do
+        i=$((i + 1))
+        curl -sf -X POST "http://${ADDR}/v1/observe" \
+            -d "{\"job\":{\"id\":${i},\"user\":\"${u}\",\"executable\":\"${u}/app\",\"nodes\":4,\"runTime\":${rt},\"maxRunTime\":$((rt * 2))}}" \
+            >/dev/null
+    done
+done
+curl -sf -X POST "http://${ADDR}/v1/predict" \
+    -d '{"job":{"id":99,"user":"alice","executable":"alice/app","nodes":4,"maxRunTime":7200}}' \
+    >/dev/null
+curl -sf -X POST "http://${ADDR}/v1/predictwait" \
+    -d '{"now":1000,"policy":"Backfill","target":{"id":100,"user":"bob","executable":"bob/app","nodes":4,"maxRunTime":3600,"submitTime":1000},"queue":[{"id":100,"user":"bob","executable":"bob/app","nodes":4,"maxRunTime":3600,"submitTime":1000}],"running":[]}' \
+    >/dev/null
+
+# /v1/traces: enabled, with the predict decomposition and the WAL append.
+TRACES="${WORK}/traces.json"
+curl -sf "http://${ADDR}/v1/traces" >"${TRACES}"
+grep -q '"enabled":true' "${TRACES}" || fail "/v1/traces not enabled"
+grep -q '"http.predict"' "${TRACES}" || fail "no http.predict trace kept"
+for span in core.predict template_match histstore.view histstore.insert histstore.wal_append waitpred.simulate; do
+    grep -q "\"${span}\"" "${TRACES}" || fail "trace missing span ${span}"
+done
+
+# /v1/accuracy: completions were scored, drift state is reported.
+ACC="${WORK}/accuracy.json"
+curl -sf "http://${ADDR}/v1/accuracy" >"${ACC}"
+grep -q '"all"' "${ACC}" || fail "/v1/accuracy missing the \"all\" stream"
+grep -q '"count"' "${ACC}" || fail "/v1/accuracy missing counts"
+grep -q '"drift"' "${ACC}" || fail "/v1/accuracy missing drift state"
+grep -q '"count":0' "${ACC}" && fail "/v1/accuracy scored nothing"
+
+# /v1/metrics content negotiation: JSON default, Prometheus on request.
+CT_JSON=$(curl -sf -o /dev/null -w '%{content_type}' "http://${ADDR}/v1/metrics")
+case "${CT_JSON}" in
+application/json*) ;;
+*) fail "/v1/metrics default Content-Type is ${CT_JSON}" ;;
+esac
+PROM="${WORK}/metrics.prom"
+CT_PROM=$(curl -sf -H 'Accept: text/plain' -o "${PROM}" -w '%{content_type}' "http://${ADDR}/v1/metrics")
+case "${CT_PROM}" in
+text/plain*version=0.0.4*) ;;
+*) fail "/v1/metrics Prometheus Content-Type is ${CT_PROM}" ;;
+esac
+grep -q '# TYPE trace_traces_kept counter' "${PROM}" || fail "Prometheus exposition missing tracer counters"
+grep -q 'accuracy_all_count' "${PROM}" || fail "Prometheus exposition missing accuracy gauges"
+
+kill "${PID}" 2>/dev/null || true
+wait "${PID}" 2>/dev/null || true
+PID=""
+echo "OK: traces decompose, accuracy scores completions, metrics negotiate JSON/Prometheus"
