@@ -108,7 +108,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	// Backstop for the early-return error paths; the success path closes
 	// explicitly below so a flush-at-close failure is reported.
-	defer func() { _ = f.Close() }()
+	defer func() { _ = f.Close() }() //lint:allow errdrop backstop close on early-return error paths; the success path closes and checks explicitly below
 	cw := csv.NewWriter(f)
 	if err := cw.Write([]string{"id", "submit", "predicted_wait", "actual_wait"}); err != nil {
 		return err

@@ -133,7 +133,7 @@ func snapshotPeriodically(ctx context.Context, logger *obs.Logger, st *histstore
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if err := st.Snapshot(); err != nil {
+			if err := st.SnapshotCtx(ctx); err != nil {
 				logger.Error("periodic snapshot failed", "err", err)
 			} else if logger.Enabled(obs.LevelDebug) {
 				logger.Debug("periodic snapshot", "dir", st.Dir())

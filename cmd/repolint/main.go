@@ -5,22 +5,26 @@
 //
 // Usage:
 //
-//	repolint [-checks detrand,wallclock,...] [packages]
+//	repolint [-checks detrand,wallclock,...] [-format text|json] [packages]
 //
 // Packages default to ./... (the whole module). Diagnostics print as
-// file:line:col: message [check]; the exit status is 1 when any diagnostic
-// is reported, 2 on usage or load errors. Suppress an individual finding
-// with a justified directive:
+// file:line:col: message [check] (paths relative to the working directory
+// when possible), or as a JSON array with -format json for editor and CI
+// tooling; the exit status is 1 when any diagnostic is reported, 2 on
+// usage or load errors. Suppress an individual finding with a justified
+// directive:
 //
 //	//lint:allow wallclock measures real request latency
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -39,8 +43,12 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	checks := fs.String("checks", "all", "comma-separated checks to run (see -list)")
 	list := fs.Bool("list", false, "list the available checks and exit")
 	dir := fs.String("C", "", "run as if started in this directory (module root autodetected from it)")
+	format := fs.String("format", "text", "output format: text (file:line:col) or json")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil
+	}
+	if *format != "text" && *format != "json" {
+		return 2, fmt.Errorf("unknown -format %q (want text or json)", *format)
 	}
 	if *list {
 		for _, a := range lint.All() {
@@ -69,14 +77,68 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	relativize(diags)
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, diags); err != nil {
+			return 2, err
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "repolint: %d finding(s)\n", len(diags))
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// relativize rewrites diagnostic file names relative to the working
+// directory when they are inside it, so output (and the CI problem
+// matcher, which annotates files by workspace-relative path) stays stable
+// across checkout locations.
+func relativize(diags []lint.Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i := range diags {
+		rel, err := filepath.Rel(wd, diags[i].Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		diags[i].Pos.Filename = rel
+	}
+}
+
+// jsonDiag is the -format json shape of one finding. It flattens the
+// position so consumers need no knowledge of go/token.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+	Check   string `json:"check"`
+}
+
+// writeJSON emits the findings as one indented JSON array ([] when clean),
+// so the output is always a valid document.
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Message: d.Message,
+			Check:   d.Check,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // findModuleRoot walks up from dir (default: the working directory) to the

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,10 @@ func TestListPrintsEveryCheck(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run(-list) = %d, %v", code, err)
 	}
-	for _, name := range []string{"detrand", "wallclock", "floatcmp", "errdrop", "obsnames"} {
+	for _, name := range []string{
+		"detrand", "wallclock", "floatcmp", "errdrop", "obsnames",
+		"lockflow", "ctxflow", "atomicfield",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
@@ -24,6 +28,38 @@ func TestUnknownCheckIsUsageError(t *testing.T) {
 	code, err := run([]string{"-checks", "nosuch"}, &stdout, &stderr)
 	if code != 2 || err == nil {
 		t.Fatalf("run(-checks nosuch) = %d, %v; want exit 2 and an error", code, err)
+	}
+}
+
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-format", "xml"}, &stdout, &stderr)
+	if code != 2 || err == nil {
+		t.Fatalf("run(-format xml) = %d, %v; want exit 2 and an error", code, err)
+	}
+}
+
+// TestJSONFormatIsValidJSON runs one cheap check over one package and
+// requires the output to be a well-formed JSON array — [] on a clean run,
+// never an empty document.
+func TestJSONFormatIsValidJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", "..", "-format", "json", "-checks", "detrand", "./internal/lint/cfg"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v\n%s", code, err, stderr.String())
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Message string `json:"message"`
+		Check   string `json:"check"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("expected a clean run, got %d findings:\n%s", len(findings), stdout.String())
 	}
 }
 

@@ -240,7 +240,7 @@ func (p *Predictor) predictDetailed(ctx context.Context, sp *trace.Span, j *work
 			if tsp != nil {
 				p.store.ViewCtx(trace.ContextWithSpan(ctx, tsp), key, estimate)
 			} else {
-				p.store.View(key, estimate)
+				p.store.View(key, estimate) //lint:allow ctxflow no active trace when the span is nil; the ctx-less fast path skips a second StartSpan on the hot predict loop
 			}
 		} else {
 			c, exists := p.cats[key]
@@ -327,7 +327,7 @@ func (p *Predictor) observe(ctx context.Context, sp *trace.Span, j *workload.Job
 			if sp != nil {
 				err = p.store.InsertCtx(ctx, key, t.MaxHistory, pt)
 			} else {
-				err = p.store.Insert(key, t.MaxHistory, pt)
+				err = p.store.Insert(key, t.MaxHistory, pt) //lint:allow ctxflow no active trace when the span is nil; the ctx-less fast path skips a second StartSpan per template
 			}
 			if err != nil {
 				p.recordStoreErr(err)

@@ -22,7 +22,7 @@ const DefaultShards = 64
 // shard is one lock domain of the category map.
 type shard struct {
 	mu   sync.RWMutex
-	cats map[string]*Category
+	cats map[string]*Category // guarded by mu
 }
 
 // Store is the concurrency-safe category-statistics store. Reads

@@ -61,10 +61,10 @@ type wal struct {
 	path    string
 	f       *os.File
 	bw      *bufio.Writer
-	seq     uint64 // last assigned sequence number
+	seq     uint64 // last assigned sequence number; guarded by mu
 	nbytes  int64
 	syncAll bool // fsync after every append
-	broken  bool
+	broken  bool // guarded by mu
 }
 
 // frame writes one framed record to w.

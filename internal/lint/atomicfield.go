@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields. A field
+// that any code in the package accesses through sync/atomic
+// (atomic.AddInt64(&x.f, 1), atomic.LoadUint64(&x.f), ...) must never be
+// read or written plainly anywhere else in the package: the plain access
+// races with the atomic ones, and unlike a missed lock it is invisible to
+// inspection because both sites look locally correct. The race detector
+// only catches the schedules it happens to see; this check catches the
+// pattern itself.
+//
+// It also checks typed atomic.Value protocol: every Store/Swap/
+// CompareAndSwap into a given atomic.Value must use one consistent
+// concrete type — storing two different concrete types panics at runtime
+// ("store of inconsistently typed value"), and storing an interface-typed
+// expression compiles while hiding exactly that hazard. This is the class
+// behind the mixed-type panic fixed in the PR 3 review.
+//
+// Plain access to fields of freshly allocated, not-yet-shared values
+// (constructors) is exempt, matching lockflow's treatment of guards.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "Atomic-access consistency: a struct field accessed through " +
+		"sync/atomic anywhere in the package must not be read or written " +
+		"plainly elsewhere, and atomic.Value stores must use one " +
+		"consistent concrete type.",
+	Run: runAtomicField,
+}
+
+// atomicOpsArg maps sync/atomic function names to the index of their
+// address argument. All of them take the address first.
+func isAtomicOpName(name string) bool {
+	switch name {
+	case "AddInt32", "AddInt64", "AddUint32", "AddUint64", "AddUintptr",
+		"LoadInt32", "LoadInt64", "LoadUint32", "LoadUint64", "LoadUintptr", "LoadPointer",
+		"StoreInt32", "StoreInt64", "StoreUint32", "StoreUint64", "StoreUintptr", "StorePointer",
+		"SwapInt32", "SwapInt64", "SwapUint32", "SwapUint64", "SwapUintptr", "SwapPointer",
+		"CompareAndSwapInt32", "CompareAndSwapInt64", "CompareAndSwapUint32",
+		"CompareAndSwapUint64", "CompareAndSwapUintptr", "CompareAndSwapPointer":
+		return true
+	}
+	return false
+}
+
+// valueStoreArg returns the index of the stored value for the typed
+// atomic.Value methods, or -1 for methods that store nothing.
+func valueStoreArg(method string) int {
+	switch method {
+	case "Store", "Swap":
+		return 0
+	case "CompareAndSwap":
+		return 1
+	}
+	return -1
+}
+
+type valueStore struct {
+	pos   token.Pos
+	typ   types.Type
+	iface bool
+}
+
+func runAtomicField(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Phase 1: collect every atomic access. atomicAt remembers the first
+	// atomic site per field (for the diagnostic), consumed marks the
+	// selector expressions that ARE atomic accesses so phase 2 does not
+	// report them as plain ones.
+	atomicAt := make(map[*types.Var]token.Pos)
+	consumed := make(map[*ast.SelectorExpr]bool)
+	var valueFields []*types.Var // deterministic iteration order
+	stores := make(map[*types.Var][]valueStore)
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pkgSelector(info, call.Fun, "sync/atomic"); ok &&
+				isAtomicOpName(name) && len(call.Args) > 0 {
+				if sel := addrFieldSelector(call.Args[0]); sel != nil {
+					if v := selectedField(info, sel); v != nil {
+						if _, seen := atomicAt[v]; !seen {
+							atomicAt[v] = call.Pos()
+						}
+						consumed[sel] = true
+					}
+				}
+				return true
+			}
+			// Typed atomic.Value protocol.
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			argIdx := valueStoreArg(fn.Name())
+			if argIdx < 0 || argIdx >= len(call.Args) || fn.FullName() != "(*sync/atomic.Value)."+fn.Name() {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := selectedField(info, recv)
+			if v == nil {
+				return true
+			}
+			arg := call.Args[argIdx]
+			tv, ok := info.Types[arg]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			t := tv.Type
+			if b, isBasic := t.(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+				return true // Store(nil) panics on its own; out of scope here
+			}
+			if _, tracked := stores[v]; !tracked {
+				valueFields = append(valueFields, v)
+			}
+			stores[v] = append(stores[v], valueStore{
+				pos:   arg.Pos(),
+				typ:   t,
+				iface: types.IsInterface(t),
+			})
+			return true
+		})
+	}
+
+	// Phase 2: report plain accesses of atomically-accessed fields,
+	// walking function bodies so constructor-fresh locals can be exempted.
+	if len(atomicAt) > 0 {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fresh := freshLocals(info, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || consumed[sel] {
+						return true
+					}
+					v := selectedField(info, sel)
+					if v == nil {
+						return true
+					}
+					first, isAtomic := atomicAt[v]
+					if !isAtomic {
+						return true
+					}
+					if ref, ok := resolveLockRef(info, sel.X); ok && fresh[ref.root] {
+						return true // not yet shared: plain init is fine
+					}
+					pass.Reportf(sel.Sel.Pos(),
+						"field %s is accessed atomically (first at line %d) but plainly here; mixed access is a data race",
+						v.Name(), pass.Fset.Position(first).Line)
+					return true
+				})
+			}
+		}
+	}
+
+	// Typed atomic.Value verdicts, in deterministic field order.
+	for _, v := range valueFields {
+		sites := stores[v]
+		var firstConcrete *valueStore
+		for i := range sites {
+			s := &sites[i]
+			if s.iface {
+				pass.Reportf(s.pos,
+					"atomic.Value field %s stores a value of interface type %s; store one consistent concrete type instead",
+					v.Name(), s.typ)
+				continue
+			}
+			if firstConcrete == nil {
+				firstConcrete = s
+				continue
+			}
+			if !types.Identical(s.typ, firstConcrete.typ) {
+				pass.Reportf(s.pos,
+					"atomic.Value field %s stores %s here but %s at line %d; inconsistently typed stores panic at runtime",
+					v.Name(), s.typ, firstConcrete.typ, pass.Fset.Position(firstConcrete.pos).Line)
+			}
+		}
+	}
+}
+
+// addrFieldSelector matches &x.f (the address-of-field shape sync/atomic
+// calls use) and returns the x.f selector.
+func addrFieldSelector(e ast.Expr) *ast.SelectorExpr {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, _ := ast.Unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// selectedField resolves a selector to the struct field it names, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

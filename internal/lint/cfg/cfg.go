@@ -1,0 +1,402 @@
+// Package cfg builds per-function control-flow graphs over go/ast and
+// runs forward data-flow analyses on them, using only the standard
+// library. It is the substrate for the flow-aware analyzers in
+// internal/lint (lockflow's lockset analysis in particular): per-node AST
+// matching cannot see that a function returns while a mutex is still
+// held, because "returns while held" is a property of paths, not nodes.
+//
+// The graph is deliberately simple: basic blocks of statements connected
+// by edges for if/for/range/switch/select, labeled break/continue/goto,
+// and return. A call to the builtin panic terminates its block with an
+// edge to the exit block, the same way a return does, so analyses see
+// every way control can leave the function. Defer and go statements stay
+// inside their block as ordinary nodes — a defer does not change
+// intra-function control flow at the point it executes, and clients that
+// care about deferred calls (lockflow's deferred-unlock accounting)
+// inspect the DeferStmt nodes directly. Function literals are not
+// descended into: their bodies execute on some other activation and get
+// their own graphs.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a maximal run of nodes with a single entry
+// and a single exit point. Nodes holds statements and the control
+// expressions evaluated in the block (an if condition, a for condition, a
+// switch tag), in execution order.
+type Block struct {
+	Index int    // position in Graph.Blocks; stable, deterministic
+	Kind  string // diagnostic label: "entry", "if.then", "for.head", ...
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body. Entry is always
+// Blocks[0] and Exit Blocks[1]; every return, panic, and fall-off-the-end
+// path has an edge to Exit. Blocks with no predecessors (other than
+// Entry) are unreachable code.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	b.stmt(body, "")
+	// Falling off the end of the body returns.
+	b.edge(b.cur, b.g.Exit)
+	// Resolve forward gotos now that every label has a block.
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	b.prune()
+	return b.g
+}
+
+// prune removes flow edges that originate in unreachable blocks (the
+// continuation blocks minted after return/panic/break when dead code
+// follows), so the Preds of reachable blocks reflect executable paths
+// only. The dead blocks themselves stay in Blocks — clients may still
+// want to look at unreachable code — they just carry no edges.
+func (b *builder) prune() {
+	live := make([]bool, len(b.g.Blocks))
+	var walk func(*Block)
+	walk = func(blk *Block) {
+		if live[blk.Index] {
+			return
+		}
+		live[blk.Index] = true
+		for _, s := range blk.Succs {
+			walk(s)
+		}
+	}
+	walk(b.g.Entry)
+	for _, blk := range b.g.Blocks {
+		if live[blk.Index] {
+			continue
+		}
+		for _, s := range blk.Succs {
+			keep := s.Preds[:0]
+			for _, p := range s.Preds {
+				if p != blk {
+					keep = append(keep, p)
+				}
+			}
+			s.Preds = keep
+		}
+		blk.Succs = nil
+	}
+}
+
+// String renders the graph for debugging and tests: one line per block
+// with its kind, node count, and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%d %s nodes=%d ->", b.Index, b.Kind, len(b.Nodes))
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// target is an active break or continue destination, innermost last on
+// the builder's stacks; label is "" for the unlabeled form.
+type target struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g     *Graph
+	cur   *Block
+	brks  []target
+	conts []target
+	fall  *Block // fallthrough destination inside a switch clause
+
+	labels map[string]*Block
+	gotos  []pendingGoto
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current block with an edge to target (exit for
+// return/panic, a loop or switch boundary for branch statements) and
+// parks the builder on a fresh, predecessor-less block: any statements
+// that follow are unreachable code and collect there, outside the flow.
+func (b *builder) terminate(to *Block) {
+	if to != nil {
+		b.edge(b.cur, to)
+	}
+	b.cur = b.newBlock("unreachable")
+}
+
+// findTarget resolves a break or continue to the matching entry of a
+// target stack.
+func findTarget(stack []target, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// stmt translates one statement. label is the name of the enclosing
+// LabeledStmt when s is its direct statement (so labeled loops register
+// labeled break/continue targets), "" otherwise.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st, "")
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.g.Exit)
+
+	case *ast.BranchStmt:
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.add(s)
+			b.terminate(findTarget(b.brks, name))
+		case token.CONTINUE:
+			b.add(s)
+			b.terminate(findTarget(b.conts, name))
+		case token.GOTO:
+			b.add(s)
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: name})
+			b.terminate(nil)
+		case token.FALLTHROUGH:
+			b.terminate(b.fall)
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate(b.g.Exit)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock("if.done")
+		then := b.newBlock("if.then")
+		b.edge(head, then)
+		b.cur = then
+		b.stmt(s.Body, "")
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(head, els)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.edge(b.cur, join)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.cur, head)
+		join := b.newBlock("for.done")
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, join) // a false condition leaves the loop
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		b.brks = append(b.brks, target{label, join})
+		b.conts = append(b.conts, target{label, cont})
+		b.cur = body
+		b.stmt(s.Body, "")
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post, "")
+		}
+		b.edge(b.cur, head) // back edge
+		b.brks = b.brks[:len(b.brks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = join
+
+	case *ast.RangeStmt:
+		b.add(s.X) // the ranged-over expression is evaluated once, up front
+		head := b.newBlock("range.head")
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // per-iteration assignment
+		join := b.newBlock("range.done")
+		body := b.newBlock("range.body")
+		b.edge(head, body)
+		b.edge(head, join) // an exhausted range leaves the loop
+		b.brks = append(b.brks, target{label, join})
+		b.conts = append(b.conts, target{label, head})
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.edge(b.cur, head) // back edge
+		b.brks = b.brks[:len(b.brks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, label, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, label, false)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		join := b.newBlock("select.done")
+		b.brks = append(b.brks, target{label, join})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			}
+			for _, st := range cc.Body {
+				b.stmt(st, "")
+			}
+			b.edge(b.cur, join)
+		}
+		// Without a default clause select blocks until some case is ready,
+		// so the only paths to join run through the cases. An empty select{}
+		// blocks forever: join stays unreachable, exactly as executed.
+		b.brks = b.brks[:len(b.brks)-1]
+		b.cur = join
+
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty: plain
+		// block members with no control-flow edges of their own.
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// switchStmt translates expression and type switches: the tag (or type
+// assign) evaluates in the head block, every clause body is reachable
+// from the head, fallthrough chains a clause into the next one, and a
+// missing default adds the head→join edge for the no-match path.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string, allowFallthrough bool) {
+	if init != nil {
+		b.stmt(init, "")
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	join := b.newBlock("switch.done")
+	b.brks = append(b.brks, target{label, join})
+	clauses := body.List
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock("switch.case")
+	}
+	hasDefault := false
+	savedFall := b.fall
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e) // case expressions evaluate when the clause is tried
+		}
+		b.fall = nil
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fall = bodies[i+1]
+		}
+		for _, st := range cc.Body {
+			b.stmt(st, "")
+		}
+		b.edge(b.cur, join)
+	}
+	b.fall = savedFall
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.brks = b.brks[:len(b.brks)-1]
+	b.cur = join
+}
+
+// isPanicCall reports whether e is a call to the builtin panic. The test
+// is syntactic (a local function named panic would fool it), which is the
+// right trade for a graph builder with no type information.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,371 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// buildFunc parses src (one or more declarations) and builds the graph of
+// the last function declared.
+func buildFunc(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if d, ok := d.(*ast.FuncDecl); ok {
+			fd = d
+		}
+	}
+	if fd == nil || fd.Body == nil {
+		t.Fatal("no function with a body in source")
+	}
+	return cfg.New(fd.Body)
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func reachable(g *cfg.Graph) map[*cfg.Block]bool {
+	seen := make(map[*cfg.Block]bool)
+	var walk func(*cfg.Block)
+	walk = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// blocksWithNode returns every block holding a node the predicate accepts.
+func blocksWithNode(g *cfg.Graph, pred func(ast.Node) bool) []*cfg.Block {
+	var out []*cfg.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func hasSucc(b, succ *cfg.Block) bool {
+	for _, s := range b.Succs {
+		if s == succ {
+			return true
+		}
+	}
+	return false
+}
+
+// kindBlocks collects blocks by Kind.
+func kindBlocks(g *cfg.Graph, kind string) []*cfg.Block {
+	var out []*cfg.Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestEarlyReturnBothPathsReachExit(t *testing.T) {
+	g := buildFunc(t, `
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`)
+	rets := blocksWithNode(g, func(n ast.Node) bool { _, ok := n.(*ast.ReturnStmt); return ok })
+	if len(rets) != 2 {
+		t.Fatalf("want the two returns in two distinct blocks, got %d:\n%s", len(rets), g)
+	}
+	for _, b := range rets {
+		if !hasSucc(b, g.Exit) {
+			t.Errorf("return block %d lacks an edge to exit:\n%s", b.Index, g)
+		}
+	}
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("exit should have exactly the two return predecessors, got %d:\n%s", len(g.Exit.Preds), g)
+	}
+}
+
+func TestDeferStaysInItsBlock(t *testing.T) {
+	g := buildFunc(t, `
+func f(c bool) {
+	defer done()
+	if c {
+		return
+	}
+	work()
+}`)
+	defers := blocksWithNode(g, func(n ast.Node) bool { _, ok := n.(*ast.DeferStmt); return ok })
+	if len(defers) != 1 || defers[0] != g.Entry {
+		t.Fatalf("defer should be an ordinary node of the entry block:\n%s", g)
+	}
+	// One exit edge from the early return, one from falling off the end.
+	if len(g.Exit.Preds) != 2 {
+		t.Errorf("want 2 exit predecessors (early return + fall-through), got %d:\n%s", len(g.Exit.Preds), g)
+	}
+}
+
+func TestSelectEveryCaseReachesJoinOnlyThroughClauses(t *testing.T) {
+	g := buildFunc(t, `
+func f(ch chan int, d chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	case d <- 1:
+	}
+	after()
+}`)
+	cases := kindBlocks(g, "select.case")
+	if len(cases) != 2 {
+		t.Fatalf("want 2 select.case blocks, got %d:\n%s", len(cases), g)
+	}
+	joins := kindBlocks(g, "select.done")
+	if len(joins) != 1 {
+		t.Fatalf("want 1 select.done block:\n%s", g)
+	}
+	join := joins[0]
+	// Without a default clause the select blocks until a case is ready, so
+	// the only paths past it run through the cases.
+	if len(join.Preds) != 2 {
+		t.Errorf("select.done should be reachable only via the 2 cases, got %d preds:\n%s", len(join.Preds), g)
+	}
+	for _, c := range cases {
+		if !reachable(g)[c] {
+			t.Errorf("select case %d unreachable:\n%s", c.Index, g)
+		}
+	}
+}
+
+func TestSelectWithDefaultAndEmptySelect(t *testing.T) {
+	g := buildFunc(t, `
+func f(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}`)
+	if got := len(kindBlocks(g, "select.case")); got != 2 {
+		t.Fatalf("default clause should be a case block too, got %d:\n%s", got, g)
+	}
+
+	// select{} blocks forever: nothing after it can run.
+	g = buildFunc(t, `
+func f() {
+	select {}
+	after()
+}`)
+	afters := blocksWithNode(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "after"
+	})
+	if len(afters) != 1 {
+		t.Fatalf("after() not found:\n%s", g)
+	}
+	if reachable(g)[afters[0]] {
+		t.Errorf("code after select{} must be unreachable:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `
+func f() {
+	for i := 0; i < 3; i++ {
+		work(i)
+	}
+	done()
+}`)
+	heads := kindBlocks(g, "for.head")
+	if len(heads) != 1 {
+		t.Fatalf("want one for.head:\n%s", g)
+	}
+	head := heads[0]
+	if len(head.Succs) != 2 {
+		t.Fatalf("for.head should branch to body and done, got %d succs:\n%s", len(head.Succs), g)
+	}
+	posts := kindBlocks(g, "for.post")
+	if len(posts) != 1 || !hasSucc(posts[0], head) {
+		t.Errorf("for.post must loop back to for.head:\n%s", g)
+	}
+}
+
+func TestBreakAndContinueTargets(t *testing.T) {
+	g := buildFunc(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 9 {
+			break
+		}
+		use(x)
+	}
+}`)
+	heads := kindBlocks(g, "range.head")
+	dones := kindBlocks(g, "range.done")
+	if len(heads) != 1 || len(dones) != 1 {
+		t.Fatalf("want one range.head and one range.done:\n%s", g)
+	}
+	conts := blocksWithNode(g, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.CONTINUE
+	})
+	if len(conts) != 1 || !hasSucc(conts[0], heads[0]) {
+		t.Errorf("continue must edge to range.head:\n%s", g)
+	}
+	brks := blocksWithNode(g, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.BREAK
+	})
+	if len(brks) != 1 || !hasSucc(brks[0], dones[0]) {
+		t.Errorf("break must edge to range.done:\n%s", g)
+	}
+}
+
+func TestGotoResolvesToLabel(t *testing.T) {
+	g := buildFunc(t, `
+func f() {
+	i := 0
+loop:
+	i++
+	if i < 10 {
+		goto loop
+	}
+}`)
+	labels := kindBlocks(g, "label.loop")
+	if len(labels) != 1 {
+		t.Fatalf("want one label block:\n%s", g)
+	}
+	gotos := blocksWithNode(g, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.GOTO
+	})
+	if len(gotos) != 1 || !hasSucc(gotos[0], labels[0]) {
+		t.Errorf("goto must edge back to its label:\n%s", g)
+	}
+}
+
+func TestPanicTerminatesLikeReturn(t *testing.T) {
+	g := buildFunc(t, `
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	rest()
+}`)
+	panics := blocksWithNode(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	})
+	if len(panics) != 1 {
+		t.Fatalf("panic call not found:\n%s", g)
+	}
+	if len(panics[0].Succs) != 1 || panics[0].Succs[0] != g.Exit {
+		t.Errorf("panic block must edge only to exit:\n%s", g)
+	}
+	rests := blocksWithNode(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "rest"
+	})
+	if len(rests) != 1 || !reachable(g)[rests[0]] {
+		t.Errorf("rest() must stay reachable via the no-panic path:\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughChainsClauses(t *testing.T) {
+	g := buildFunc(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+}`)
+	cases := kindBlocks(g, "switch.case")
+	if len(cases) != 3 {
+		t.Fatalf("want 3 clause blocks, got %d:\n%s", len(cases), g)
+	}
+	if !hasSucc(cases[0], cases[1]) {
+		t.Errorf("fallthrough must edge clause 1 into clause 2:\n%s", g)
+	}
+	joins := kindBlocks(g, "switch.done")
+	if len(joins) != 1 {
+		t.Fatalf("want one switch.done:\n%s", g)
+	}
+	// A default clause exists, so the head must not skip straight to join.
+	for _, p := range joins[0].Preds {
+		if p.Kind != "switch.case" && p.Kind != "unreachable" {
+			t.Errorf("switch.done reachable from non-clause block %d (%s):\n%s", p.Index, p.Kind, g)
+		}
+	}
+}
+
+func TestUnreachableAfterReturnHasNoPreds(t *testing.T) {
+	g := buildFunc(t, `
+func f() int {
+	return 1
+	work()
+}`)
+	works := blocksWithNode(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "work"
+	})
+	if len(works) != 1 {
+		t.Fatalf("work() not found:\n%s", g)
+	}
+	if len(works[0].Preds) != 0 || reachable(g)[works[0]] {
+		t.Errorf("statements after return must collect in a predecessor-less block:\n%s", g)
+	}
+}

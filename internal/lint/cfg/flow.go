@@ -1,0 +1,63 @@
+package cfg
+
+// Forward runs a forward data-flow analysis over g to a fixpoint and
+// returns the in-state of every reachable block. The client supplies the
+// lattice operations:
+//
+//   - entry is the state on entry to g.Entry.
+//   - clone deep-copies a state; transfer receives a clone it may mutate.
+//   - join combines the states of converging edges (set union for a "may"
+//     analysis, intersection for "must"). It must not mutate its
+//     arguments and must be monotone: joining can only grow (or only
+//     shrink) a state, never oscillate, or the iteration cannot settle.
+//   - transfer computes a block's out-state from its in-state by applying
+//     the block's nodes in order.
+//
+// Blocks never reached from Entry (unreachable code) have no in-state and
+// are absent from the result. Iteration is a deterministic FIFO worklist,
+// so analyzers built on it report in a stable order. A safety cap bounds
+// the iteration count for non-monotone clients: the engine returns the
+// best state reached rather than spinning forever, which for a linter
+// means at worst a missed finding, never a hung run.
+func Forward[S any](
+	g *Graph,
+	entry S,
+	clone func(S) S,
+	join func(S, S) S,
+	equal func(S, S) bool,
+	transfer func(*Block, S) S,
+) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	in[g.Entry] = entry
+	queued := make([]bool, len(g.Blocks))
+	queue := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+
+	// Every edge can carry at most |lattice| strict improvements; the cap
+	// only trips for a join that is not monotone.
+	maxSteps := 64 * (len(g.Blocks) + 1) * (len(g.Blocks) + 1)
+	for steps := 0; len(queue) > 0 && steps < maxSteps; steps++ {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b.Index] = false
+		out := transfer(b, clone(in[b]))
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			var next S
+			if !ok {
+				next = clone(out)
+			} else {
+				next = join(cur, out)
+			}
+			if ok && equal(next, cur) {
+				continue
+			}
+			in[s] = next
+			if !queued[s.Index] {
+				queue = append(queue, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return in
+}

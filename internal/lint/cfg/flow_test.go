@@ -1,0 +1,179 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// The engine tests run a toy "assigned variables" analysis: the transfer
+// function adds the name of every identifier assigned in the block, and
+// the join is either set union (may be assigned) or set intersection
+// (must be assigned) — the two lattices the real analyzers use.
+
+type varSet map[string]bool
+
+func cloneSet(s varSet) varSet {
+	out := make(varSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func unionSet(a, b varSet) varSet {
+	out := cloneSet(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectSet(a, b varSet) varSet {
+	out := make(varSet)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalSet(a, b varSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func assignTransfer(b *cfg.Block, in varSet) varSet {
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				in[id.Name] = true
+			}
+		}
+	}
+	return in
+}
+
+func names(s varSet) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+const branchySrc = `
+func f(c bool) {
+	a := 1
+	if c {
+		x := 2
+		_ = x
+	} else {
+		y := 3
+		_ = y
+	}
+	done()
+}`
+
+func TestForwardMayAnalysisUnionsBranches(t *testing.T) {
+	g := buildFunc(t, branchySrc)
+	in := cfg.Forward(g, varSet{}, cloneSet, unionSet, equalSet, assignTransfer)
+	got := names(in[g.Exit])
+	if got != "a,x,y" {
+		t.Fatalf("union at exit = %q, want a,x,y\n%s", got, g)
+	}
+}
+
+func TestForwardMustAnalysisIntersectsBranches(t *testing.T) {
+	g := buildFunc(t, branchySrc)
+	in := cfg.Forward(g, varSet{}, cloneSet, intersectSet, equalSet, assignTransfer)
+	got := names(in[g.Exit])
+	if got != "a" {
+		t.Fatalf("intersection at exit = %q, want just a (x and y are branch-local)\n%s", got, g)
+	}
+}
+
+func TestForwardLoopReachesFixpoint(t *testing.T) {
+	g := buildFunc(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		v := i
+		_ = v
+	}
+	done()
+}`)
+	in := cfg.Forward(g, varSet{}, cloneSet, unionSet, equalSet, assignTransfer)
+	// The loop body's assignment must flow around the back edge into the
+	// loop head's in-state.
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			if !in[b]["v"] {
+				t.Fatalf("back edge did not propagate v into loop head: %q\n%s", names(in[b]), g)
+			}
+		}
+	}
+	if got := names(in[g.Exit]); got != "i,v" {
+		t.Fatalf("exit state = %q, want i,v", got)
+	}
+}
+
+func TestForwardSkipsUnreachableBlocks(t *testing.T) {
+	g := buildFunc(t, `
+func f() {
+	return
+	x := 1
+	_ = x
+}`)
+	in := cfg.Forward(g, varSet{}, cloneSet, unionSet, equalSet, assignTransfer)
+	for b, s := range in {
+		if s["x"] {
+			t.Fatalf("unreachable assignment leaked into block %d", b.Index)
+		}
+	}
+	if _, ok := in[g.Exit]; !ok {
+		t.Fatal("exit must still have a state (via the return edge)")
+	}
+}
+
+func TestForwardEarlyReturnStatesStaySeparate(t *testing.T) {
+	g := buildFunc(t, `
+func f(c bool) {
+	held := 1
+	_ = held
+	if c {
+		return
+	}
+	rel := 2
+	_ = rel
+}`)
+	in := cfg.Forward(g, varSet{}, cloneSet, unionSet, equalSet, assignTransfer)
+	// Exit joins the early-return path (held only) with the fall-through
+	// path (held and rel): union has both, and the early-return block
+	// itself must not see rel.
+	if got := names(in[g.Exit]); got != "held,rel" {
+		t.Fatalf("exit state = %q, want held,rel", got)
+	}
+	for _, b := range g.Blocks {
+		if b.Kind == "if.then" {
+			if in[b]["rel"] {
+				t.Fatalf("early-return path contaminated by later assignment:\n%s", g)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces trace-context propagation. The tracing layer threads a
+// context.Context through the request path (PredictDetailedCtx → ViewCtx
+// → wal_append spans); a single call to the ctx-less variant of an API
+// silently severs the span tree below it, and nothing fails — the trace
+// is just mysteriously shallow. So, inside any function that has a
+// context.Context parameter (closures inherit the enclosing function's
+// ctx), calling a module function or method f for which an "fCtx" sibling
+// exists is a finding: the variant must be called, with this function's
+// ctx. Passing context.Background() or context.TODO() to a
+// context-taking callee while the caller has a perfectly good ctx of its
+// own is reported for the same reason.
+//
+// Only callees whose package the driver loaded with syntax (this module,
+// or fixture packages under test) are held to the rule: the standard
+// library's foo/fooContext pairs have different semantics and stay out of
+// scope.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "Context-propagation analysis: a function holding a " +
+		"context.Context must call the *Ctx variant of any module API " +
+		"that has one, passing its own ctx rather than " +
+		"context.Background()/TODO(), so trace span trees stay connected.",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxWalk(pass, fd.Body, fd.Name.Name, funcTypeHasCtx(pass, fd.Type))
+		}
+	}
+}
+
+// ctxWalk checks every call in body. hasCtx reports whether the enclosing
+// function (or one it is nested in) has a context.Context parameter in
+// scope; caller is the enclosing FuncDecl's name, used to recognise the
+// delegation pattern. Function literals are walked with their own
+// parameter list considered first, falling back to the inherited flag — a
+// closure capturing ctx is as able to propagate it as its parent.
+func ctxWalk(pass *Pass, body *ast.BlockStmt, caller string, hasCtx bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ctxWalk(pass, n.Body, caller, hasCtx || funcTypeHasCtx(pass, n.Type))
+			return false
+		case *ast.CallExpr:
+			if hasCtx {
+				checkCall(pass, n, caller)
+			}
+		}
+		return true
+	})
+}
+
+// funcTypeHasCtx reports whether a function type declares a
+// context.Context parameter.
+func funcTypeHasCtx(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, fl := range ft.Params.List {
+		if tv, ok := pass.Pkg.Info.Types[fl.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCall inspects one call made while a ctx is in scope.
+func checkCall(pass *Pass, call *ast.CallExpr, caller string) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	// A context-taking callee fed a fresh root context: the caller's own
+	// ctx (and the trace riding on it) is thrown away.
+	if sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) && len(call.Args) > 0 {
+		if name, ok := rootContextCall(pass.Pkg.Info, call.Args[0]); ok {
+			pass.Reportf(call.Args[0].Pos(),
+				"%s is called with context.%s() although the caller has its own ctx; pass ctx so the trace stays connected",
+				fn.Name(), name)
+		}
+		return
+	}
+	// Ctx-less call to a module API that has a *Ctx sibling.
+	if !moduleCallee(pass, fn) {
+		return
+	}
+	variant := ctxVariant(fn, sig)
+	if variant == nil {
+		return
+	}
+	// The delegation pattern: FooCtx's own body calling Foo is the
+	// variant's implementation, not a dropped context.
+	if caller == variant.Name() && fn.Pkg() == pass.Pkg.Types {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s drops the caller's ctx; call %s with it so the trace stays connected",
+		fn.Name(), variant.Name())
+}
+
+// moduleCallee reports whether fn's package was loaded with syntax — the
+// module's own packages (or test fixtures), as opposed to the standard
+// library.
+func moduleCallee(pass *Pass, fn *types.Func) bool {
+	if fn.Pkg() == pass.Pkg.Types {
+		return true
+	}
+	return pass.Lookup != nil && pass.Lookup(fn.Pkg().Path()) != nil
+}
+
+// ctxVariant finds a sibling of fn named fn.Name()+"Ctx" whose signature
+// is fn's with a leading context.Context parameter: the shape the module
+// uses for trace-propagating variants. Methods are looked up on the
+// receiver type (so embedding works); package functions in the package
+// scope.
+func ctxVariant(fn *types.Func, sig *types.Signature) *types.Func {
+	name := fn.Name() + "Ctx"
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+	} else {
+		obj = fn.Pkg().Scope().Lookup(name)
+	}
+	v, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	vsig, ok := v.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if vsig.Params().Len() != sig.Params().Len()+1 {
+		return nil
+	}
+	if vsig.Params().Len() == 0 || !isContextType(vsig.Params().At(0).Type()) {
+		return nil
+	}
+	return v
+}
+
+// rootContextCall matches context.Background() and context.TODO(),
+// returning the function name.
+func rootContextCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	name, ok := pkgSelector(info, call.Fun, "context")
+	if !ok || (name != "Background" && name != "TODO") {
+		return "", false
+	}
+	return name, true
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAllowDirective(t *testing.T) {
+	tests := []struct {
+		text      string
+		checks    []string
+		justified bool
+		ok        bool
+	}{
+		{"//lint:allow wallclock measures real latency", []string{"wallclock"}, true, true},
+		{"//lint:allow errdrop,detrand shared justification", []string{"errdrop", "detrand"}, true, true},
+		{"//lint:allow wallclock", []string{"wallclock"}, false, true},
+		{"//lint:allow", nil, false, true},
+		{"// lint:allow wallclock spaced marker still counts", []string{"wallclock"}, true, true},
+		{"//lint:allowother", nil, false, false},
+		{"/* lint:allow wallclock */", nil, false, false},
+		{"// just a comment", nil, false, false},
+		{"//lint:allow ,,, prose without any check name", nil, false, true},
+	}
+	for _, tt := range tests {
+		checks, justified, ok := parseAllowDirective(tt.text)
+		if ok != tt.ok || justified != tt.justified || strings.Join(checks, "|") != strings.Join(tt.checks, "|") {
+			t.Errorf("parseAllowDirective(%q) = %v, %v, %v; want %v, %v, %v",
+				tt.text, checks, justified, ok, tt.checks, tt.justified, tt.ok)
+		}
+	}
+}
+
+// FuzzParseAllowDirective drives the directive parser — the one piece of
+// suppression handling exposed to arbitrary source text — with hostile
+// comment bodies, checking its structural invariants rather than exact
+// outputs.
+func FuzzParseAllowDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//lint:allow wallclock measures real latency",
+		"//lint:allow errdrop,detrand why",
+		"//lint:allow",
+		"//lint:allowother",
+		"/* lint:allow x y */",
+		"// lint:allow x y",
+		"//lint:allow ,,, why",
+		"//lint:allow\twallclock\ttabbed",
+		"//",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		checks, justified, ok := parseAllowDirective(text)
+		if !ok {
+			if checks != nil || justified {
+				t.Errorf("parseAllowDirective(%q): not a directive but returned %v, %v", text, checks, justified)
+			}
+			return
+		}
+		for _, c := range checks {
+			if c == "" || strings.ContainsAny(c, " \t\n,") {
+				t.Errorf("parseAllowDirective(%q): malformed check name %q", text, c)
+			}
+		}
+		if justified && len(checks) == 0 {
+			t.Errorf("parseAllowDirective(%q): justified without any check", text)
+		}
+	})
+}

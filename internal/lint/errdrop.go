@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -11,7 +12,12 @@ import (
 // go statement. Assigning the error to the blank identifier (`_ = f()`) is
 // accepted as an explicit, reviewable acknowledgement; a bare call is not,
 // because nothing distinguishes "considered and dismissed" from
-// "forgotten". Print-style helpers writing to in-memory buffers or stdio
+// "forgotten". The acknowledgement idiom does NOT extend into closures
+// launched by defer or go: `defer func() { _ = f() }()` is the classic
+// wrapper that makes a dropped error look handled while moving it
+// somewhere no caller can ever see it, so all-blank assignments of
+// error-returning calls inside such closures are findings too.
+// Print-style helpers writing to in-memory buffers or stdio
 // (fmt.Print*, fmt.Fprint*, strings.Builder, bytes.Buffer methods) are
 // exempt — their error paths are unreachable or conventionally ignored.
 //
@@ -59,8 +65,10 @@ func runErrDrop(pass *Pass) {
 				kind = "call"
 			case *ast.DeferStmt:
 				call, kind = s.Call, "deferred call"
+				checkAsyncBlankAssigns(pass, s.Call, "deferred closure")
 			case *ast.GoStmt:
 				call, kind = s.Call, "go call"
+				checkAsyncBlankAssigns(pass, s.Call, "go closure")
 			default:
 				return true
 			}
@@ -73,6 +81,38 @@ func runErrDrop(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// checkAsyncBlankAssigns reports `_ = f()` inside a closure launched
+// directly by defer or go. Synchronously, a blank assignment is an
+// explicit acknowledgement the reviewer sees in control flow; inside an
+// async closure it is the standard evasion of the bare-call rule — the
+// error is dropped at a point no caller, test, or reviewer observes —
+// so there it is a finding, not an acknowledgement.
+func checkAsyncBlankAssigns(pass *Pass, call *ast.CallExpr, kind string) {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Rhs) != 1 {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+				return true
+			}
+		}
+		inner, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !returnsError(pass.Pkg.Info, inner) || errdropExempt(pass.Pkg.Info, inner) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"assignment to _ inside a %s discards its error result where no caller can see it; handle it or justify with //lint:allow errdrop",
+			kind)
+		return true
+	})
 }
 
 // returnsError reports whether the call's results include an error.

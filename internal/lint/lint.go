@@ -48,6 +48,13 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Lookup resolves an import path to a package the driver loaded with
+	// syntax (module-internal and fixture packages; never the standard
+	// library, which comes from export data). Flow analyzers use it to
+	// reason about callees across package boundaries — e.g. ctxflow asks
+	// it whether a callee's package is part of this module before
+	// requiring the *Ctx variant. May be nil in hand-built passes.
+	Lookup func(path string) *Package
 
 	diags *[]Diagnostic
 }
@@ -103,6 +110,9 @@ func All() []*Analyzer {
 		FloatCmp,
 		ErrDrop,
 		ObsNames,
+		LockFlow,
+		CtxFlow,
+		AtomicField,
 	}
 }
 

@@ -18,6 +18,10 @@ func TestWallClockFixture(t *testing.T) { linttest.Run(t, lint.WallClock, "wallc
 func TestFloatCmpFixture(t *testing.T)  { linttest.Run(t, lint.FloatCmp, "floatcmp/a") }
 func TestErrDropFixture(t *testing.T)   { linttest.Run(t, lint.ErrDrop, "errdrop/a") }
 func TestObsNamesFixture(t *testing.T)  { linttest.Run(t, lint.ObsNames, "obsnames/a") }
+func TestLockFlowFixture(t *testing.T)  { linttest.Run(t, lint.LockFlow, "lockflow/a") }
+func TestCtxFlowFixture(t *testing.T)   { linttest.Run(t, lint.CtxFlow, "ctxflow/a") }
+
+func TestAtomicFieldFixture(t *testing.T) { linttest.Run(t, lint.AtomicField, "atomicfield/a") }
 
 // TestDirectives drives the suppression machinery through the directive
 // fixture: justified directives (trailing and standalone) silence their

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -40,9 +41,10 @@ type Loader struct {
 	moduleDir  string
 	fixtureDir string // "" disables fixture resolution
 
-	pkgs map[string]*Package
-	errs map[string]error
-	std  types.Importer
+	pkgs    map[string]*Package
+	errs    map[string]error
+	loading map[string]bool // in-progress loads, for import-cycle detection
+	std     types.Importer
 }
 
 // NewLoader creates a loader rooted at the module directory, reading the
@@ -73,6 +75,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 		moduleDir:  abs,
 		pkgs:       make(map[string]*Package),
 		errs:       make(map[string]error),
+		loading:    make(map[string]bool),
 		std:        importer.Default(),
 	}, nil
 }
@@ -84,6 +87,17 @@ func (l *Loader) SetFixtureDir(dir string) { l.fixtureDir = dir }
 
 // ModulePath returns the module's import-path prefix.
 func (l *Loader) ModulePath() string { return l.modulePath }
+
+// Loaded returns the already-loaded package for path if it was loaded
+// with syntax trees (module-internal or fixture packages), nil otherwise.
+// Analyzers use it through Pass.Lookup to reason about callees the suite
+// can see source for, without ever triggering a new load.
+func (l *Loader) Loaded(path string) *Package {
+	if p, ok := l.pkgs[path]; ok && len(p.Files) > 0 {
+		return p
+	}
+	return nil
+}
 
 // Import implements types.Importer so the type-checker can resolve the
 // imports of whatever package is being loaded.
@@ -105,6 +119,14 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err, ok := l.errs[path]; ok {
 		return nil, err
 	}
+	// A load re-entered through the type-checker's import resolution means
+	// the package (transitively) imports itself. Without this guard the
+	// mutual recursion between Load and conf.Check never terminates.
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle involving %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
 	p, err := l.load(path)
 	if err != nil {
 		l.errs[path] = err
@@ -191,7 +213,11 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 	}, nil
 }
 
-// goFileNames lists the non-test Go files of a directory, sorted.
+// goFileNames lists the non-test Go files of a directory that the current
+// build context would compile, sorted. Build-constraint filtering matters:
+// a file excluded by //go:build (or a GOOS/GOARCH suffix) is invisible to
+// `go build`, and analyzing it anyway would fail the type-check against
+// symbols the visible files don't share.
 func goFileNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -203,6 +229,13 @@ func goFileNames(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading build constraints of %s: %w", filepath.Join(dir, name), err)
+		}
+		if !match {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,71 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// fixtureLoader builds a loader rooted at the real module with fixture
+// resolution pointed at this package's testdata, the same layout linttest
+// uses.
+func fixtureLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	ld, err := lint.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld.SetFixtureDir(filepath.Join("testdata", "src"))
+	return ld
+}
+
+// TestLoaderSyntaxErrorIsCleanError feeds the loader a package whose only
+// file does not parse; the load must fail with an error, not panic or
+// return a half-built package.
+func TestLoaderSyntaxErrorIsCleanError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module hostile\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("package hostile\n\nfunc broken( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := lint.NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Load("hostile"); err == nil {
+		t.Fatal("Load of a syntax-error package succeeded; want an error")
+	}
+}
+
+// TestLoaderBuildTagExcludedFile loads a fixture package whose second file
+// is excluded by //go:build ignore and would fail the type-check if it
+// were included; the load must succeed with exactly the visible file.
+func TestLoaderBuildTagExcludedFile(t *testing.T) {
+	ld := fixtureLoader(t)
+	p, err := ld.Load("buildtag/a")
+	if err != nil {
+		t.Fatalf("Load(buildtag/a) = %v; the excluded file leaked into the package", err)
+	}
+	if len(p.Files) != 1 {
+		t.Errorf("Load(buildtag/a) parsed %d files, want 1 (excluded.go must be skipped)", len(p.Files))
+	}
+}
+
+// TestLoaderImportCycleIsCleanError loads a fixture package that imports
+// itself through a second package; the loader must detect the cycle and
+// fail instead of recursing until the stack overflows.
+func TestLoaderImportCycleIsCleanError(t *testing.T) {
+	ld := fixtureLoader(t)
+	_, err := ld.Load("cycle/a")
+	if err == nil {
+		t.Fatal("Load(cycle/a) succeeded; want an import-cycle error")
+	}
+	if !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("Load(cycle/a) error = %q; want it to name the import cycle", err)
+	}
+}

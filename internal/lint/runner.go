@@ -18,6 +18,38 @@ type directive struct {
 // directivePrefix introduces a suppression comment: //lint:allow <checks> <why>.
 const directivePrefix = "lint:allow"
 
+// parseAllowDirective parses one comment's raw text (as in ast.Comment.Text,
+// marker included) as a //lint:allow directive. ok is false when the comment
+// is not a directive at all — block comments, unrelated line comments, and
+// fused prefixes like "//lint:allowother" all fall through. When ok, checks
+// holds the comma-separated check names (possibly empty) and justified
+// reports whether any prose follows them. The function is pure — it is the
+// piece of directive handling that faces arbitrary source text, so it is
+// what the fuzz target drives.
+func parseAllowDirective(text string) (checks []string, justified, ok bool) {
+	body, isLine := strings.CutPrefix(text, "//")
+	if !isLine {
+		return nil, false, false // /* */ comments cannot carry directives
+	}
+	rest, isDirective := strings.CutPrefix(strings.TrimSpace(body), directivePrefix)
+	if !isDirective {
+		return nil, false, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false, false // e.g. "lint:allowother"
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 0 {
+		for _, name := range strings.Split(fields[0], ",") {
+			if name != "" {
+				checks = append(checks, name)
+			}
+		}
+		justified = len(fields) > 1 && len(checks) > 0
+	}
+	return checks, justified, true
+}
+
 // collectDirectives extracts every //lint:allow directive from a package's
 // files. Determining whether a directive is standalone (and therefore
 // applies to the following line) requires the raw source line, so the file
@@ -28,29 +60,12 @@ func collectDirectives(fset *token.FileSet, pkg *Package) []directive {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//")
-				if !ok {
-					continue // /* */ comments cannot carry directives
-				}
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, directivePrefix)
+				checks, justified, ok := parseAllowDirective(c.Text)
 				if !ok {
 					continue
 				}
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. "lint:allowother"
-				}
 				pos := fset.Position(c.Slash)
-				d := directive{pos: pos}
-				fields := strings.Fields(rest)
-				if len(fields) > 0 {
-					for _, name := range strings.Split(fields[0], ",") {
-						if name != "" {
-							d.checks = append(d.checks, name)
-						}
-					}
-					d.justified = len(fields) > 1
-				}
+				d := directive{pos: pos, checks: checks, justified: justified}
 				src, cached := lines[pos.Filename]
 				if !cached {
 					data, err := os.ReadFile(pos.Filename)
@@ -91,7 +106,7 @@ func Run(loader *Loader, analyzers []*Analyzer, paths []string) ([]Diagnostic, e
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Fset: loader.Fset, Pkg: pkg, diags: &raw}
+			pass := &Pass{Analyzer: a, Fset: loader.Fset, Pkg: pkg, Lookup: loader.Loaded, diags: &raw}
 			a.Run(pass)
 		}
 		// suppressed[file][line][check]: a trailing directive covers its own

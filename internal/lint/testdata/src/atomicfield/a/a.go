@@ -1,0 +1,64 @@
+// Package a is the atomicfield fixture: fields accessed both atomically
+// and plainly, and atomic.Value stores that violate the one-concrete-type
+// protocol.
+package a
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	other int64
+	box   atomic.Value
+}
+
+func bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func atomicRead(s *stats) int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func plainRead(s *stats) int64 {
+	return s.hits // want `field hits is accessed atomically \(first at line \d+\) but plainly here; mixed access is a data race`
+}
+
+func plainWrite(s *stats) {
+	s.hits = 0 // want `field hits is accessed atomically .* but plainly here`
+}
+
+func plainIncrement(s *stats) {
+	s.hits++ // want `field hits is accessed atomically .* but plainly here`
+}
+
+// other is never touched atomically: plain access is plain correct.
+func plainOther(s *stats) int64 {
+	return s.other
+}
+
+// Constructors touch fields of values nobody else can see yet.
+func newStats() *stats {
+	s := &stats{}
+	s.hits = 42
+	return s
+}
+
+type payloadA struct{ n int }
+
+type payloadB struct{ s string }
+
+func storeA(s *stats) {
+	s.box.Store(payloadA{n: 1})
+}
+
+func storeB(s *stats) {
+	s.box.Store(payloadB{s: "x"}) // want `stores .*payloadB here but .*payloadA at line \d+; inconsistently typed stores panic`
+}
+
+func storeInterface(s *stats, err error) {
+	s.box.Store(err) // want `stores a value of interface type error; store one consistent concrete type`
+}
+
+func swapMismatch(s *stats) {
+	s.box.Swap(payloadB{s: "y"}) // want `stores .*payloadB here but .*payloadA at line \d+`
+}

@@ -1,0 +1,6 @@
+// Package a pairs a normal file with a build-tag-excluded one; the loader
+// must skip the excluded file exactly as `go build` would.
+package a
+
+// N is the only declaration the build context should see.
+const N = 1

@@ -1,0 +1,8 @@
+//go:build ignore
+
+// This file is excluded by its build constraint. It deliberately fails to
+// type-check (undefinedSymbol does not exist), so if the loader ever stops
+// honoring build tags the buildtag loader test breaks loudly.
+package a
+
+var broken = undefinedSymbol

@@ -1,0 +1,87 @@
+// Package a is the ctxflow fixture: callers with and without contexts,
+// calling module APIs with and without *Ctx variants.
+package a
+
+import (
+	"context"
+
+	"ctxflow/b"
+)
+
+// A ctx-holding caller using the ctx-less function variant severs the
+// span tree.
+func dropsFunc(ctx context.Context, n int) int {
+	return b.Fetch(n) // want `call to Fetch drops the caller's ctx; call FetchCtx`
+}
+
+// Method variants are found through the receiver type.
+func dropsMethod(ctx context.Context, d *b.DB) int {
+	return d.Get("k") // want `call to Get drops the caller's ctx; call GetCtx`
+}
+
+// Calling the variant but feeding it a fresh root context is the same
+// bug wearing a disguise.
+func severs(ctx context.Context, n int) int {
+	return b.FetchCtx(context.Background(), n) // want `FetchCtx is called with context\.Background\(\) although the caller has its own ctx`
+}
+
+func seversTODO(ctx context.Context, d *b.DB) int {
+	return d.GetCtx(context.TODO(), "k") // want `GetCtx is called with context\.TODO\(\) although the caller has its own ctx`
+}
+
+// Closures capture the enclosing ctx and are held to the same rule.
+func closureInherits(ctx context.Context, n int) int {
+	f := func() int {
+		return b.Fetch(n) // want `call to Fetch drops the caller's ctx`
+	}
+	return f()
+}
+
+// --- clean code ---
+
+// Passing the caller's own ctx to the variant is the point.
+func passes(ctx context.Context, n int) int {
+	return b.FetchCtx(ctx, n)
+}
+
+// No variant exists: nothing to propagate into.
+func noVariant(ctx context.Context, n int) int {
+	return b.Plain(n)
+}
+
+// SumCtx's signature is not Sum-plus-context, so Sum is not gated.
+func shapeMismatch(ctx context.Context, n int) int {
+	return b.Sum(n, n)
+}
+
+// A caller without a ctx cannot propagate one.
+func noCtxHere(n int) int {
+	return b.Fetch(n)
+}
+
+// Root contexts are exactly right at the top of a call tree.
+func topLevel(n int) int {
+	return b.FetchCtx(context.Background(), n)
+}
+
+// A closure with its own ctx parameter is a fresh propagation scope.
+func ownParam() func(context.Context, int) int {
+	return func(ctx context.Context, n int) int {
+		return b.FetchCtx(ctx, n)
+	}
+}
+
+// Local has a same-package LocalCtx variant.
+func Local(n int) int { return n }
+
+// LocalCtx implementing itself via Local is the delegation pattern, not
+// a dropped context.
+func LocalCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return Local(n)
+}
+
+// Any other ctx-holding caller of Local is still held to the rule.
+func dropsLocal(ctx context.Context, n int) int {
+	return Local(n) // want `call to Local drops the caller's ctx; call LocalCtx`
+}

@@ -1,0 +1,41 @@
+// Package b provides the callee side of the ctxflow fixture: APIs with
+// and without *Ctx trace-propagating variants.
+package b
+
+import "context"
+
+// DB is a method-carrying callee type.
+type DB struct{}
+
+// Get has a GetCtx sibling, so ctx-holding callers must use that.
+func (d *DB) Get(key string) int { return len(key) }
+
+// GetCtx is the trace-propagating variant of Get.
+func (d *DB) GetCtx(ctx context.Context, key string) int {
+	_ = ctx
+	return len(key)
+}
+
+// Fetch has a FetchCtx sibling.
+func Fetch(n int) int { return n }
+
+// FetchCtx is the trace-propagating variant of Fetch.
+func FetchCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Plain has no *Ctx sibling; calling it from a ctx-holding function is
+// fine.
+func Plain(n int) int { return n }
+
+// Sum has a same-named *Ctx sibling whose signature is not Sum's plus a
+// leading context (wrong parameter count), so it is not a variant and
+// Sum stays callable from ctx-holding functions.
+func Sum(n, m int) int { return n + m }
+
+// SumCtx is not a trace variant of Sum: see Sum.
+func SumCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}

@@ -1,0 +1,8 @@
+// Package a half of a deliberate import cycle: the loader must reject it
+// with a clean error, not recurse forever.
+package a
+
+import "cycle/b"
+
+// V depends on b so the import is used.
+var V = b.V + 1

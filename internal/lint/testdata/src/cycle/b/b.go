@@ -1,0 +1,7 @@
+// Package b closes the cycle back to package a.
+package b
+
+import "cycle/a"
+
+// V depends on a so the import is used.
+var V = a.V + 1

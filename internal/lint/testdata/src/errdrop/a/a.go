@@ -43,3 +43,31 @@ func exemptPrinters(sb *strings.Builder, buf *bytes.Buffer) {
 func allowed(f *os.File) {
 	defer f.Close() //lint:allow errdrop fixture file opened read-only
 }
+
+func deferredClosureBlank(f *os.File) {
+	defer func() {
+		_ = f.Close() // want `assignment to _ inside a deferred closure discards its error result`
+	}()
+}
+
+func goClosureBlank() {
+	go func() {
+		_ = os.Remove("x") // want `assignment to _ inside a go closure discards its error result`
+	}()
+}
+
+func deferredClosureHandled(f *os.File, errc chan<- error) {
+	defer func() {
+		errc <- f.Close() // ok: the error leaves the closure
+	}()
+}
+
+func deferredClosureExempt(sb *strings.Builder) {
+	defer func() {
+		_, _ = fmt.Fprintf(sb, "done") // ok: exempt printer
+	}()
+}
+
+func syncBlankStaysLegal() {
+	_ = os.Remove("x") // ok: synchronous acknowledgement is reviewable
+}

@@ -1,0 +1,176 @@
+// Package a is a lockflow fixture: each function exercises one path
+// shape the lockset analysis must get right, and the want comments mark
+// the findings it must (and must not) produce.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int // guarded by mu
+	m  int
+}
+
+var errBoom = errors.New("boom")
+
+// The error path returns with the lock still held: the classic leak.
+func earlyReturn(c *counter, fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errBoom // want `returns while c\.mu \(locked at line 22\) is still held`
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func fallsOffEnd(c *counter) {
+	c.mu.Lock()
+	c.n++
+} // want `returns while c\.mu \(locked at line 31\) is still held`
+
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want `Lock of c\.mu while it is already held \(locked at line 36\); this deadlocks`
+	c.mu.Unlock()
+}
+
+// RLock→Lock on the same RWMutex deadlocks just like Lock→Lock.
+func upgrade(c *counter) {
+	c.rw.RLock()
+	c.rw.Lock() // want `Lock of c\.rw while it is already held`
+	c.rw.RUnlock()
+}
+
+func mismatch(c *counter) {
+	c.rw.RLock()
+	c.rw.Unlock() // want `Unlock of c\.rw releases a read lock \(RLock at line 49\); use RUnlock`
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) reacquires() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.incr() // want `call to incr re-acquires c\.mu, which is already held \(locked at line 60\); this deadlocks`
+}
+
+// chained reaches incr's Lock through an intermediate same-package call.
+func (c *counter) chained() {
+	c.incr()
+}
+
+func (c *counter) reacquiresTransitively() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chained() // want `call to chained re-acquires c\.mu`
+}
+
+func unguarded(c *counter) int {
+	return c.n // want `c\.n is declared // guarded by mu, but c\.mu is not held here`
+}
+
+type badGuard struct {
+	mu sync.Mutex
+	// guarded by missing
+	v int // want `// guarded by missing: the struct has no field named missing`
+}
+
+// --- clean code the analysis must stay silent on ---
+
+func guardedOK(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// A release inside a deferred closure still counts as deferred.
+func deferredClosure(c *counter) {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// Unguarded sibling fields need no lock.
+func unannotatedField(c *counter) int {
+	return c.m
+}
+
+// Conditional acquire/release pairs: held on some paths only, so no
+// must-held finding at the end.
+func conditional(c *counter, b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// Lock/unlock per iteration: the back edge must not accumulate state.
+func loopLock(c *counter, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		c.mu.Lock()
+		total += x + c.n
+		c.mu.Unlock()
+	}
+	return total
+}
+
+func selectLock(c *counter, ch chan int) {
+	select {
+	case v := <-ch:
+		c.mu.Lock()
+		c.n = v
+		c.mu.Unlock()
+	default:
+	}
+}
+
+// Functions named *Locked are callee-side critical sections: the caller
+// holds the lock, so guard checks do not apply inside them.
+func bumpLocked(c *counter) {
+	c.n++
+}
+
+// Constructors touch guarded fields of values nobody else can see yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// Embedded mutexes promote: e.Lock() locks e.Mu, satisfying the guard.
+type embedded struct {
+	sync.Mutex
+	v int // guarded by Mutex
+}
+
+func (e *embedded) get() int {
+	e.Lock()
+	defer e.Unlock()
+	return e.v
+}
+
+// Read lock under read lock on the same RWMutex does not self-deadlock.
+func (c *counter) peek() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.m
+}
+
+func (c *counter) doublePeek() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.peek()
+}

@@ -66,9 +66,9 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // instrument handle is usually cached by the caller) never contends.
 type Registry struct {
 	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

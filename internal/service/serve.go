@@ -47,7 +47,7 @@ func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 		s.log.Info("shutting down", "addr", ln.Addr().String())
-		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace) //lint:allow ctxflow the server ctx is already done here; the shutdown grace period must outlive it
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			return err

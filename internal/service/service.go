@@ -82,7 +82,7 @@ func (j *JobJSON) toJob() *workload.Job {
 // Server is the HTTP prediction service.
 type Server struct {
 	mu           sync.RWMutex
-	pred         *core.Predictor
+	pred         *core.Predictor  // guarded by mu
 	store        *histstore.Store // non-nil when the predictor is store-backed
 	machineNodes int
 	observations atomic.Int64
