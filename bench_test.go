@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/ga"
+	"repro/internal/histstore"
 	"repro/internal/obs/trace"
 	"repro/internal/predict"
 	"repro/internal/sched"
@@ -216,21 +217,55 @@ func replayError(pw ga.PredWorkload, p predict.Predictor) float64 {
 
 // --- Microbenchmarks of the hot paths ---
 
-// BenchmarkPredictorPredict measures one template-set prediction against a
-// warmed history.
-func BenchmarkPredictorPredict(b *testing.B) {
+// warmedStorePredictor trains a store-backed predictor on the full ANL/20
+// study workload: the concurrency-safe configuration whose predict path is
+// lock-free snapshot loads.
+func warmedStorePredictor(b *testing.B) (*core.Predictor, *workload.Job) {
+	b.Helper()
 	w, err := workload.Study("ANL", 20, 7)
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := core.NewDefault(w)
+	p := core.NewDefault(w, core.WithStore(histstore.New()))
 	for _, j := range w.Jobs {
 		p.Observe(j)
 	}
-	probe := w.Jobs[len(w.Jobs)-1]
+	if err := p.StoreErr(); err != nil {
+		b.Fatal(err)
+	}
+	return p, w.Jobs[len(w.Jobs)-1]
+}
+
+// BenchmarkPredictParallel measures store-backed prediction throughput as
+// reader goroutines scale — run with -cpu 1,2,4,8 for the scaling series.
+// The predict path performs zero mutex acquisitions (category lookups are
+// atomic snapshot loads and the estimate consumes finalized moments), so
+// per-op time should stay near-flat as readers are added; a slope here
+// means a serialization point crept back into the hot path.
+func BenchmarkPredictParallel(b *testing.B) {
+	p, probe := warmedStorePredictor(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, ok := p.Predict(probe, 0); !ok {
+				b.Fatal("no prediction")
+			}
+		}
+	})
+}
+
+// BenchmarkPredictBatch measures the amortized per-job cost of the batch
+// prediction API scoring 100 jobs per call against a warmed store.
+func BenchmarkPredictBatch(b *testing.B) {
+	p, probe := warmedStorePredictor(b)
+	items := make([]core.BatchItem, 100)
+	for i := range items {
+		items[i] = core.BatchItem{Job: probe}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := p.Predict(probe, 0); !ok {
+		res := p.PredictDetailedBatch(items)
+		if !res[0].OK {
 			b.Fatal("no prediction")
 		}
 	}

@@ -1,0 +1,355 @@
+// Command benchjson turns `go test -bench` output into a schema-stable
+// JSON document and gates candidate runs against a committed baseline —
+// the tooling behind the repo's BENCH_<pr>.json benchmark trajectory and
+// the CI bench-gate job.
+//
+//	go test -run '^$' -bench . -benchmem -cpu 1,2,4,8 . > bench.txt
+//	benchjson parse -o BENCH_0007.json < bench.txt
+//	benchjson compare BENCH_0006.json BENCH_0007.json
+//
+// parse reads benchmark result lines (including repeated header blocks
+// from concatenated runs) and emits one JSON document: per benchmark and
+// GOMAXPROCS value, iterations, ns/op, B/op, allocs/op, and any custom
+// metrics. Entries are sorted and the document carries no timestamps or
+// host-specific paths, so regenerating on the same machine and code
+// produces stable diffs. A `-cpu` sweep shows up as one entry per procs
+// value under the same name — the parallel-scaling series. Repeated
+// measurements of the same benchmark (`-count=N`) collapse to a single
+// entry holding the minimum over the samples — the lowest observation is
+// the estimate least contaminated by scheduling noise — with `samples`
+// recording how many runs were folded in.
+//
+// compare checks a candidate document against a baseline:
+//
+//   - allocs/op may never regress: allocations are deterministic for a
+//     given code path, so any increase fails regardless of hardware;
+//   - ns/op regressions beyond 10% fail and beyond 5% warn — but the
+//     failure is downgraded to a warning when the two documents were
+//     measured on different CPU models, where wall-time comparison is
+//     noise (CI baselines are refreshed on the pinned runner profile);
+//   - a benchmark present in the baseline but missing from the candidate
+//     fails (a silently dropped benchmark is a silently dropped claim).
+//
+// compare exits 1 on any failure, so it can gate CI and `make bench-gate`
+// directly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const schemaVersion = 1
+
+// Doc is the top-level JSON document.
+type Doc struct {
+	Schema int     `json:"schema"`
+	Goos   string  `json:"goos"`
+	Goarch string  `json:"goarch"`
+	CPU    string  `json:"cpu"`
+	Benchs []Bench `json:"benchmarks"`
+}
+
+// Bench is one benchmark measurement at one GOMAXPROCS value. B/op and
+// allocs/op are -1 when the run did not pass -benchmem. When several
+// samples of the same benchmark were folded together (-count=N), Samples
+// is the sample count and each numeric column holds the per-column
+// minimum.
+type Bench struct {
+	Pkg     string             `json:"pkg"`
+	Name    string             `json:"name"`
+	Procs   int                `json:"procs"`
+	Iters   int64              `json:"iters"`
+	NsOp    float64            `json:"nsPerOp"`
+	BOp     int64              `json:"bPerOp"`
+	Allocs  int64              `json:"allocsPerOp"`
+	Samples int                `json:"samples,omitempty"`
+	Metric  map[string]float64 `json:"metrics,omitempty"`
+}
+
+func (b Bench) key() string {
+	return b.Pkg + "." + b.Name + "-" + strconv.Itoa(b.Procs)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		fs := flag.NewFlagSet("parse", flag.ExitOnError)
+		out := fs.String("o", "", "output file (default stdout)")
+		_ = fs.Parse(os.Args[2:])
+		doc, err := Parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *out == "" {
+			_, err = os.Stdout.Write(data)
+		} else {
+			err = os.WriteFile(*out, data, 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		failPct := fs.Float64("fail", 10, "ns/op regression percentage that fails")
+		warnPct := fs.Float64("warn", 5, "ns/op regression percentage that warns")
+		_ = fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		base, err := load(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cand, err := load(fs.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		report, failed := Compare(base, cand, *warnPct, *failPct)
+		fmt.Print(report)
+		if failed {
+			os.Exit(1)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  benchjson parse [-o out.json] < bench.txt
+  benchjson compare [-warn pct] [-fail pct] baseline.json candidate.json
+`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if d.Schema != schemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this tool reads %d", path, d.Schema, schemaVersion)
+	}
+	return &d, nil
+}
+
+// Parse reads `go test -bench` output — possibly several concatenated
+// runs — into one document. Later header blocks must agree on goos/goarch;
+// the CPU string is taken from the first block that has one.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Schema: schemaVersion}
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			if doc.CPU == "" {
+				doc.CPU = strings.TrimPrefix(line, "cpu: ")
+			}
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseResultLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				b.Pkg = pkg
+				doc.Benchs = append(doc.Benchs, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchs) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	sort.SliceStable(doc.Benchs, func(i, j int) bool {
+		return doc.Benchs[i].key() < doc.Benchs[j].key()
+	})
+	doc.Benchs = mergeSamples(doc.Benchs)
+	return doc, nil
+}
+
+// mergeSamples collapses key-adjacent entries (the slice is sorted) from
+// -count=N runs into one entry per benchmark, taking the minimum of each
+// numeric column: the lowest observation is the one least perturbed by
+// scheduler and cache noise, so gating on minima keeps the comparison
+// stable on busy machines.
+func mergeSamples(in []Bench) []Bench {
+	out := in[:0]
+	for _, b := range in {
+		if len(out) == 0 || out[len(out)-1].key() != b.key() {
+			b.Samples = 1
+			out = append(out, b)
+			continue
+		}
+		m := &out[len(out)-1]
+		m.Samples++
+		if b.NsOp < m.NsOp {
+			m.NsOp = b.NsOp
+			m.Iters = b.Iters
+		}
+		if b.BOp >= 0 && (m.BOp < 0 || b.BOp < m.BOp) {
+			m.BOp = b.BOp
+		}
+		if b.Allocs >= 0 && (m.Allocs < 0 || b.Allocs < m.Allocs) {
+			m.Allocs = b.Allocs
+		}
+		for k, v := range b.Metric {
+			if old, ok := m.Metric[k]; !ok || v < old {
+				if m.Metric == nil {
+					m.Metric = map[string]float64{}
+				}
+				m.Metric[k] = v
+			}
+		}
+	}
+	for i := range out {
+		if out[i].Samples == 1 {
+			out[i].Samples = 0 // omitted from the JSON for single-shot runs
+		}
+	}
+	return out
+}
+
+// parseResultLine parses one result line:
+//
+//	BenchmarkName-8   1000000   123.4 ns/op   12 B/op   3 allocs/op   5.6 custom-metric
+//
+// ok=false for lines that start with Benchmark but are not results (e.g. a
+// bare name echoed by -v).
+func parseResultLine(line string) (Bench, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 || len(f)%2 != 0 {
+		return Bench{}, false, nil
+	}
+	b := Bench{Name: f[0], Procs: 1, BOp: -1, Allocs: -1}
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if n, err := strconv.Atoi(b.Name[i+1:]); err == nil && n > 0 {
+			b.Procs = n
+			b.Name = b.Name[:i]
+		}
+	}
+	b.Name = strings.TrimPrefix(b.Name, "Benchmark")
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, false, nil
+	}
+	b.Iters = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false, fmt.Errorf("bad value %q in %q", f[i], line)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsOp = val
+		case "B/op":
+			b.BOp = int64(val)
+		case "allocs/op":
+			b.Allocs = int64(val)
+		case "MB/s":
+			// throughput is derivable from ns/op; skip
+		default:
+			if b.Metric == nil {
+				b.Metric = map[string]float64{}
+			}
+			b.Metric[unit] = val
+		}
+	}
+	return b, true, nil
+}
+
+// Compare reports candidate vs baseline and whether the gate fails.
+func Compare(base, cand *Doc, warnPct, failPct float64) (string, bool) {
+	var sb strings.Builder
+	failed := false
+	cpuMatch := base.CPU != "" && base.CPU == cand.CPU
+	if !cpuMatch {
+		fmt.Fprintf(&sb, "note: cpu profiles differ (%q vs %q); ns/op failures downgraded to warnings\n",
+			base.CPU, cand.CPU)
+	}
+	candBy := make(map[string]Bench, len(cand.Benchs))
+	for _, b := range cand.Benchs {
+		candBy[b.key()] = b
+	}
+	baseKeys := make(map[string]bool, len(base.Benchs))
+	for _, bb := range base.Benchs {
+		baseKeys[bb.key()] = true
+		cb, ok := candBy[bb.key()]
+		if !ok {
+			fmt.Fprintf(&sb, "FAIL %s: present in baseline but missing from candidate\n", bb.key())
+			failed = true
+			continue
+		}
+		if bb.Allocs >= 0 && cb.Allocs >= 0 && cb.Allocs > bb.Allocs {
+			fmt.Fprintf(&sb, "FAIL %s: allocs/op %d -> %d (allocation regressions are deterministic)\n",
+				bb.key(), bb.Allocs, cb.Allocs)
+			failed = true
+		}
+		if bb.NsOp <= 0 {
+			continue
+		}
+		pct := (cb.NsOp - bb.NsOp) / bb.NsOp * 100
+		switch {
+		case pct > failPct && cpuMatch:
+			fmt.Fprintf(&sb, "FAIL %s: ns/op %.1f -> %.1f (%+.1f%%, limit %+.1f%%)\n",
+				bb.key(), bb.NsOp, cb.NsOp, pct, failPct)
+			failed = true
+		case pct > failPct:
+			fmt.Fprintf(&sb, "warn %s: ns/op %.1f -> %.1f (%+.1f%%; would fail on the baseline's cpu profile)\n",
+				bb.key(), bb.NsOp, cb.NsOp, pct)
+		case pct > warnPct:
+			fmt.Fprintf(&sb, "warn %s: ns/op %.1f -> %.1f (%+.1f%%)\n",
+				bb.key(), bb.NsOp, cb.NsOp, pct)
+		}
+	}
+	extra := 0
+	for _, cb := range cand.Benchs {
+		if !baseKeys[cb.key()] {
+			extra++
+		}
+	}
+	if extra > 0 {
+		fmt.Fprintf(&sb, "note: %d benchmark(s) in candidate have no baseline yet\n", extra)
+	}
+	if failed {
+		sb.WriteString("bench-gate: FAIL\n")
+	} else {
+		fmt.Fprintf(&sb, "bench-gate: ok (%d benchmarks compared)\n", len(base.Benchs))
+	}
+	return sb.String(), failed
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.40GHz
+BenchmarkPredictParallel      	 1000000	       950.0 ns/op	     256 B/op	       6 allocs/op
+BenchmarkPredictParallel-2    	 2000000	       500.0 ns/op	     256 B/op	       6 allocs/op
+BenchmarkPredictParallel-4    	 4000000	       260.0 ns/op	     256 B/op	       6 allocs/op
+BenchmarkPredictParallel-8    	 7500000	       140.0 ns/op	     256 B/op	       6 allocs/op
+BenchmarkAblation_GAvsGreedy-8	       3	 400000000 ns/op	        12.50 ga-err-min	        14.00 greedy-err-min
+PASS
+ok  	repro	12.3s
+goos: linux
+goarch: amd64
+pkg: repro/internal/histstore
+cpu: Example CPU @ 2.40GHz
+BenchmarkStoreGet-8           	50000000	        25.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/histstore	2.1s
+`
+
+func parseSample(t *testing.T, text string) *Doc {
+	t.Helper()
+	doc, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParse(t *testing.T) {
+	doc := parseSample(t, sampleBench)
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "Example CPU @ 2.40GHz" {
+		t.Fatalf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	if len(doc.Benchs) != 6 {
+		t.Fatalf("got %d benchmarks, want 6", len(doc.Benchs))
+	}
+	// The -cpu sweep becomes a per-procs series under one name.
+	var procs []int
+	for _, b := range doc.Benchs {
+		if b.Pkg == "repro" && b.Name == "PredictParallel" {
+			procs = append(procs, b.Procs)
+		}
+	}
+	if len(procs) != 4 || procs[0] != 1 || procs[3] != 8 {
+		t.Fatalf("PredictParallel procs series = %v", procs)
+	}
+	// Custom metrics survive; memory columns default to -1 when absent.
+	for _, b := range doc.Benchs {
+		if b.Name == "Ablation_GAvsGreedy" {
+			if b.Metric["ga-err-min"] != 12.5 || b.Metric["greedy-err-min"] != 14 {
+				t.Fatalf("metrics = %v", b.Metric)
+			}
+		}
+		if b.Name == "StoreGet" {
+			if b.Pkg != "repro/internal/histstore" || b.BOp != 0 || b.Allocs != 0 {
+				t.Fatalf("StoreGet = %+v", b)
+			}
+		}
+	}
+	// Entries are sorted by key, so re-parsing concatenations is stable.
+	for i := 1; i < len(doc.Benchs); i++ {
+		if doc.Benchs[i-1].key() >= doc.Benchs[i].key() {
+			t.Fatalf("not sorted: %s >= %s", doc.Benchs[i-1].key(), doc.Benchs[i].key())
+		}
+	}
+}
+
+func TestParseMergesRepeatedSamples(t *testing.T) {
+	// Simulate -count=3: the same benchmark reported three times with
+	// different timings collapses to one entry holding the minimum.
+	text := strings.Replace(sampleBench,
+		"BenchmarkStoreGet-8           	50000000	        25.0 ns/op	       0 B/op	       0 allocs/op",
+		"BenchmarkStoreGet-8           	50000000	        25.0 ns/op	       0 B/op	       0 allocs/op\n"+
+			"BenchmarkStoreGet-8           	40000000	        31.0 ns/op	       0 B/op	       0 allocs/op\n"+
+			"BenchmarkStoreGet-8           	60000000	        22.5 ns/op	       0 B/op	       0 allocs/op", 1)
+	doc := parseSample(t, text)
+	if len(doc.Benchs) != 6 {
+		t.Fatalf("got %d benchmarks, want 6 (samples must merge)", len(doc.Benchs))
+	}
+	for _, b := range doc.Benchs {
+		if b.Name == "StoreGet" {
+			if b.Samples != 3 || b.NsOp != 22.5 || b.Iters != 60000000 {
+				t.Fatalf("merged StoreGet = %+v", b)
+			}
+		} else if b.Samples != 0 {
+			t.Fatalf("single-shot %s has samples=%d, want omitted", b.Name, b.Samples)
+		}
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("goos: linux\nPASS\n")); err == nil {
+		t.Fatal("expected an error for output with no result lines")
+	}
+}
+
+// withNs returns a copy of the sample with PredictParallel-1's ns/op
+// rescaled.
+func withNs(t *testing.T, ns string) *Doc {
+	t.Helper()
+	return parseSample(t, strings.Replace(sampleBench,
+		"950.0 ns/op", ns+" ns/op", 1))
+}
+
+func TestCompareGate(t *testing.T) {
+	base := parseSample(t, sampleBench)
+
+	// Identical docs pass.
+	report, failed := Compare(base, parseSample(t, sampleBench), 5, 10)
+	if failed || !strings.Contains(report, "bench-gate: ok") {
+		t.Fatalf("identical compare failed:\n%s", report)
+	}
+
+	// >10%% ns/op regression on the same cpu profile fails.
+	report, failed = Compare(base, withNs(t, "1100.0"), 5, 10)
+	if !failed || !strings.Contains(report, "FAIL repro.PredictParallel-1") {
+		t.Fatalf("regression did not fail:\n%s", report)
+	}
+
+	// 5–10%% warns but passes.
+	report, failed = Compare(base, withNs(t, "1020.0"), 5, 10)
+	if failed || !strings.Contains(report, "warn repro.PredictParallel-1") {
+		t.Fatalf("mid regression mishandled:\n%s", report)
+	}
+
+	// On a different cpu profile, the same regression downgrades to a warning.
+	cand := withNs(t, "1100.0")
+	cand.CPU = "Other CPU @ 3.00GHz"
+	report, failed = Compare(base, cand, 5, 10)
+	if failed || !strings.Contains(report, "would fail on the baseline's cpu profile") {
+		t.Fatalf("cross-profile compare mishandled:\n%s", report)
+	}
+
+	// allocs/op regressions fail even across cpu profiles.
+	cand = parseSample(t, strings.Replace(sampleBench, "6 allocs/op", "7 allocs/op", 1))
+	cand.CPU = "Other CPU @ 3.00GHz"
+	report, failed = Compare(base, cand, 5, 10)
+	if !failed || !strings.Contains(report, "allocs/op 6 -> 7") {
+		t.Fatalf("alloc regression mishandled:\n%s", report)
+	}
+
+	// A benchmark dropped from the candidate fails.
+	cand = parseSample(t, strings.Replace(sampleBench,
+		"BenchmarkStoreGet-8           	50000000	        25.0 ns/op	       0 B/op	       0 allocs/op\n", "", 1))
+	report, failed = Compare(base, cand, 5, 10)
+	if !failed || !strings.Contains(report, "missing from candidate") {
+		t.Fatalf("dropped benchmark mishandled:\n%s", report)
+	}
+}

@@ -10,6 +10,7 @@
 //
 //	POST /v1/observe      {"job": {...}}                 record a completion
 //	POST /v1/predict      {"job": {...}, "age": 120}     run-time prediction
+//	POST /v1/predict/batch {"jobs": [{"job": {...}}, ...]} score many jobs at once
 //	POST /v1/predictwait  {"now":..., "policy":"Backfill",
 //	                       "target":{...}, "queue":[...], "running":[...]}
 //	POST /v1/checkpoint                                   snapshot the store

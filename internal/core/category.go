@@ -12,7 +12,8 @@ import (
 // incremental Welford moments, shared between the predictor's two modes.
 // In batch mode the predictor owns a private map of them; in store-backed
 // mode they live inside a sharded (optionally durable) histstore.Store and
-// this file's estimate logic runs under the store's shard read locks.
+// this file's estimate logic runs on immutable category snapshots obtained
+// from lock-free atomic pointer loads.
 // Using the identical category representation and arithmetic in both modes
 // is what makes store-backed predictions bit-for-bit equal to the batch
 // predictor's — the determinism tests rely on it.
@@ -37,29 +38,46 @@ func pointOf(j *workload.Job) histstore.Point {
 // fraction for relative ones), the confidence-interval half-width in the
 // same space, and whether the category could provide a valid prediction.
 func estimateCategory(c *histstore.Category, t Template, nodes int, age int64, level float64) (pred, half float64, ok bool) {
+	return estimateWith(c, t, nodes, age, level, nil)
+}
+
+// estimateWith is the shared estimate body. With a non-nil predictor it
+// reads that predictor's memoized Student-t quantiles (p.level must equal
+// level); with nil it computes them directly. Both produce bit-for-bit
+// identical results — the memo only avoids re-deriving a pure function of
+// (level, n) on every request.
+func estimateWith(c *histstore.Category, t Template, nodes int, age int64, level float64, p *Predictor) (pred, half float64, ok bool) {
 	need := t.minPoints()
 	if c.Size() < need {
 		return 0, 0, false
 	}
 
-	// Fast path: mean prediction with no age filter uses the O(1) moments.
+	// Fast path: mean prediction with no age filter consumes the
+	// aggregates finalized at observe time — no moment arithmetic at all.
 	if t.Pred == PredMean && (!t.UseAge || age <= 0) {
-		m := c.Abs()
+		var mean, v float64
+		var n int
 		if t.Relative {
-			m = c.Rat()
+			mean, v, n = c.RatStats()
+		} else {
+			mean, v, n = c.AbsStats()
 		}
-		if m.N < need {
+		if n < need {
 			return 0, 0, false
 		}
-		mean, v := m.MeanVar()
 		if math.IsNaN(v) {
 			return 0, 0, false
 		}
 		if v == 0 { //lint:allow floatcmp exact-zero variance guard for a category of identical run times
 			return mean, 0, true
 		}
-		tq := stats.TQuantile(0.5+level/2, float64(m.N-1))
-		return mean, tq * math.Sqrt(v/float64(m.N)), true
+		var tq float64
+		if p != nil {
+			tq = p.tQuantile(n)
+		} else {
+			tq = stats.TQuantile(0.5+level/2, float64(n-1))
+		}
+		return mean, tq * math.Sqrt(v/float64(n)), true
 	}
 
 	// General path: collect the relevant values.

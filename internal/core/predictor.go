@@ -8,6 +8,7 @@ import (
 	"repro/internal/histstore"
 	"repro/internal/obs/trace"
 	"repro/internal/predict"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -33,12 +34,12 @@ type Prediction struct {
 // a private category map; this is the single-threaded configuration the
 // simulations and experiments use, and it is not safe for concurrent use.
 // With WithStore the category database lives in a sharded
-// histstore.Store — Observe and Predict become concurrency-safe (guarded
-// by the store's shard locks), completions stream in as O(templates)
-// incremental updates, and, when the store was opened durably, every
-// observation is journaled for crash recovery. Both modes share the same
-// category representation and estimate arithmetic, so their predictions
-// are bit-for-bit identical.
+// histstore.Store — Observe and Predict become concurrency-safe (writes
+// serialize per shard; predictions are lock-free snapshot loads),
+// completions stream in as O(templates) incremental updates, and, when the
+// store was opened durably, every observation is journaled for crash
+// recovery. Both modes share the same category representation and estimate
+// arithmetic, so their predictions are bit-for-bit identical.
 type Predictor struct {
 	templates  []Template
 	level      float64
@@ -49,6 +50,14 @@ type Predictor struct {
 
 	onStoreErr func(error)  // called on store insert failures (WAL errors)
 	storeErr   atomic.Value // sticky first insert error, boxed as storedErr
+
+	// tq memoizes Student-t quantiles for the predictor's confidence level,
+	// keyed by sample count. The map is copy-on-write behind an atomic
+	// pointer so the predict hot path stays mutex-free: a miss clones the
+	// map, adds the entry, and swaps the pointer. Concurrent misses may lose
+	// each other's updates, which is benign — TQuantile is a pure function
+	// of (level, n), so a re-derived entry is always bit-identical.
+	tq atomic.Pointer[map[int]float64]
 }
 
 // storedErr boxes store insert failures in one concrete type, as
@@ -84,9 +93,10 @@ func WithFirstMatch() Option {
 
 // WithStore backs the predictor's category database with a sharded
 // histstore.Store instead of a private map: Observe writes through the
-// store (journaled when the store is durable) and predictions read live
-// category moments under shard read locks, making the predictor safe for
-// concurrent use.
+// store (journaled when the store is durable) and predictions read
+// immutable category snapshots through lock-free atomic pointer loads,
+// making the predictor safe for concurrent use with zero mutex
+// acquisitions on the predict path.
 func WithStore(st *histstore.Store) Option {
 	return func(p *Predictor) {
 		if st != nil {
@@ -152,6 +162,32 @@ func (p *Predictor) recordStoreErr(err error) {
 	p.storeErr.CompareAndSwap(nil, storedErr{err})
 }
 
+// tQuantile returns stats.TQuantile(0.5+p.level/2, n-1), memoized. The
+// distinct sample counts a predictor ever sees are bounded by the category
+// history caps, so the memo converges to a small read-only map and the hot
+// path settles into a single pointer load plus map probe.
+func (p *Predictor) tQuantile(n int) float64 {
+	if m := p.tq.Load(); m != nil {
+		if v, ok := (*m)[n]; ok {
+			return v
+		}
+	}
+	v := stats.TQuantile(0.5+p.level/2, float64(n-1))
+	old := p.tq.Load()
+	var nm map[int]float64
+	if old == nil {
+		nm = map[int]float64{n: v}
+	} else {
+		nm = make(map[int]float64, len(*old)+1)
+		for k, x := range *old {
+			nm[k] = x
+		}
+		nm[n] = v
+	}
+	p.tq.Store(&nm)
+	return v
+}
+
 // Categories returns the number of categories currently stored.
 func (p *Predictor) Categories() int {
 	if p.store != nil {
@@ -188,7 +224,7 @@ func (p *Predictor) Predict(j *workload.Job, age int64) (int64, bool) {
 
 // PredictDetailed is Predict with full diagnostic detail.
 func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, bool) {
-	return p.predictDetailed(context.Background(), nil, j, age)
+	return p.predictDetailed(context.Background(), nil, j, age, nil)
 }
 
 // PredictDetailedCtx is PredictDetailed under the trace active in ctx: the
@@ -200,9 +236,9 @@ func (p *Predictor) PredictDetailed(j *workload.Job, age int64) (Prediction, boo
 func (p *Predictor) PredictDetailedCtx(ctx context.Context, j *workload.Job, age int64) (Prediction, bool) {
 	ctx, sp := trace.StartSpan(ctx, "core.predict")
 	if sp == nil {
-		return p.predictDetailed(ctx, nil, j, age)
+		return p.predictDetailed(ctx, nil, j, age, nil)
 	}
-	pr, ok := p.predictDetailed(ctx, sp, j, age)
+	pr, ok := p.predictDetailed(ctx, sp, j, age, nil)
 	if ok {
 		sp.SetAttrInt("seconds", pr.Seconds)
 		sp.SetAttr("category", pr.Category)
@@ -214,9 +250,94 @@ func (p *Predictor) PredictDetailedCtx(ctx context.Context, j *workload.Job, age
 	return pr, ok
 }
 
+// BatchItem is one job in a batch prediction request.
+type BatchItem struct {
+	Job *workload.Job
+	Age int64 // seconds the job has already been running (0 at submit)
+}
+
+// BatchResult pairs one batch item's prediction with its validity: OK is
+// false when no template produced a usable estimate (exactly Predict's
+// second return).
+type BatchResult struct {
+	Prediction
+	OK bool
+}
+
+// PredictDetailedBatch predicts for many jobs in one call, amortizing
+// category resolution: within the batch every distinct category key is
+// looked up in the store at most once, so all items are served from one
+// consistent snapshot of each category even while observations stream in
+// concurrently. Results are positional with items.
+func (p *Predictor) PredictDetailedBatch(items []BatchItem) []BatchResult {
+	return p.PredictDetailedBatchCtx(context.Background(), items)
+}
+
+// PredictDetailedBatchCtx is PredictDetailedBatch under the trace active in
+// ctx: the batch becomes a "core.predict_batch" span whose children are the
+// per-item "core.predict" spans, each decomposed exactly as
+// PredictDetailedCtx decomposes a single prediction. Without an active
+// trace it is exactly PredictDetailedBatch.
+func (p *Predictor) PredictDetailedBatchCtx(ctx context.Context, items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	ctx, bsp := trace.StartSpan(ctx, "core.predict_batch")
+	if bsp != nil {
+		bsp.SetAttrInt("jobs", int64(len(items)))
+	}
+	var cache map[string]cachedCat
+	if p.store != nil && len(items) > 1 {
+		cache = make(map[string]cachedCat, len(p.templates))
+	}
+	for i, it := range items {
+		if it.Job == nil {
+			continue
+		}
+		ictx, sp := trace.StartSpan(ctx, "core.predict")
+		pr, ok := p.predictDetailed(ictx, sp, it.Job, it.Age, cache)
+		if sp != nil {
+			if ok {
+				sp.SetAttrInt("seconds", pr.Seconds)
+				sp.SetAttr("category", pr.Category)
+				sp.SetAttrInt("n", int64(pr.N))
+			} else {
+				sp.SetAttr("hit", "false")
+			}
+			sp.End()
+		}
+		out[i] = BatchResult{Prediction: pr, OK: ok}
+	}
+	if bsp != nil {
+		bsp.End()
+	}
+	return out
+}
+
+// cachedCat is one entry of a batch's key→category resolve cache; ok=false
+// caches a definitive miss so repeated misses skip the store too.
+type cachedCat struct {
+	c  *histstore.Category
+	ok bool
+}
+
+// lookup resolves a category key against the backing store: a lock-free
+// snapshot load, recorded as a "histstore.view" child span when tsp is an
+// open template_match span.
+func (p *Predictor) lookup(ctx context.Context, tsp *trace.Span, key string) (*histstore.Category, bool) {
+	if tsp != nil {
+		return p.store.GetCtx(trace.ContextWithSpan(ctx, tsp), key)
+	}
+	return p.store.Get(key) //lint:allow ctxflow no active trace when the span is nil; the ctx-less fast path skips a second StartSpan on the hot predict loop
+}
+
 // predictDetailed is the shared prediction body; sp, when non-nil, is the
-// open "core.predict" span receiving per-template children.
-func (p *Predictor) predictDetailed(ctx context.Context, sp *trace.Span, j *workload.Job, age int64) (Prediction, bool) {
+// open "core.predict" span receiving per-template children. cache, when
+// non-nil, memoizes store lookups (including misses) across the calls of
+// one batch; single predictions pass nil and pay no cache overhead.
+//
+// Store-backed, the category lookup is a lock-free snapshot load
+// (store.Get) and the estimate consumes the category's finalized moments —
+// the predict hot path acquires no mutexes at all.
+func (p *Predictor) predictDetailed(ctx context.Context, sp *trace.Span, j *workload.Job, age int64, cache map[string]cachedCat) (Prediction, bool) {
 	best := Prediction{Interval: math.Inf(1), Template: -1}
 	found := false
 	for i, t := range p.templates {
@@ -230,25 +351,26 @@ func (p *Predictor) predictDetailed(ctx context.Context, sp *trace.Span, j *work
 			n         int
 		)
 		tsp := sp.StartChild("template_match")
-		estimate := func(c *histstore.Category) {
+		var c *histstore.Category
+		var exists bool
+		switch {
+		case p.store == nil:
+			c, exists = p.cats[key]
+		case cache != nil:
+			e, hit := cache[key]
+			if !hit {
+				e.c, e.ok = p.lookup(ctx, tsp, key)
+				cache[key] = e
+			}
+			c, exists = e.c, e.ok
+		default:
+			c, exists = p.lookup(ctx, tsp, key)
+		}
+		if exists {
 			esp := tsp.StartChild("estimate")
-			val, half, ok = estimateCategory(c, t, j.Nodes, age, p.level)
+			val, half, ok = estimateWith(c, t, j.Nodes, age, p.level, p)
 			n = c.Size()
 			esp.End()
-		}
-		if p.store != nil {
-			if tsp != nil {
-				p.store.ViewCtx(trace.ContextWithSpan(ctx, tsp), key, estimate)
-			} else {
-				p.store.View(key, estimate) //lint:allow ctxflow no active trace when the span is nil; the ctx-less fast path skips a second StartSpan on the hot predict loop
-			}
-		} else {
-			c, exists := p.cats[key]
-			if !exists {
-				tsp.End()
-				continue
-			}
-			estimate(c)
 		}
 		if tsp != nil {
 			tsp.SetAttrInt("template", int64(i))

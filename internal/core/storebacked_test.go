@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/histstore"
@@ -73,6 +75,88 @@ func TestStoreBackedMatchesBatch(t *testing.T) {
 	}
 }
 
+// mustPredictAllBatch is mustPredictAll driven through the batch API: each
+// job's two ages are one PredictDetailedBatch call, so the per-batch
+// category resolve cache is exercised on every step.
+func mustPredictAllBatch(t *testing.T, p *Predictor, w *workload.Workload) []Prediction {
+	t.Helper()
+	var out []Prediction
+	for _, j := range w.Jobs {
+		res := p.PredictDetailedBatch([]BatchItem{{Job: j, Age: 0}, {Job: j, Age: 600}})
+		if len(res) != 2 {
+			t.Fatalf("batch returned %d results for 2 items", len(res))
+		}
+		for _, r := range res {
+			pr := r.Prediction
+			if !r.OK {
+				pr = Prediction{Template: -1}
+			}
+			out = append(out, pr)
+		}
+		p.Observe(j)
+	}
+	if err := p.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBatchPredictMatchesSingle proves the batch API is a pure amortization
+// of the single-prediction path: on every study workload, batch-mode and
+// store-backed predictors driven through PredictDetailedBatch emit
+// bit-for-bit the stream the single-call path emits.
+func TestBatchPredictMatchesSingle(t *testing.T) {
+	for _, name := range workload.StudyNames {
+		t.Run(name, func(t *testing.T) {
+			w, err := workload.Study(name, 40, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := DefaultTemplates(w.Chars, w.HasMaxRT)
+			want := mustPredictAll(t, New(ts), w)
+			gotBatch := mustPredictAllBatch(t, New(ts), w)
+			mustEqualPredictions(t, name+"/batchmode", want, gotBatch)
+			gotStored := mustPredictAllBatch(t, New(ts, WithStore(histstore.New())), w)
+			mustEqualPredictions(t, name+"/storebacked", want, gotStored)
+		})
+	}
+}
+
+// TestBatchPredictEdgeCases pins the batch API's corner behavior: empty
+// batches, nil jobs, and single-item batches (which skip cache allocation).
+func TestBatchPredictEdgeCases(t *testing.T) {
+	w, err := workload.Study("ANL", 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := DefaultTemplates(w.Chars, w.HasMaxRT)
+	p := New(ts, WithStore(histstore.New()))
+	for _, j := range w.Jobs[:20] {
+		p.Observe(j)
+	}
+	if res := p.PredictDetailedBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	j := w.Jobs[25]
+	res := p.PredictDetailedBatch([]BatchItem{{Job: nil}, {Job: j}})
+	if len(res) != 2 {
+		t.Fatalf("batch returned %d results for 2 items", len(res))
+	}
+	if res[0].OK {
+		t.Fatal("nil job produced a prediction")
+	}
+	single, ok := p.PredictDetailed(j, 0)
+	if res[1].OK != ok || res[1].Prediction != single {
+		t.Fatalf("batch vs single diverged: %+v/%v vs %+v/%v",
+			res[1].Prediction, res[1].OK, single, ok)
+	}
+	one := p.PredictDetailedBatch([]BatchItem{{Job: j}})
+	if one[0].OK != ok || one[0].Prediction != single {
+		t.Fatalf("single-item batch diverged: %+v/%v vs %+v/%v",
+			one[0].Prediction, one[0].OK, single, ok)
+	}
+}
+
 // TestStoreBackedDurableMatchesBatch adds the durability dimension: the
 // store-backed predictor journals to a WAL, snapshots mid-stream, is
 // abandoned (simulated crash) and recovered into a fresh predictor — and
@@ -117,6 +201,113 @@ func TestStoreBackedDurableMatchesBatch(t *testing.T) {
 	rest := &workload.Workload{Chars: w.Chars, HasMaxRT: w.HasMaxRT, Jobs: w.Jobs[quarter:]}
 	got = append(got, mustPredictAll(t, recovered, rest)...)
 	mustEqualPredictions(t, "durable", want, got)
+}
+
+// TestCOWHammerPredictObserveSnapshot exercises the copy-on-write swap
+// where torn views would surface: concurrent predicts (single and batch),
+// streaming observes, and continuous SnapshotCtx compaction on a durable
+// store. Run under -race this is the CI gate for the lock-free read path;
+// the final sweep asserts every published category snapshot is internally
+// consistent (ring size matches moment count, finalized aggregates are
+// bit-for-bit the moments' MeanVar) and the store's global counters match
+// the per-category truth.
+func TestCOWHammerPredictObserveSnapshot(t *testing.T) {
+	w, err := workload.Study("ANL", 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := DefaultTemplates(w.Chars, w.HasMaxRT)
+	st, err := histstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	p := New(ts, WithStore(st))
+	for _, j := range w.Jobs[:50] {
+		p.Observe(j)
+	}
+
+	jobs := w.Jobs[50:]
+	done := make(chan struct{})
+	var writers, others sync.WaitGroup
+	const nWriters, nReaders = 2, 4
+	for g := 0; g < nWriters; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := g; i < len(jobs); i += nWriters {
+				p.Observe(jobs[i])
+			}
+		}(g)
+	}
+	for g := 0; g < nReaders; g++ {
+		others.Add(1)
+		go func(g int) {
+			defer others.Done()
+			for i := g; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				j := w.Jobs[i%len(w.Jobs)]
+				p.PredictDetailed(j, 0)
+				res := p.PredictDetailedBatch([]BatchItem{{Job: j}, {Job: j, Age: 600}})
+				if len(res) != 2 {
+					t.Errorf("batch returned %d results", len(res))
+					return
+				}
+			}
+		}(g)
+	}
+	others.Add(1)
+	go func() {
+		defer others.Done()
+		ctx := context.Background()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := st.SnapshotCtx(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(done)
+	others.Wait()
+	if err := p.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consistency sweep over the settled store.
+	var cats, points int
+	st.ForEach(func(key string, c *histstore.Category) {
+		cats++
+		points += c.Size()
+		if c.Size() != c.Abs().N {
+			t.Errorf("category %q: %d points but abs moment count %d", key, c.Size(), c.Abs().N)
+		}
+		mean, v := c.Abs().MeanVar()
+		am, av, an := c.AbsStats()
+		if an != c.Abs().N ||
+			math.Float64bits(am) != math.Float64bits(mean) ||
+			math.Float64bits(av) != math.Float64bits(v) {
+			t.Errorf("category %q: finalized abs stats (%v,%v,%d) != moments (%v,%v,%d)",
+				key, am, av, an, mean, v, c.Abs().N)
+		}
+	})
+	if cats != st.Categories() || points != st.Points() {
+		t.Fatalf("store counters: %d/%d categories, %d/%d points",
+			st.Categories(), cats, st.Points(), points)
+	}
 }
 
 // TestStoreBackedSaveLoadState covers the legacy checkpoint path in store

@@ -50,6 +50,7 @@ func BenchmarkStoreInsertPredict(b *testing.B) {
 	}
 	var ctr atomic.Int64
 	b.ReportAllocs()
+	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		id := ctr.Add(1)
 		rng := rand.New(rand.NewSource(id))
@@ -67,6 +68,57 @@ func BenchmarkStoreInsertPredict(b *testing.B) {
 				_ = mean
 				_ = v
 			})
+		}
+	})
+}
+
+// BenchmarkStoreGet measures one lock-free category read — a pointer load
+// of the shard view plus a map probe — against a warmed store. This is the
+// unit the predict fan-out multiplies by the template count, and it must
+// stay allocation-free.
+func BenchmarkStoreGet(b *testing.B) {
+	s := New()
+	keys := benchKeys(4096)
+	warm := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<14; i++ {
+		k := keys[warm.Intn(len(keys))]
+		if err := s.Insert(k, 1024, pt(float64(1+warm.Intn(5000)), 6000, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, ok := s.Get(keys[i%len(keys)])
+		if ok {
+			_, _, _ = c.AbsStats()
+		}
+	}
+}
+
+// BenchmarkStoreGetParallel is BenchmarkStoreGet under concurrent readers
+// (run with -cpu 1,2,4,8): reads are independent atomic loads of immutable
+// snapshots, so per-op time should not degrade as readers are added.
+func BenchmarkStoreGetParallel(b *testing.B) {
+	s := New()
+	keys := benchKeys(4096)
+	warm := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<14; i++ {
+		k := keys[warm.Intn(len(keys))]
+		if err := s.Insert(k, 1024, pt(float64(1+warm.Intn(5000)), 6000, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(ctr.Add(1)))
+		for pb.Next() {
+			c, ok := s.Get(keys[rng.Intn(len(keys))])
+			if ok {
+				_, _, _ = c.AbsStats()
+			}
 		}
 	})
 }

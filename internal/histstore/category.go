@@ -11,9 +11,11 @@
 //     (stats.Moments) maintained across insertion and ring-buffer eviction,
 //     so the paper's mean predictions and confidence intervals are O(1)
 //     per category instead of a batch recompute;
-//   - concurrent: categories are sharded by key hash, each shard guarded
-//     by its own RWMutex, so inserts and predictions from many goroutines
-//     proceed in parallel and only collide within a shard;
+//   - concurrent: categories are sharded by key hash, each shard
+//     publishing an immutable copy-on-write view through an atomic
+//     pointer, so predictions are lock-free pointer loads from any number
+//     of goroutines while inserts serialize only against other inserts to
+//     the same shard;
 //   - durable: an append-only write-ahead log records every insert before
 //     it is applied, and periodic snapshots (written to a temporary file
 //     and atomically renamed) bound recovery time; recovery is snapshot
@@ -63,11 +65,15 @@ func (p Point) Validate() error {
 // Category is the bounded history of one (template, value-combination)
 // pair: a ring buffer of the most recent points plus running Welford
 // moments over the current contents, for absolute run times and for
-// run-time/maximum ratios.
+// run-time/maximum ratios. The moments are finalized (mean and variance
+// materialized) on every mutation, so the predict path reads them with two
+// plain loads instead of re-deriving them per request.
 //
-// A Category is not internally synchronized; the Store serializes access
-// through its shard locks, and a batch (single-goroutine) predictor may
-// use one directly.
+// A Category is not internally synchronized. The batch (single-goroutine)
+// predictor mutates one in place through Insert; the Store instead treats
+// every published category as immutable and mutates through cowInsert,
+// which returns a successor snapshot — that is what makes the store's
+// read path lock-free.
 type Category struct {
 	maxHistory int // 0 = unlimited
 	points     []Point
@@ -75,6 +81,12 @@ type Category struct {
 
 	abs stats.Moments // moments of Point.RunTime
 	rat stats.Moments // moments of Point.Ratio (NaN-skipping)
+
+	// Finalized aggregates, recomputed by finalize() after every
+	// mutation: the MeanVar() of abs and rat at observe time, bit-for-bit
+	// what a read-time MeanVar() on the same moments would return.
+	absMean, absVar float64
+	ratMean, ratVar float64
 }
 
 // NewCategory creates an empty category retaining at most maxHistory
@@ -98,6 +110,27 @@ func (c *Category) Abs() *stats.Moments { return &c.abs }
 // Rat returns the running moments of the run-time/maximum ratios.
 func (c *Category) Rat() *stats.Moments { return &c.rat }
 
+// AbsStats returns the finalized absolute-run-time aggregates: the mean,
+// variance, and sample count materialized at observe time. The values are
+// bit-for-bit Abs().MeanVar() and Abs().N.
+func (c *Category) AbsStats() (mean, variance float64, n int) {
+	return c.absMean, c.absVar, c.abs.N
+}
+
+// RatStats returns the finalized run-time/maximum-ratio aggregates,
+// bit-for-bit Rat().MeanVar() and Rat().N.
+func (c *Category) RatStats() (mean, variance float64, n int) {
+	return c.ratMean, c.ratVar, c.rat.N
+}
+
+// finalize materializes the moment aggregates the predict path consumes.
+// Called after every mutation and restore, so readers of a published
+// category never touch MeanVar.
+func (c *Category) finalize() {
+	c.absMean, c.absVar = c.abs.MeanVar()
+	c.ratMean, c.ratVar = c.rat.MeanVar()
+}
+
 // Insert adds a completed job's point, evicting the oldest point when the
 // bounded history is full (paper step 3(b)ii). Moments are updated
 // incrementally: the evicted point is removed before the new one is added,
@@ -114,6 +147,40 @@ func (c *Category) Insert(p Point) {
 	}
 	c.abs.Add(p.RunTime)
 	c.rat.Add(p.Ratio)
+	c.finalize()
+}
+
+// cowInsert returns a successor snapshot with p inserted, leaving c
+// untouched — the Store's copy-on-write path. The arithmetic is exactly
+// Insert's (the moments are copied by value and stepped identically), so a
+// chain of cowInserts is bit-for-bit a chain of Inserts.
+//
+// While the ring is still filling, the clone appends to the shared backing
+// array instead of copying: the new element lands at index len(c.points),
+// which is past the length of every previously published snapshot, so no
+// reader can observe the write. Only the writer (serialized by the shard
+// mutex) extends the array, always from the newest snapshot, so two clones
+// never contend for the same slot. Once the bounded ring is full, eviction
+// must overwrite a slot readers can see, and the clone degrades to a full
+// O(maxHistory) copy — the price of keeping readers lock-free, paid by the
+// rare writes instead of the dominant reads.
+func (c *Category) cowInsert(p Point) *Category {
+	nc := &Category{maxHistory: c.maxHistory, head: c.head, abs: c.abs, rat: c.rat}
+	if c.maxHistory > 0 && len(c.points) == c.maxHistory {
+		nc.points = make([]Point, c.maxHistory)
+		copy(nc.points, c.points)
+		old := nc.points[nc.head]
+		nc.abs.Remove(old.RunTime)
+		nc.rat.Remove(old.Ratio)
+		nc.points[nc.head] = p
+		nc.head = (nc.head + 1) % nc.maxHistory
+	} else {
+		nc.points = append(c.points, p)
+	}
+	nc.abs.Add(p.RunTime)
+	nc.rat.Add(p.Ratio)
+	nc.finalize()
+	return nc
 }
 
 // ForEach visits every stored point (order unspecified).
@@ -172,6 +239,7 @@ func restoreCategory(ps persistState) (*Category, error) {
 	c.head = ps.Head
 	c.abs = ps.Abs
 	c.rat = ps.Rat
+	c.finalize()
 	return c, nil
 }
 
@@ -191,6 +259,7 @@ func RestorePoints(maxHistory, head int, pts []Point) (*Category, error) {
 		c.abs.Add(p.RunTime)
 		c.rat.Add(p.Ratio)
 	}
+	c.finalize()
 	return c, nil
 }
 

@@ -101,12 +101,13 @@ func (s *Store) Close() error {
 }
 
 // Snapshot persists the full category database and compacts the WAL. It
-// quiesces writers (every shard is read-locked for the duration — reads
-// still proceed), writes the snapshot to a temporary file, fsyncs, renames
-// it over the previous snapshot, and then rotates the WAL so it restarts
-// empty at the snapshot's sequence number. Every intermediate crash point
-// recovers correctly: the rename is atomic, and an un-rotated WAL only
-// holds records the new snapshot already covers, which replay skips.
+// quiesces writers (every shard's writer mutex is held for the duration —
+// lock-free reads still proceed untouched), writes the snapshot to a
+// temporary file, fsyncs, renames it over the previous snapshot, and then
+// rotates the WAL so it restarts empty at the snapshot's sequence number.
+// Every intermediate crash point recovers correctly: the rename is atomic,
+// and an un-rotated WAL only holds records the new snapshot already
+// covers, which replay skips.
 func (s *Store) Snapshot() error {
 	return s.snapshot()
 }
@@ -139,14 +140,15 @@ func (s *Store) snapshot() error {
 		start = time.Now()
 	}
 
-	// Quiesce writers: with every shard read-locked no Insert can run, so
-	// the WAL sequence and the category maps are mutually consistent.
+	// Quiesce writers: with every shard's writer mutex held no Insert can
+	// run, so the WAL sequence and the published views are mutually
+	// consistent. Readers never take these mutexes and proceed throughout.
 	for i := range s.shards {
-		s.shards[i].mu.RLock()
+		s.shards[i].mu.Lock()
 	}
 	defer func() {
 		for i := range s.shards {
-			s.shards[i].mu.RUnlock()
+			s.shards[i].mu.Unlock()
 		}
 	}()
 	seq := s.wal.lastSeq()
@@ -166,16 +168,15 @@ func (s *Store) snapshot() error {
 }
 
 // writeSnapshotFile writes the snapshot to path via temp-file + rename.
-// The caller holds every shard lock, so the maps are read directly.
+// The caller holds every shard's writer mutex, so the published views are
+// the definitive state and cannot advance mid-write.
 func writeSnapshotFile(path string, s *Store, seq uint64) error {
-	// Collect and sort keys under the already-held locks (sortedKeys would
-	// re-lock and self-deadlock against a waiting writer).
 	var keys []string
 	byKey := make(map[string]*Category)
 	for i := range s.shards {
-		for k, c := range s.shards[i].cats {
+		for k, h := range s.shards[i].loadView().cats {
 			keys = append(keys, k)
-			byKey[k] = c
+			byKey[k] = h.cur.Load()
 		}
 	}
 	sort.Strings(keys)

@@ -19,15 +19,58 @@ import (
 // throughput.
 const DefaultShards = 64
 
-// shard is one lock domain of the category map.
+// The store's read side is lock-free by copy-on-write: each shard
+// publishes an immutable view through an atomic pointer, and every write
+// builds replacement state off to the side before swapping it in. The
+// structure is two-level so the two write frequencies pay for themselves
+// separately:
+//
+//   - shardView maps keys to category handles. The map is immutable once
+//     published and is cloned-and-swapped only when a key is added or
+//     replaced (rare after warm-up), so the steady-state insert never
+//     clones a map.
+//   - catHandle carries the current immutable *Category for one key. Every
+//     insert clones the category (see Category.cowInsert for why the clone
+//     is usually an O(1) shared-backing append) and swaps the handle's
+//     pointer.
+//
+// Readers therefore do two atomic loads and one map lookup — no mutex, no
+// allocation — and always observe a category that was fully built before
+// publication. Writers serialize per shard on a plain Mutex. Memory
+// reclamation is the garbage collector's: a reader that loaded an old view
+// keeps it alive until it is done, and nothing ever mutates a published
+// view, so there is no torn state and no ABA hazard to manage.
+
+// shard is one write-serialization domain of the category map.
 type shard struct {
-	mu   sync.RWMutex
-	cats map[string]*Category // guarded by mu
+	mu   sync.Mutex                // serializes writers (clone-and-swap)
+	view atomic.Pointer[shardView] // swapped under mu
 }
 
+// shardView is one shard's immutable key table. The map must never be
+// mutated after it is published; writers clone it to add or replace a key.
+type shardView struct {
+	cats map[string]*catHandle
+}
+
+// catHandle is the mutation point for one category: inserts swap cur to
+// the next immutable snapshot while the handle itself stays in the map, so
+// per-point writes never have to republish the key table.
+type catHandle struct {
+	// cur is replaced only while the owning shard's mu is held; it cannot
+	// carry a "swapped under" annotation because its guard lives in a
+	// different struct, which is exactly why inserts route through the
+	// shard's writer mutex before touching it.
+	cur atomic.Pointer[Category]
+}
+
+// loadView returns the shard's current immutable view.
+func (sh *shard) loadView() *shardView { return sh.view.Load() }
+
 // Store is the concurrency-safe category-statistics store. Reads
-// (View/Categories) take shard read locks and proceed in parallel; inserts
-// take one shard's write lock. A store opened with Open additionally
+// (Get/View/Categories) are lock-free: they follow per-shard copy-on-write
+// snapshots and can run in parallel with any number of writers. Inserts
+// take one shard's writer mutex. A store opened with Open additionally
 // journals every insert to a write-ahead log and can persist snapshots;
 // a store from New is memory-only.
 type Store struct {
@@ -47,6 +90,8 @@ type Store struct {
 }
 
 // storeMetrics caches obs instrument handles for the store's hot paths.
+// Every instrument here is internally atomic, so recording on the read
+// path keeps it lock-free.
 type storeMetrics struct {
 	categories  *obs.Gauge
 	points      *obs.Gauge
@@ -93,8 +138,9 @@ func New(opts ...Option) *Store {
 	for _, o := range opts {
 		o(s)
 	}
+	empty := &shardView{cats: map[string]*catHandle{}}
 	for i := range s.shards {
-		s.shards[i].cats = make(map[string]*Category)
+		s.shards[i].view.Store(empty)
 	}
 	return s
 }
@@ -202,74 +248,126 @@ func (s *Store) insert(sp *trace.Span, key string, maxHistory int, p Point) erro
 	return nil
 }
 
-// applyLocked inserts a point into a shard the caller has write-locked.
+// applyLocked inserts a point into a shard whose writer mutex the caller
+// holds: clone the current category snapshot (or start a new one), insert
+// off to the side, and publish with an atomic swap. Readers racing with
+// this observe either the old snapshot or the fully built new one.
 func (s *Store) applyLocked(sh *shard, key string, maxHistory int, p Point) {
-	c, ok := sh.cats[key]
-	if !ok {
-		c = NewCategory(maxHistory)
-		sh.cats[key] = c
-		s.nCats.Add(1)
+	v := sh.loadView()
+	if h, ok := v.cats[key]; ok {
+		c := h.cur.Load()
+		before := c.Size()
+		nc := c.cowInsert(p)
+		h.cur.Store(nc)
+		s.nPoints.Add(int64(nc.Size() - before))
+		return
 	}
-	before := c.Size()
+	c := NewCategory(maxHistory)
 	c.Insert(p)
-	s.nPoints.Add(int64(c.Size() - before))
+	h := &catHandle{}
+	h.cur.Store(c)
+	sh.view.Store(v.withKey(key, h))
+	s.nCats.Add(1)
+	s.nPoints.Add(int64(c.Size()))
 }
 
-// View runs f on the category stored under key while holding the shard's
-// read lock, and reports whether the key exists. f must not retain the
-// category or mutate it; concurrent Views proceed in parallel.
-func (s *Store) View(key string, f func(*Category)) bool {
-	return s.view(key, f)
-}
-
-// ViewCtx is View with the shard read recorded as a child span of the
-// trace active in ctx ("histstore.view", category and hit attributes).
-// Without an active trace it is exactly View.
-func (s *Store) ViewCtx(ctx context.Context, key string, f func(*Category)) bool {
-	_, sp := trace.StartSpan(ctx, "histstore.view")
-	if sp == nil {
-		return s.view(key, f)
+// withKey clones the view's key table with key bound to h.
+func (v *shardView) withKey(key string, h *catHandle) *shardView {
+	cats := make(map[string]*catHandle, len(v.cats)+1)
+	for k, old := range v.cats {
+		cats[k] = old
 	}
-	sp.SetAttr("category", key)
-	ok := s.view(key, f)
-	if !ok {
-		sp.SetAttr("hit", "false")
-	}
-	sp.End()
-	return ok
+	cats[key] = h
+	return &shardView{cats: cats}
 }
 
-func (s *Store) view(key string, f func(*Category)) bool {
+// Get returns the current immutable snapshot of the category stored under
+// key. The lookup is lock-free (two atomic loads and a map probe) and the
+// returned category is never mutated afterwards — an insert racing with
+// Get builds and publishes a successor snapshot instead — so the caller
+// may read it for as long as it likes, but must not modify it.
+func (s *Store) Get(key string) (*Category, bool) {
 	m := s.metrics.Load()
 	var start time.Time
 	if m != nil {
 		start = time.Now()
 	}
-	sh := s.shardOf(key)
-	sh.mu.RLock()
-	c, ok := sh.cats[key]
+	c, ok := s.get(key)
+	if m != nil {
+		m.predictLat.Observe(time.Since(start).Seconds())
+	}
+	return c, ok
+}
+
+// GetCtx is Get with the lookup recorded as a child span of the trace
+// active in ctx ("histstore.view", category and hit attributes). Without
+// an active trace it is exactly Get.
+func (s *Store) GetCtx(ctx context.Context, key string) (*Category, bool) {
+	_, sp := trace.StartSpan(ctx, "histstore.view")
+	if sp == nil {
+		return s.Get(key)
+	}
+	sp.SetAttr("category", key)
+	c, ok := s.Get(key)
+	if !ok {
+		sp.SetAttr("hit", "false")
+	}
+	sp.End()
+	return c, ok
+}
+
+// get is the uninstrumented snapshot lookup.
+func (s *Store) get(key string) (*Category, bool) {
+	h, ok := s.shardOf(key).loadView().cats[key]
+	if !ok {
+		return nil, false
+	}
+	return h.cur.Load(), true
+}
+
+// View runs f on the current snapshot of the category stored under key and
+// reports whether the key exists. Reads are lock-free; f must not mutate
+// the snapshot (retaining it is safe — it is immutable). Kept alongside
+// Get for callers structured around a visitor.
+func (s *Store) View(key string, f func(*Category)) bool {
+	c, ok := s.Get(key)
 	if ok {
 		f(c)
 	}
-	sh.mu.RUnlock()
-	if m != nil {
-		m.predictLat.Observe(time.Since(start).Seconds())
+	return ok
+}
+
+// ViewCtx is View with the lookup recorded as a child span of the trace
+// active in ctx ("histstore.view", category and hit attributes). Without
+// an active trace it is exactly View.
+func (s *Store) ViewCtx(ctx context.Context, key string, f func(*Category)) bool {
+	c, ok := s.GetCtx(ctx, key)
+	if ok {
+		f(c)
 	}
 	return ok
 }
 
 // Put installs a fully built category under key, replacing any existing
-// one. It is the bulk-restore path (snapshot load, legacy-checkpoint
-// migration) and does not journal; durable callers snapshot afterwards to
-// make the restored state recoverable.
+// one. The store takes ownership: the caller must not mutate c after Put.
+// It is the bulk-restore path (snapshot load, legacy-checkpoint migration)
+// and does not journal; durable callers snapshot afterwards to make the
+// restored state recoverable.
 func (s *Store) Put(key string, c *Category) {
+	c.finalize()
 	sh := s.shardOf(key)
 	sh.mu.Lock()
-	if old, ok := sh.cats[key]; ok {
-		s.nCats.Add(-1)
-		s.nPoints.Add(int64(-old.Size()))
+	v := sh.loadView()
+	if h, ok := v.cats[key]; ok {
+		old := h.cur.Load()
+		s.nPoints.Add(int64(c.Size() - old.Size()))
+		h.cur.Store(c)
+		sh.mu.Unlock()
+		return
 	}
-	sh.cats[key] = c
+	h := &catHandle{}
+	h.cur.Store(c)
+	sh.view.Store(v.withKey(key, h))
 	s.nCats.Add(1)
 	s.nPoints.Add(int64(c.Size()))
 	sh.mu.Unlock()
@@ -277,10 +375,11 @@ func (s *Store) Put(key string, c *Category) {
 
 // Reset drops every category (the in-memory half of a full restore).
 func (s *Store) Reset() {
+	empty := &shardView{cats: map[string]*catHandle{}}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		sh.cats = make(map[string]*Category)
+		sh.view.Store(empty)
 		sh.mu.Unlock()
 	}
 	s.nCats.Store(0)
@@ -293,17 +392,16 @@ func (s *Store) Categories() int { return int(s.nCats.Load()) }
 // Points returns the total number of points stored across all categories.
 func (s *Store) Points() int { return int(s.nPoints.Load()) }
 
-// ForEach visits every (key, category) pair, one shard at a time under
-// that shard's read lock, in an unspecified order. f must not mutate the
-// category.
+// ForEach visits every (key, category) pair, one shard snapshot at a time,
+// in an unspecified order. The visit is lock-free: each category is the
+// immutable snapshot current when its shard's view was loaded, so a
+// concurrent insert is either fully visible or fully absent, never torn.
+// f must not mutate the category.
 func (s *Store) ForEach(f func(key string, c *Category)) {
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k, c := range sh.cats {
-			f(k, c)
+		for k, h := range s.shards[i].loadView().cats {
+			f(k, h.cur.Load())
 		}
-		sh.mu.RUnlock()
 	}
 }
 
@@ -312,12 +410,9 @@ func (s *Store) ForEach(f func(key string, c *Category)) {
 func (s *Store) sortedKeys() []string {
 	keys := make([]string, 0, s.Categories())
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		for k := range sh.cats {
+		for k := range s.shards[i].loadView().cats {
 			keys = append(keys, k)
 		}
-		sh.mu.RUnlock()
 	}
 	sort.Strings(keys)
 	return keys

@@ -24,7 +24,12 @@ import (
 //   - a call into a function of the same package that re-acquires a lock
 //     the caller still holds;
 //   - a plain access to a struct field annotated "// guarded by <field>"
-//     outside a critical section of its guard.
+//     outside a critical section of its guard;
+//   - a Store/Swap/CompareAndSwap on a sync/atomic field annotated
+//     "// swapped under <field>" without the named sibling mutex
+//     write-held — the copy-on-write publication discipline, where any
+//     number of readers Load freely but only a serialized writer may swap
+//     the published pointer.
 //
 // Lock identity is an identifier-rooted selector chain (s.mu, w.mu,
 // pkgVar.mu); anything more complex — s.shards[i].mu, locks reached
@@ -39,9 +44,11 @@ var LockFlow = &Analyzer{
 	Doc: "Lockset flow analysis: reports paths that return while a " +
 		"sync.Mutex/RWMutex is still held without a deferred release, " +
 		"double-Lock self-deadlocks, RLock/Unlock pair mismatches, calls " +
-		"into the same package that re-acquire a held lock, and plain " +
+		"into the same package that re-acquire a held lock, plain " +
 		"access to '// guarded by <field>' annotated struct fields " +
-		"outside their guard's critical section.",
+		"outside their guard's critical section, and atomic " +
+		"Store/Swap/CompareAndSwap on '// swapped under <field>' " +
+		"annotated fields without the sibling mutex write-held.",
 	Run: runLockFlow,
 }
 
@@ -249,6 +256,7 @@ type acqEntry struct {
 type lockAnalysis struct {
 	pass      *Pass
 	guards    map[*types.Var]string // annotated field -> guard field name
+	swaps     map[*types.Var]string // "swapped under" field -> guard field name
 	funcs     map[*types.Func]*ast.FuncDecl
 	summaries map[*types.Func][]acqEntry
 	visiting  map[*types.Func]bool
@@ -264,7 +272,8 @@ type reportCtx struct {
 func runLockFlow(pass *Pass) {
 	a := &lockAnalysis{
 		pass:      pass,
-		guards:    collectGuards(pass),
+		guards:    collectAnnotated(pass, guardRe, "guarded by"),
+		swaps:     collectAnnotated(pass, swapRe, "swapped under"),
 		funcs:     make(map[*types.Func]*ast.FuncDecl),
 		summaries: make(map[*types.Func][]acqEntry),
 		visiting:  make(map[*types.Func]bool),
@@ -520,6 +529,12 @@ func (a *lockAnalysis) call(call *ast.CallExpr, st lockState, rctx *reportCtx) {
 		// from the caller; nothing to track, nothing to report.
 		return
 	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+		if rctx != nil && rctx.guardChecks {
+			a.swapCall(call, fn, st, rctx)
+		}
+		return
+	}
 	// Same-package callee while holding a lock: consult its summary.
 	if len(st) == 0 || rctx == nil || fn.Pkg() != a.pass.Pkg.Types {
 		return
@@ -652,6 +667,51 @@ func (a *lockAnalysis) summarize(fn *types.Func) []acqEntry {
 	return out
 }
 
+// swapCall enforces the "// swapped under <field>" publication discipline
+// on a sync/atomic method call: Load (and every other read) is free from
+// anywhere, but Store, Swap, and CompareAndSwap on an annotated field
+// require the named sibling mutex to be write-held — otherwise two writers
+// could clone the same snapshot and one update would be silently lost.
+func (a *lockAnalysis) swapCall(call *ast.CallExpr, fn *types.Func, st lockState, rctx *reportCtx) {
+	switch fn.Name() {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// The receiver must itself be a selection of an annotated struct field
+	// (sh.view.Store(...)); anything else is not ours to police.
+	fsel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	info := a.pass.Pkg.Info
+	v, ok := info.Uses[fsel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	guard, ok := a.swaps[v]
+	if !ok {
+		return
+	}
+	ref, ok := resolveLockRef(info, fsel.X)
+	if !ok {
+		return // computed base: cannot name the guard instance, stay silent
+	}
+	if rctx.fresh[ref.root] {
+		return // freshly allocated, not yet shared: no serialization needed
+	}
+	if held, ok := st[ref.child(guard).key()]; ok && held.write {
+		return
+	}
+	a.pass.Reportf(sel.Sel.Pos(),
+		"%s of %s.%s, which is declared // swapped under %s, but %s.%s is not write-held here",
+		fn.Name(), ref.display(), fsel.Sel.Name, guard, ref.display(), guard)
+}
+
 // guardAccess checks a selector against the // guarded by annotations:
 // touching an annotated field requires the sibling guard to be held.
 func (a *lockAnalysis) guardAccess(sel *ast.SelectorExpr, st lockState, rctx *reportCtx) {
@@ -679,12 +739,18 @@ func (a *lockAnalysis) guardAccess(sel *ast.SelectorExpr, st lockState, rctx *re
 		ref.display(), sel.Sel.Name, guard, ref.display(), guard)
 }
 
-// guardRe extracts the guard field name from a struct-field comment.
-var guardRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+// guardRe extracts the guard field name from a "// guarded by <field>"
+// struct-field comment; swapRe does the same for "// swapped under
+// <field>", the copy-on-write publication annotation.
+var (
+	guardRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	swapRe  = regexp.MustCompile(`swapped under ([A-Za-z_][A-Za-z0-9_]*)`)
+)
 
-// collectGuards gathers "// guarded by <field>" annotations from struct
-// field comments, validating that the named guard is a sibling field.
-func collectGuards(pass *Pass) map[*types.Var]string {
+// collectAnnotated gathers one annotation kind from struct field comments,
+// validating that the named guard is a sibling field. label is the
+// annotation's literal prefix, used in diagnostics.
+func collectAnnotated(pass *Pass, re *regexp.Regexp, label string) map[*types.Var]string {
 	out := make(map[*types.Var]string)
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -704,14 +770,14 @@ func collectGuards(pass *Pass) map[*types.Var]string {
 				}
 			}
 			for _, fl := range st.Fields.List {
-				m := guardRe.FindStringSubmatch(fieldCommentText(fl))
+				m := re.FindStringSubmatch(fieldCommentText(fl))
 				if m == nil {
 					continue
 				}
 				guard := m[1]
 				if !siblings[guard] {
 					pass.Reportf(fl.Pos(),
-						"// guarded by %s: the struct has no field named %s", guard, guard)
+						"// %s %s: the struct has no field named %s", label, guard, guard)
 					continue
 				}
 				for _, nm := range fl.Names {

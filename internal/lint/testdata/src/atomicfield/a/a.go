@@ -3,7 +3,11 @@
 // protocol.
 package a
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
 
 type stats struct {
 	hits  int64
@@ -61,4 +65,55 @@ func storeInterface(s *stats, err error) {
 
 func swapMismatch(s *stats) {
 	s.box.Swap(payloadB{s: "y"}) // want `stores .*payloadB here but .*payloadA at line \d+`
+}
+
+// --- copy-on-write view publication ---
+
+type cowView struct{ m map[string]int }
+
+// The generic atomic.Pointer form is clean by construction: every access
+// goes through Load/Store methods, so no plain access can race with them.
+// This is the shape the histstore shard views use.
+type cowStore struct {
+	mu   sync.Mutex
+	view atomic.Pointer[cowView]
+}
+
+func (s *cowStore) read(k string) int {
+	v := s.view.Load()
+	if v == nil {
+		return 0
+	}
+	return v.m[k]
+}
+
+func (s *cowStore) publish(k string, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.view.Load()
+	nm := make(map[string]int, len(old.m)+1)
+	for key, val := range old.m {
+		nm[key] = val
+	}
+	nm[k] = n
+	s.view.Store(&cowView{m: nm})
+}
+
+// The legacy unsafe.Pointer form has no such protection: the same field is
+// reachable plainly, and mixing the two is the data race the atomic methods
+// exist to prevent.
+type legacyCow struct {
+	view unsafe.Pointer // *cowView
+}
+
+func (s *legacyCow) read() *cowView {
+	return (*cowView)(atomic.LoadPointer(&s.view))
+}
+
+func (s *legacyCow) publish(v *cowView) {
+	atomic.StorePointer(&s.view, unsafe.Pointer(v))
+}
+
+func (s *legacyCow) torn() *cowView {
+	return (*cowView)(s.view) // want `field view is accessed atomically .* but plainly here`
 }

@@ -6,6 +6,7 @@ package a
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 type counter struct {
@@ -21,7 +22,7 @@ var errBoom = errors.New("boom")
 func earlyReturn(c *counter, fail bool) error {
 	c.mu.Lock()
 	if fail {
-		return errBoom // want `returns while c\.mu \(locked at line 22\) is still held`
+		return errBoom // want `returns while c\.mu \(locked at line 23\) is still held`
 	}
 	c.mu.Unlock()
 	return nil
@@ -30,11 +31,11 @@ func earlyReturn(c *counter, fail bool) error {
 func fallsOffEnd(c *counter) {
 	c.mu.Lock()
 	c.n++
-} // want `returns while c\.mu \(locked at line 31\) is still held`
+} // want `returns while c\.mu \(locked at line 32\) is still held`
 
 func doubleLock(c *counter) {
 	c.mu.Lock()
-	c.mu.Lock() // want `Lock of c\.mu while it is already held \(locked at line 36\); this deadlocks`
+	c.mu.Lock() // want `Lock of c\.mu while it is already held \(locked at line 37\); this deadlocks`
 	c.mu.Unlock()
 }
 
@@ -47,7 +48,7 @@ func upgrade(c *counter) {
 
 func mismatch(c *counter) {
 	c.rw.RLock()
-	c.rw.Unlock() // want `Unlock of c\.rw releases a read lock \(RLock at line 49\); use RUnlock`
+	c.rw.Unlock() // want `Unlock of c\.rw releases a read lock \(RLock at line 50\); use RUnlock`
 }
 
 func (c *counter) incr() {
@@ -59,7 +60,7 @@ func (c *counter) incr() {
 func (c *counter) reacquires() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.incr() // want `call to incr re-acquires c\.mu, which is already held \(locked at line 60\); this deadlocks`
+	c.incr() // want `call to incr re-acquires c\.mu, which is already held \(locked at line 61\); this deadlocks`
 }
 
 // chained reaches incr's Lock through an intermediate same-package call.
@@ -173,4 +174,80 @@ func (c *counter) doublePeek() int {
 	c.rw.RLock()
 	defer c.rw.RUnlock()
 	return c.peek()
+}
+
+// --- the "// swapped under <field>" copy-on-write discipline ---
+
+type view struct{ m map[string]int }
+
+type cow struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	view atomic.Pointer[view] // swapped under mu
+	rv   atomic.Pointer[view] // swapped under rw
+}
+
+// Readers Load freely from anywhere: no lock, no finding.
+func (c *cow) read(k string) int {
+	v := c.view.Load()
+	if v == nil {
+		return 0
+	}
+	return v.m[k]
+}
+
+// The writer protocol: clone and swap with the guard write-held.
+func (c *cow) publish(k string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.view.Load()
+	nm := make(map[string]int, len(old.m)+1)
+	for key, val := range old.m {
+		nm[key] = val
+	}
+	nm[k] = n
+	c.view.Store(&view{m: nm})
+}
+
+func (c *cow) unguardedStore(v *view) {
+	c.view.Store(v) // want `Store of c\.view, which is declared // swapped under mu, but c\.mu is not write-held here`
+}
+
+func (c *cow) unguardedSwap(v *view) *view {
+	return c.view.Swap(v) // want `Swap of c\.view, which is declared // swapped under mu, but c\.mu is not write-held here`
+}
+
+func (c *cow) unguardedCAS(old, v *view) bool {
+	return c.view.CompareAndSwap(old, v) // want `CompareAndSwap of c\.view, which is declared // swapped under mu`
+}
+
+// A read lock does not serialize writers: swapping under RLock still races.
+func (c *cow) storeUnderRLock(v *view) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.rv.Store(v) // want `Store of c\.rv, which is declared // swapped under rw, but c\.rw is not write-held here`
+}
+
+func (c *cow) storeUnderWriteLock(v *view) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.rv.Store(v)
+}
+
+// Constructors publish into values nobody else can see yet.
+func newCow() *cow {
+	c := &cow{}
+	c.view.Store(&view{m: map[string]int{}})
+	return c
+}
+
+// *Locked functions run inside the caller's critical section by contract.
+func (c *cow) swapLocked(v *view) {
+	c.view.Store(v)
+}
+
+type badSwap struct {
+	mu sync.Mutex
+	// swapped under missing
+	p atomic.Pointer[view] // want `// swapped under missing: the struct has no field named missing`
 }

@@ -4,7 +4,8 @@
 // selection when several systems are available, to co-allocate resources
 // from multiple systems, to schedule other activities, and so forth."
 // A scheduler (or metascheduler) feeds completions to /v1/observe and asks
-// /v1/predict for run times and /v1/predictwait for queue waits.
+// /v1/predict for run times (/v1/predict/batch to score a whole queue in
+// one request) and /v1/predictwait for queue waits.
 //
 // The server guards the predictor with a read-write mutex: observations
 // and checkpoints take the write lock, while predictions — which never
@@ -194,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/observe", s.instrument("observe", s.handleObserve))
 	mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("/v1/predict/batch", s.instrument("predict_batch", s.handlePredictBatch))
 	mux.HandleFunc("/v1/predictwait", s.instrument("predictwait", s.handlePredictWait))
 	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
@@ -487,6 +489,63 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		resp.Points = det.N
 	} else {
 		resp.Seconds = job.MaxRunTime
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxPredictBatch bounds one /v1/predict/batch request. It is generous —
+// one scheduling pass over a large queue fits comfortably — while keeping a
+// single request from monopolizing the server.
+const maxPredictBatch = 10000
+
+// PredictBatchRequest asks for run-time predictions for many jobs at once.
+// Batching amortizes request overhead and category resolution: within one
+// batch every distinct category is resolved against the history at most
+// once, so all jobs are scored from the same consistent snapshot — exactly
+// what a scheduler wants when ranking a whole queue in one pass.
+type PredictBatchRequest struct {
+	Jobs []PredictRequest `json:"jobs"`
+}
+
+// PredictBatchResponse carries one PredictResponse per requested job, in
+// request order.
+type PredictBatchResponse struct {
+	Results []PredictResponse `json:"results"`
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req PredictBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) > maxPredictBatch {
+		errorJSON(w, http.StatusBadRequest, "batch of %d jobs exceeds limit %d",
+			len(req.Jobs), maxPredictBatch)
+		return
+	}
+	items := make([]core.BatchItem, len(req.Jobs))
+	jobs := make([]*workload.Job, len(req.Jobs))
+	for i := range req.Jobs {
+		jobs[i] = req.Jobs[i].Job.toJob()
+		items[i] = core.BatchItem{Job: jobs[i], Age: req.Jobs[i].Age}
+	}
+	s.mu.RLock()
+	res := s.pred.PredictDetailedBatchCtx(r.Context(), items)
+	s.mu.RUnlock()
+	resp := PredictBatchResponse{Results: make([]PredictResponse, len(res))}
+	for i, br := range res {
+		pr := PredictResponse{OK: br.OK}
+		if br.OK {
+			s.mPredictOK.Inc()
+			pr.Seconds = br.Seconds
+			pr.Interval = br.Interval
+			pr.Template = br.Template
+			pr.Points = br.N
+		} else {
+			s.mPredictMiss.Inc()
+			pr.Seconds = jobs[i].MaxRunTime
+		}
+		resp.Results[i] = pr
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -86,6 +86,61 @@ func TestPredictFallsBackToMaxRT(t *testing.T) {
 	}
 }
 
+func TestPredictBatchEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// No history yet: every item misses and falls back to its max run time,
+	// exactly like /v1/predict.
+	var br PredictBatchResponse
+	resp := post(t, ts.URL+"/v1/predict/batch", PredictBatchRequest{Jobs: []PredictRequest{
+		{Job: job(100, "nobody", 4, 0, 999)},
+	}}, &br)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if len(br.Results) != 1 || br.Results[0].OK || br.Results[0].Seconds != 999 {
+		t.Fatalf("miss = %+v, want fallback 999", br.Results)
+	}
+
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/v1/observe", ObserveRequest{Job: job(i, "alice", 8, 600, 1200)}, nil)
+	}
+	resp = post(t, ts.URL+"/v1/predict/batch", PredictBatchRequest{Jobs: []PredictRequest{
+		{Job: job(99, "alice", 8, 0, 1200)},
+		{Job: job(101, "alice", 8, 0, 1200), Age: 100},
+	}}, &br)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if len(br.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(br.Results))
+	}
+	// Item 0 must match the single-prediction endpoint bit-for-bit.
+	var single PredictResponse
+	post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(99, "alice", 8, 0, 1200)}, &single)
+	if br.Results[0] != single {
+		t.Fatalf("batch result %+v != single %+v", br.Results[0], single)
+	}
+	if !br.Results[0].OK || br.Results[0].Seconds != 600 {
+		t.Fatalf("hit = %+v, want 600s", br.Results[0])
+	}
+	if !br.Results[1].OK {
+		t.Fatalf("aged item = %+v, want a hit", br.Results[1])
+	}
+
+	// Empty batch is legal and returns an empty result list.
+	post(t, ts.URL+"/v1/predict/batch", PredictBatchRequest{}, &br)
+	if len(br.Results) != 0 {
+		t.Fatalf("empty batch returned %d results", len(br.Results))
+	}
+
+	// Oversized batches are rejected up front.
+	resp = post(t, ts.URL+"/v1/predict/batch",
+		PredictBatchRequest{Jobs: make([]PredictRequest, maxPredictBatch+1)}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestPredictWaitEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
 	// Machine: 64 nodes; one running job holds all of them until t=500

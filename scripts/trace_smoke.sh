@@ -7,7 +7,9 @@
 #   - /v1/traces is well-formed JSON, enabled, and contains a predict trace
 #     that decomposes into the named child spans (core.predict,
 #     template_match, histstore.view) plus an observe trace reaching the
-#     WAL append;
+#     WAL append and a batch trace (core.predict_batch);
+#   - /v1/predict/batch returns one result per job, its hit agrees with the
+#     single-job endpoint, and its miss falls back to the job's maximum;
 #   - /v1/accuracy reports the scored completions ("all" stream with a
 #     positive count and drift state);
 #   - /v1/metrics serves JSON by default and Prometheus text exposition
@@ -51,6 +53,15 @@ go build -o "${BIN}" ./cmd/qwaitd
 PID=$!
 wait_ready
 
+# Batch predict against the empty store: a job with no history must come
+# back as a miss falling back to its own maximum run time.
+BATCH="${WORK}/batch.json"
+curl -sf -X POST "http://${ADDR}/v1/predict/batch" \
+    -d '{"jobs":[{"job":{"id":101,"user":"nobody","executable":"none","nodes":64,"maxRunTime":555}}]}' \
+    >"${BATCH}"
+grep -q '"ok":false' "${BATCH}" || fail "batch predict on empty store was not a miss"
+grep -q '"seconds":555' "${BATCH}" || fail "batch miss did not fall back to maxRunTime"
+
 # Traffic: completions for two users, then predictions over the history.
 i=0
 for u in alice bob; do
@@ -64,6 +75,16 @@ done
 curl -sf -X POST "http://${ADDR}/v1/predict" \
     -d '{"job":{"id":99,"user":"alice","executable":"alice/app","nodes":4,"maxRunTime":7200}}' \
     >/dev/null
+# Batch predict over the history: two jobs in one request; the response
+# carries one result per job, in order, and the first must agree with the
+# single-job endpoint's answer for the same job.
+curl -sf -X POST "http://${ADDR}/v1/predict/batch" \
+    -d '{"jobs":[{"job":{"id":99,"user":"alice","executable":"alice/app","nodes":4,"maxRunTime":7200}},{"job":{"id":102,"user":"bob","executable":"bob/app","nodes":4,"maxRunTime":3600}}]}' \
+    >"${BATCH}"
+SINGLE=$(curl -sf -X POST "http://${ADDR}/v1/predict" \
+    -d '{"job":{"id":99,"user":"alice","executable":"alice/app","nodes":4,"maxRunTime":7200}}')
+FIRST=$(sed 's/.*"results":\[\([^]]*\)\].*/\1/; s/},{.*/}/' "${BATCH}")
+[ "${FIRST}" = "${SINGLE}" ] || fail "batch result [0] (${FIRST}) != single predict (${SINGLE})"
 curl -sf -X POST "http://${ADDR}/v1/predictwait" \
     -d '{"now":1000,"policy":"Backfill","target":{"id":100,"user":"bob","executable":"bob/app","nodes":4,"maxRunTime":3600,"submitTime":1000},"queue":[{"id":100,"user":"bob","executable":"bob/app","nodes":4,"maxRunTime":3600,"submitTime":1000}],"running":[]}' \
     >/dev/null
@@ -73,7 +94,7 @@ TRACES="${WORK}/traces.json"
 curl -sf "http://${ADDR}/v1/traces" >"${TRACES}"
 grep -q '"enabled":true' "${TRACES}" || fail "/v1/traces not enabled"
 grep -q '"http.predict"' "${TRACES}" || fail "no http.predict trace kept"
-for span in core.predict template_match histstore.view histstore.insert histstore.wal_append waitpred.simulate; do
+for span in core.predict core.predict_batch template_match histstore.view histstore.insert histstore.wal_append waitpred.simulate; do
     grep -q "\"${span}\"" "${TRACES}" || fail "trace missing span ${span}"
 done
 
