@@ -1,18 +1,21 @@
 // Command repolint runs the repository's custom static-analysis suite
 // (internal/lint) over the module: detrand, wallclock, floatcmp, errdrop,
-// and obsnames — the invariants that keep the paper's tables reproducible
-// and the service's telemetry parseable.
+// obsnames, lockflow, ctxflow, atomicfield, hotpath, and goleak — the
+// invariants that keep the paper's tables reproducible, the service
+// deadlock- and leak-free, and the predict hot path cheap.
 //
 // Usage:
 //
-//	repolint [-checks detrand,wallclock,...] [-format text|json] [packages]
+//	repolint [-checks detrand,wallclock,...] [-format text|json|sarif] [packages]
 //
 // Packages default to ./... (the whole module). Diagnostics print as
 // file:line:col: message [check] (paths relative to the working directory
-// when possible), or as a JSON array with -format json for editor and CI
-// tooling; the exit status is 1 when any diagnostic is reported, 2 on
-// usage or load errors. Suppress an individual finding with a justified
-// directive:
+// when possible), as a JSON array with -format json for editor and CI
+// tooling, or as a SARIF 2.1.0 log with -format sarif for GitHub code
+// scanning. The exit status is 0 when clean, 1 when any diagnostic is
+// reported, and 2 on usage, load, or type-check errors — CI can therefore
+// distinguish "the tree has findings" from "the tool could not run".
+// Suppress an individual finding with a justified directive:
 //
 //	//lint:allow wallclock measures real request latency
 package main
@@ -43,12 +46,12 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	checks := fs.String("checks", "all", "comma-separated checks to run (see -list)")
 	list := fs.Bool("list", false, "list the available checks and exit")
 	dir := fs.String("C", "", "run as if started in this directory (module root autodetected from it)")
-	format := fs.String("format", "text", "output format: text (file:line:col) or json")
+	format := fs.String("format", "text", "output format: text (file:line:col), json, or sarif")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil
 	}
-	if *format != "text" && *format != "json" {
-		return 2, fmt.Errorf("unknown -format %q (want text or json)", *format)
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		return 2, fmt.Errorf("unknown -format %q (want text, json, or sarif)", *format)
 	}
 	if *list {
 		for _, a := range lint.All() {
@@ -81,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) (int, error) {
 	switch *format {
 	case "json":
 		if err := writeJSON(stdout, diags); err != nil {
+			return 2, err
+		}
+	case "sarif":
+		if err := writeSARIF(stdout, analyzers, diags); err != nil {
 			return 2, err
 		}
 	default:

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -76,5 +78,140 @@ func TestRealTreeIsClean(t *testing.T) {
 	}
 	if code != 0 {
 		t.Fatalf("repolint ./... exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// writeTempModule lays down a one-package module for driving the binary
+// end-to-end against known-dirty or known-broken trees.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestExitCodeOneOnFindings pins the exit-code contract: findings exit 1,
+// with no tool error.
+func TestExitCodeOneOnFindings(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"a.go": "package a\n\nimport \"os\"\n\nfunc f() { os.Remove(\"x\") }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", dir, "-checks", "errdrop", "./..."}, &stdout, &stderr)
+	if err != nil || code != 1 {
+		t.Fatalf("run over a dirty tree = %d, %v; want exit 1 and no error\n%s", code, err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "errdrop") {
+		t.Errorf("finding not printed:\n%s", stdout.String())
+	}
+}
+
+// TestExitCodeTwoOnTypeError pins the other half of the contract: a tree
+// that does not type-check exits 2, so CI can tell "findings" from "the
+// tool could not run".
+func TestExitCodeTwoOnTypeError(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"a.go": "package a\n\nfunc f() { undefined() }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 2 || err == nil {
+		t.Fatalf("run over a broken tree = %d, %v; want exit 2 and an error", code, err)
+	}
+}
+
+// TestSARIFFormat runs over a dirty tree and checks the SARIF log's shape:
+// schema fields, rule metadata for the selected analyzer, and a result
+// pointing at the finding.
+func TestSARIFFormat(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"a.go": "package a\n\nimport \"os\"\n\nfunc f() { os.Remove(\"x\") }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", dir, "-checks", "errdrop", "-format", "sarif", "./..."}, &stdout, &stderr)
+	if err != nil || code != 1 {
+		t.Fatalf("run = %d, %v\n%s", code, err, stderr.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want SARIF 2.1.0 with one run, got version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "repolint" {
+		t.Errorf("driver name = %q, want repolint", run0.Tool.Driver.Name)
+	}
+	if len(run0.Tool.Driver.Rules) != 1 || run0.Tool.Driver.Rules[0].ID != "errdrop" {
+		t.Errorf("want one rule 'errdrop', got %+v", run0.Tool.Driver.Rules)
+	}
+	if len(run0.Results) != 1 {
+		t.Fatalf("want one result, got %d", len(run0.Results))
+	}
+	r := run0.Results[0]
+	if r.RuleID != "errdrop" || r.Level != "error" || r.Message.Text == "" {
+		t.Errorf("result = %+v", r)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if !strings.HasSuffix(loc.ArtifactLocation.URI, "a.go") || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" || loc.Region.StartLine != 5 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
+// TestSARIFCleanRunIsValid asserts a clean run still emits a well-formed
+// log with rule metadata and an empty (not absent) results array.
+func TestSARIFCleanRunIsValid(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", "..", "-format", "sarif", "-checks", "detrand", "./internal/lint/cfg"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v\n%s", code, err, stderr.String())
+	}
+	var log struct {
+		Runs []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run must have one run with an empty results array:\n%s", stdout.String())
 	}
 }

@@ -94,8 +94,8 @@ func estimateWith(c *histstore.Category, t Template, nodes int, age int64, level
 				return
 			}
 		}
-		ys = append(ys, y)
-		xs = append(xs, p.Nodes)
+		ys = append(ys, y)       //lint:allow hotpath general-path sample collection, sized by the category history caps; part of the committed allocs/op floor
+		xs = append(xs, p.Nodes) //lint:allow hotpath general-path sample collection; part of the committed allocs/op floor
 	})
 	if len(ys) < need {
 		return 0, 0, false

@@ -125,15 +125,15 @@ func (t Template) Applicable(chars workload.CharMask, hasMaxRT bool) bool {
 // combinations under different templates stay distinct.
 func (t Template) Key(idx int, j *workload.Job) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d", idx)
+	fmt.Fprintf(&b, "%d", idx) //lint:allow hotpath key rendering is the measured allocs/op floor of the committed BENCH trajectory
 	for _, c := range t.Chars.Chars() {
-		b.WriteByte('|')
-		b.WriteString(j.Characteristic(c))
+		b.WriteByte('|')                   //lint:allow hotpath builder growth is part of the key-rendering floor
+		b.WriteString(j.Characteristic(c)) //lint:allow hotpath builder growth is part of the key-rendering floor
 	}
 	if t.UseNodes {
-		fmt.Fprintf(&b, "|n%d", t.nodeBucket(j.Nodes))
+		fmt.Fprintf(&b, "|n%d", t.nodeBucket(j.Nodes)) //lint:allow hotpath key rendering is part of the committed allocs/op floor
 	}
-	return b.String()
+	return b.String() //lint:allow hotpath one string per key is the floor the bench gate tracks
 }
 
 // String renders the template like the paper, e.g. "(u,e,n=4,h=1024,rel,age,mean)".

@@ -286,15 +286,17 @@ func (v *shardView) withKey(key string, h *catHandle) *shardView {
 // returned category is never mutated afterwards — an insert racing with
 // Get builds and publishes a successor snapshot instead — so the caller
 // may read it for as long as it likes, but must not modify it.
+//
+// hotpath: no-lock no-alloc no-clock
 func (s *Store) Get(key string) (*Category, bool) {
 	m := s.metrics.Load()
 	var start time.Time
 	if m != nil {
-		start = time.Now()
+		start = time.Now() //lint:allow hotpath self-instrumentation: the predict-latency metric needs the clock; skipped when metrics are off
 	}
 	c, ok := s.get(key)
 	if m != nil {
-		m.predictLat.Observe(time.Since(start).Seconds())
+		m.predictLat.Observe(time.Since(start).Seconds()) //lint:allow hotpath self-instrumentation clock read; skipped when metrics are off
 	}
 	return c, ok
 }
@@ -302,6 +304,8 @@ func (s *Store) Get(key string) (*Category, bool) {
 // GetCtx is Get with the lookup recorded as a child span of the trace
 // active in ctx ("histstore.view", category and hit attributes). Without
 // an active trace it is exactly Get.
+//
+// hotpath: exempt span plumbing runs only when a trace is sampled; untraced requests take Get directly
 func (s *Store) GetCtx(ctx context.Context, key string) (*Category, bool) {
 	_, sp := trace.StartSpan(ctx, "histstore.view")
 	if sp == nil {
@@ -329,6 +333,8 @@ func (s *Store) get(key string) (*Category, bool) {
 // reports whether the key exists. Reads are lock-free; f must not mutate
 // the snapshot (retaining it is safe — it is immutable). Kept alongside
 // Get for callers structured around a visitor.
+//
+// hotpath: no-lock no-alloc no-clock
 func (s *Store) View(key string, f func(*Category)) bool {
 	c, ok := s.Get(key)
 	if ok {

@@ -1,0 +1,437 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/callgraph"
+)
+
+// pkgSrc is one test package: an import path and a single file body.
+type pkgSrc struct {
+	path string
+	src  string
+}
+
+// load type-checks the packages in order (dependencies first) and wires a
+// Graph over them, mirroring how the lint runner feeds the loader's state.
+func load(t *testing.T, pkgs ...pkgSrc) (*callgraph.Graph, map[string]*callgraph.Source) {
+	t.Helper()
+	fset := token.NewFileSet()
+	sources := make(map[string]*callgraph.Source)
+	typed := make(map[string]*types.Package)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := typed[path]; ok {
+			return p, nil
+		}
+		return importer.Default().Import(path)
+	})
+	for _, p := range pkgs {
+		f, err := parser.ParseFile(fset, p.path+"/a.go", p.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", p.path, err)
+		}
+		info := &types.Info{
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(p.path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", p.path, err)
+		}
+		typed[p.path] = tp
+		sources[p.path] = &callgraph.Source{Path: p.path, Files: []*ast.File{f}, Types: tp, Info: info}
+	}
+	g := callgraph.New(fset,
+		func(path string) *callgraph.Source { return sources[path] },
+		func() []*callgraph.Source {
+			var all []*callgraph.Source
+			for _, p := range pkgs {
+				all = append(all, sources[p.path])
+			}
+			return all
+		})
+	return g, sources
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// fn looks up a top-level function node by name.
+func fn(t *testing.T, g *callgraph.Graph, src *callgraph.Source, name string) *callgraph.Node {
+	t.Helper()
+	obj := src.Types.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("no top-level object %q in %s", name, src.Path)
+	}
+	n := g.NodeOf(obj.(*types.Func))
+	if n == nil {
+		t.Fatalf("no node for %q", name)
+	}
+	return n
+}
+
+// chainNames renders a finding's chain as "a → b → c".
+func chainNames(f callgraph.Finding) string {
+	var parts []string
+	for _, s := range f.Chain {
+		parts = append(parts, s.Node.Name())
+	}
+	return strings.Join(parts, " → ")
+}
+
+func TestReachTransitiveLockWithChain(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "sync"
+
+var mu sync.Mutex
+
+func top() { middle() }
+func middle() { leaf() }
+func leaf() { mu.Lock(); defer mu.Unlock() }
+`})
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Lock, nil)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Effect.Kind != callgraph.Lock {
+		t.Errorf("kind = %v, want lock", f.Effect.Kind)
+	}
+	if got, want := chainNames(f), "top → middle → leaf"; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	if !strings.Contains(f.Effect.Desc, "sync.Mutex") {
+		t.Errorf("desc = %q, want mention of sync.Mutex", f.Effect.Desc)
+	}
+	// Every step but the last carries the call site inside that step.
+	for i, s := range f.Chain {
+		if (s.Site == token.NoPos) != (i == len(f.Chain)-1) {
+			t.Errorf("step %d (%s): site validity wrong", i, s.Node.Name())
+		}
+	}
+}
+
+func TestReachThroughClosureAndClock(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "time"
+
+func top() {
+	f := func() { _ = time.Now() }
+	f()
+}
+`})
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Clock, nil)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1", len(findings))
+	}
+	if got := chainNames(findings[0]); got != "top → func literal in top" {
+		t.Errorf("chain = %q", got)
+	}
+}
+
+func TestReachMethodValueReference(t *testing.T) {
+	// leaf is never called syntactically — only referenced as a value —
+	// and must still be on the graph.
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Locked() { s.mu.Lock() }
+
+func top(s *S) func() {
+	return s.Locked
+}
+`})
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Lock, nil)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	if got := chainNames(findings[0]); got != "top → Locked" {
+		t.Errorf("chain = %q", got)
+	}
+}
+
+func TestReachInterfaceDispatch(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "time"
+
+type Doer interface{ Do() }
+
+type Slow struct{}
+
+func (Slow) Do() { _ = time.Now() }
+
+type Fast struct{}
+
+func (Fast) Do() {}
+
+func top(d Doer) { d.Do() }
+`})
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Clock, nil)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (via Slow.Do): %+v", len(findings), findings)
+	}
+	if got := chainNames(findings[0]); got != "top → Do" {
+		t.Errorf("chain = %q", got)
+	}
+}
+
+func TestReachCrossPackage(t *testing.T) {
+	g, srcs := load(t,
+		pkgSrc{path: "dep", src: `package dep
+
+import "sync"
+
+var mu sync.Mutex
+
+func Grab() { mu.Lock() }
+`},
+		pkgSrc{path: "a", src: `package a
+
+import "dep"
+
+func top() { dep.Grab() }
+`})
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Lock, nil)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	if got := chainNames(findings[0]); got != "top → Grab" {
+		t.Errorf("chain = %q", got)
+	}
+}
+
+func TestReachBoundarySubtractsGuaranteedKinds(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "sync"
+
+var mu sync.Mutex
+
+func top() { helper() }
+func helper() { mu.Lock(); m := map[int]int{}; m[1] = 2 }
+`})
+	helper := fn(t, g, srcs["a"], "helper")
+	boundary := func(n *callgraph.Node) callgraph.EffectKind {
+		if n == helper {
+			return callgraph.Lock // helper guarantees no-lock under its own contract
+		}
+		return 0
+	}
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Lock|callgraph.Alloc, boundary)
+	for _, f := range findings {
+		if f.Effect.Kind == callgraph.Lock {
+			t.Errorf("lock finding survived a lock boundary: %+v", f)
+		}
+	}
+	var allocs int
+	for _, f := range findings {
+		if f.Effect.Kind == callgraph.Alloc {
+			allocs++
+		}
+	}
+	if allocs == 0 {
+		t.Error("alloc findings should pass through a lock-only boundary")
+	}
+}
+
+func TestEffectsAllocationKinds(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+type T struct{ X int }
+
+func sink(any) {}
+
+func allocs(s string, m map[string]int, xs []int, n int) {
+	_ = make([]int, n)
+	_ = new(T)
+	xs = append(xs, 1)
+	_ = &T{X: 1}
+	_ = []int{1, 2}
+	m[s] = 1
+	_ = s + s
+	_ = []byte(s)
+	sink(n)
+}
+`})
+	effs := g.Effects(fn(t, g, srcs["a"], "allocs"))
+	descs := make(map[string]bool)
+	for _, e := range effs {
+		if e.Kind != callgraph.Alloc {
+			t.Errorf("unexpected non-alloc effect: %+v", e)
+		}
+		descs[e.Desc] = true
+	}
+	for _, want := range []string{
+		"allocates (make)",
+		"allocates (new)",
+		"allocates (append may grow)",
+		"allocates (pointer to composite literal)",
+		"allocates (slice literal)",
+		"map write",
+		"allocates (string concatenation)",
+		"allocates (string conversion)",
+		"allocates (boxes int into interface)",
+	} {
+		if !descs[want] {
+			t.Errorf("missing effect %q; got %v", want, descs)
+		}
+	}
+}
+
+func TestEffectsValueStructLiteralIsNotAlloc(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+type T struct{ X, Y int }
+
+func clean(x int) T {
+	return T{X: x, Y: x}
+}
+`})
+	if effs := g.Effects(fn(t, g, srcs["a"], "clean")); len(effs) != 0 {
+		t.Errorf("value struct literal flagged: %+v", effs)
+	}
+}
+
+func TestEffectsChanAndGo(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+func chans(c chan int, done chan struct{}) {
+	c <- 1
+	<-c
+	select {
+	case <-done:
+	case c <- 2:
+	}
+	for range c {
+	}
+	go drain(c)
+}
+
+func nonblocking(c chan int) {
+	select {
+	case <-c:
+	default:
+	}
+}
+
+func drain(c chan int) {
+	for range c {
+	}
+}
+`})
+	var chanEffs, goEffs int
+	for _, e := range g.Effects(fn(t, g, srcs["a"], "chans")) {
+		switch e.Kind {
+		case callgraph.Chan:
+			chanEffs++
+		case callgraph.Go:
+			goEffs++
+		}
+	}
+	// send, receive, blocking select (+ its comm ops), range-over-chan.
+	if chanEffs < 4 {
+		t.Errorf("chan effects = %d, want >= 4", chanEffs)
+	}
+	if goEffs != 1 {
+		t.Errorf("go effects = %d, want 1", goEffs)
+	}
+	// A select with default is non-blocking; only the receive inside the
+	// comm clause counts.
+	for _, e := range g.Effects(fn(t, g, srcs["a"], "nonblocking")) {
+		if e.Desc == "blocking select" {
+			t.Errorf("select with default flagged as blocking")
+		}
+	}
+}
+
+func TestDiverges(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "context"
+
+func forever() {
+	for {
+	}
+}
+
+func indirect() {
+	forever()
+}
+
+func ctxLoop(ctx context.Context, tick chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		}
+	}
+}
+
+func rangeLoop(c chan int) {
+	for range c {
+	}
+}
+
+func recurse(n int) {
+	if n > 0 {
+		recurse(n - 1)
+	}
+}
+
+func emptySelect() {
+	select {}
+}
+`})
+	src := srcs["a"]
+	for name, want := range map[string]bool{
+		"forever":     true,
+		"indirect":    true,
+		"ctxLoop":     false,
+		"rangeLoop":   false,
+		"recurse":     false,
+		"emptySelect": true,
+	} {
+		if got := g.Diverges(fn(t, g, src, name)); got != want {
+			t.Errorf("Diverges(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestReachDedupAndCycles(t *testing.T) {
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "sync"
+
+var mu sync.Mutex
+
+func top() {
+	left()
+	right()
+	top() // cycle must not loop the walk
+}
+func left() { grab() }
+func right() { grab() }
+func grab() { mu.Lock() }
+`})
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Lock, nil)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (dedup by effect site): %+v", len(findings), findings)
+	}
+}

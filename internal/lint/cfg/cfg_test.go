@@ -369,3 +369,97 @@ func f() int {
 		t.Errorf("statements after return must collect in a predecessor-less block:\n%s", g)
 	}
 }
+
+func TestSelectDefaultKeepsFollowingCodeReachable(t *testing.T) {
+	g := buildFunc(t, `
+func f(ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		idle()
+	}
+	after()
+}`)
+	joins := kindBlocks(g, "select.done")
+	if len(joins) != 1 {
+		t.Fatalf("want 1 select.done block:\n%s", g)
+	}
+	// With a default clause the select cannot block: both the comm case and
+	// the default flow into the join, and the code after it stays live.
+	if len(joins[0].Preds) != 2 {
+		t.Errorf("select.done should join the case and the default, got %d preds:\n%s", len(joins[0].Preds), g)
+	}
+	afters := blocksWithNode(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "after"
+	})
+	if len(afters) != 1 || !reachable(g)[afters[0]] {
+		t.Errorf("after() must stay reachable past a select with default:\n%s", g)
+	}
+}
+
+func TestLabeledBranchOutOfForSelect(t *testing.T) {
+	g := buildFunc(t, `
+func f(done chan int, tick chan int) {
+outer:
+	for {
+		select {
+		case <-done:
+			break outer
+		case <-tick:
+			continue outer
+		}
+	}
+	after()
+}`)
+	heads := kindBlocks(g, "for.head")
+	dones := kindBlocks(g, "for.done")
+	if len(heads) != 1 || len(dones) != 1 {
+		t.Fatalf("want one for.head and one for.done:\n%s", g)
+	}
+	// An unlabeled break would target the select; the label must carry it
+	// past the select to the loop's done block...
+	brks := blocksWithNode(g, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.BREAK
+	})
+	if len(brks) != 1 || !hasSucc(brks[0], dones[0]) {
+		t.Errorf("break outer must edge to for.done, past the enclosing select:\n%s", g)
+	}
+	// ...and continue outer must re-enter the loop head.
+	conts := blocksWithNode(g, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.CONTINUE
+	})
+	if len(conts) != 1 || !hasSucc(conts[0], heads[0]) {
+		t.Errorf("continue outer must edge back to for.head:\n%s", g)
+	}
+	// The only way past an unconditional for is the labeled break.
+	if !reachable(g)[dones[0]] {
+		t.Errorf("for.done must be reachable via break outer:\n%s", g)
+	}
+	afters := blocksWithNode(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "after"
+	})
+	if len(afters) != 1 || !reachable(g)[afters[0]] {
+		t.Errorf("after() must be reachable through the labeled break:\n%s", g)
+	}
+}

@@ -3,6 +3,9 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
+
+	"repro/internal/lint/callgraph"
 )
 
 // CtxFlow enforces trace-context propagation. The tracing layer threads a
@@ -17,6 +20,14 @@ import (
 // context-taking callee while the caller has a perfectly good ctx of its
 // own is reported for the same reason.
 //
+// The severing call need not be direct: a ctx-less helper with no *Ctx
+// sibling of its own can bury the Get call three frames down. When the
+// driver built a call graph, a ctx-holding caller invoking such a helper
+// is reported too, with the path to the API that has a variant. The walk
+// is conservative: it follows static module calls only, and stops at any
+// callee that accepts a ctx itself (that callee's own callers are
+// responsible for what it was given).
+//
 // Only callees whose package the driver loaded with syntax (this module,
 // or fixture packages under test) are held to the rule: the standard
 // library's foo/fooContext pairs have different semantics and stay out of
@@ -25,19 +36,40 @@ var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "Context-propagation analysis: a function holding a " +
 		"context.Context must call the *Ctx variant of any module API " +
-		"that has one, passing its own ctx rather than " +
+		"that has one — directly or through ctx-less helpers (resolved " +
+		"via the call graph) — passing its own ctx rather than " +
 		"context.Background()/TODO(), so trace span trees stay connected.",
 	Run: runCtxFlow,
 }
 
+// ctxDrop is a transitive context-severing path: chain leads from the
+// first callee inside the summarized function to the API that has a *Ctx
+// variant (the chain's last element).
+type ctxDrop struct {
+	chain   []*types.Func
+	variant *types.Func
+}
+
+// ctxAnalysis carries the per-run memo of transitive drop summaries.
+type ctxAnalysis struct {
+	pass     *Pass
+	memo     map[*types.Func]*ctxDrop
+	visiting map[*types.Func]bool
+}
+
 func runCtxFlow(pass *Pass) {
+	a := &ctxAnalysis{
+		pass:     pass,
+		memo:     make(map[*types.Func]*ctxDrop),
+		visiting: make(map[*types.Func]bool),
+	}
 	for _, f := range pass.Pkg.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			ctxWalk(pass, fd.Body, fd.Name.Name, funcTypeHasCtx(pass, fd.Type))
+			a.ctxWalk(fd.Body, fd.Name.Name, funcTypeHasCtx(pass, fd.Type))
 		}
 	}
 }
@@ -48,15 +80,15 @@ func runCtxFlow(pass *Pass) {
 // delegation pattern. Function literals are walked with their own
 // parameter list considered first, falling back to the inherited flag — a
 // closure capturing ctx is as able to propagate it as its parent.
-func ctxWalk(pass *Pass, body *ast.BlockStmt, caller string, hasCtx bool) {
+func (a *ctxAnalysis) ctxWalk(body *ast.BlockStmt, caller string, hasCtx bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			ctxWalk(pass, n.Body, caller, hasCtx || funcTypeHasCtx(pass, n.Type))
+			a.ctxWalk(n.Body, caller, hasCtx || funcTypeHasCtx(a.pass, n.Type))
 			return false
 		case *ast.CallExpr:
 			if hasCtx {
-				checkCall(pass, n, caller)
+				a.checkCall(n, caller)
 			}
 		}
 		return true
@@ -88,7 +120,8 @@ func isContextType(t types.Type) bool {
 }
 
 // checkCall inspects one call made while a ctx is in scope.
-func checkCall(pass *Pass, call *ast.CallExpr, caller string) {
+func (a *ctxAnalysis) checkCall(call *ast.CallExpr, caller string) {
+	pass := a.pass
 	fn := calleeFunc(pass.Pkg.Info, call)
 	if fn == nil || fn.Pkg() == nil {
 		return
@@ -113,6 +146,9 @@ func checkCall(pass *Pass, call *ast.CallExpr, caller string) {
 	}
 	variant := ctxVariant(fn, sig)
 	if variant == nil {
+		// No variant of its own: does it reach one through ctx-less module
+		// helpers the call graph can see?
+		a.checkTransitive(call, fn, sig)
 		return
 	}
 	// The delegation pattern: FooCtx's own body calling Foo is the
@@ -123,6 +159,96 @@ func checkCall(pass *Pass, call *ast.CallExpr, caller string) {
 	pass.Reportf(call.Pos(),
 		"call to %s drops the caller's ctx; call %s with it so the trace stays connected",
 		fn.Name(), variant.Name())
+}
+
+// checkTransitive reports a ctx-holding caller invoking a ctx-less module
+// function whose body reaches, through other ctx-less module functions, an
+// API that does have a *Ctx variant: the context is severed just as surely
+// as by the direct call, only harder to see.
+func (a *ctxAnalysis) checkTransitive(call *ast.CallExpr, fn *types.Func, sig *types.Signature) {
+	if a.pass.Graph == nil || sigHasCtx(sig) {
+		return
+	}
+	d := a.dropOf(fn)
+	if d == nil {
+		return
+	}
+	names := make([]string, 0, len(d.chain)+1)
+	names = append(names, fn.Name())
+	for _, f := range d.chain {
+		names = append(names, f.Name())
+	}
+	target := d.chain[len(d.chain)-1]
+	a.pass.Reportf(call.Pos(),
+		"call to %s drops the caller's ctx before it reaches %s, which has a %s variant; plumb ctx through (path: %s)",
+		fn.Name(), target.Name(), d.variant.Name(), strings.Join(names, " → "))
+}
+
+// dropOf summarizes (memoized) whether fn's body transitively reaches a
+// module API that has a *Ctx variant without a context crossing any hop.
+func (a *ctxAnalysis) dropOf(fn *types.Func) *ctxDrop {
+	if d, done := a.memo[fn]; done {
+		return d
+	}
+	if a.visiting[fn] {
+		return nil // recursion: a severing path surfaces on the acyclic route
+	}
+	a.visiting[fn] = true
+	defer delete(a.visiting, fn)
+	n := a.pass.Graph.NodeOf(fn)
+	var d *ctxDrop
+	if n != nil && n.Decl != nil {
+		d = a.dropFromNode(n, make(map[*callgraph.Node]bool))
+	}
+	a.memo[fn] = d
+	return d
+}
+
+// dropFromNode scans one node's static outgoing edges. Nested function
+// literals count as part of the enclosing function; dynamic (interface
+// dispatch) edges are skipped — over-approximating them here would flag
+// every caller of every interface, which is noise, not analysis.
+func (a *ctxAnalysis) dropFromNode(n *callgraph.Node, seen map[*callgraph.Node]bool) *ctxDrop {
+	if seen[n] {
+		return nil
+	}
+	seen[n] = true
+	for _, e := range a.pass.Graph.Calls(n) {
+		c := e.Callee
+		if e.Dynamic {
+			continue
+		}
+		if c.Fn == nil {
+			if d := a.dropFromNode(c, seen); d != nil {
+				return d
+			}
+			continue
+		}
+		csig, ok := c.Fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if v := ctxVariant(c.Fn, csig); v != nil {
+			return &ctxDrop{chain: []*types.Func{c.Fn}, variant: v}
+		}
+		if sigHasCtx(csig) {
+			continue // takes a ctx itself; what it was handed is its caller's business
+		}
+		if d := a.dropOf(c.Fn); d != nil {
+			return &ctxDrop{chain: append([]*types.Func{c.Fn}, d.chain...), variant: d.variant}
+		}
+	}
+	return nil
+}
+
+// sigHasCtx reports whether any parameter of sig is a context.Context.
+func sigHasCtx(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
 }
 
 // moduleCallee reports whether fn's package was loaded with syntax — the

@@ -1,0 +1,34 @@
+package lint
+
+import "repro/internal/lint/callgraph"
+
+// newCallGraph wires a call graph over the loader's live package state.
+// The callgraph package cannot import lint (lint imports it), so packages
+// cross the boundary as callgraph.Source values; the conversion is
+// memoized per *Package because the graph keys its own caches on Source
+// identity.
+func newCallGraph(l *Loader) *callgraph.Graph {
+	srcs := make(map[*Package]*callgraph.Source)
+	conv := func(p *Package) *callgraph.Source {
+		if p == nil || len(p.Files) == 0 {
+			return nil
+		}
+		if s, ok := srcs[p]; ok {
+			return s
+		}
+		s := &callgraph.Source{Path: p.Path, Files: p.Files, Types: p.Types, Info: p.Info}
+		srcs[p] = s
+		return s
+	}
+	return callgraph.New(l.Fset,
+		func(path string) *callgraph.Source { return conv(l.Loaded(path)) },
+		func() []*callgraph.Source {
+			var all []*callgraph.Source
+			for _, p := range l.AllLoaded() {
+				if s := conv(p); s != nil {
+					all = append(all, s)
+				}
+			}
+			return all
+		})
+}

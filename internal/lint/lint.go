@@ -26,6 +26,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"repro/internal/lint/callgraph"
 )
 
 // Analyzer is one named check. Run inspects a single type-checked package
@@ -55,6 +57,12 @@ type Pass struct {
 	// it whether a callee's package is part of this module before
 	// requiring the *Ctx variant. May be nil in hand-built passes.
 	Lookup func(path string) *Package
+	// Graph is the module-wide call graph shared by every analyzer in one
+	// Run: lazy, memoized, spanning all packages the loader has loaded
+	// with syntax. Interprocedural analyzers (hotpath, goleak, and the
+	// cross-package summaries of lockflow/ctxflow) traverse it. May be
+	// nil in hand-built passes; analyzers must tolerate that.
+	Graph *callgraph.Graph
 
 	diags *[]Diagnostic
 }
@@ -113,6 +121,8 @@ func All() []*Analyzer {
 		LockFlow,
 		CtxFlow,
 		AtomicField,
+		HotPath,
+		GoLeak,
 	}
 }
 

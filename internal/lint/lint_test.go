@@ -22,6 +22,8 @@ func TestLockFlowFixture(t *testing.T)  { linttest.Run(t, lint.LockFlow, "lockfl
 func TestCtxFlowFixture(t *testing.T)   { linttest.Run(t, lint.CtxFlow, "ctxflow/a") }
 
 func TestAtomicFieldFixture(t *testing.T) { linttest.Run(t, lint.AtomicField, "atomicfield/a") }
+func TestHotPathFixture(t *testing.T)     { linttest.Run(t, lint.HotPath, "hotpath/a") }
+func TestGoLeakFixture(t *testing.T)      { linttest.Run(t, lint.GoLeak, "goleak/service") }
 
 // TestDirectives drives the suppression machinery through the directive
 // fixture: justified directives (trailing and standalone) silence their

@@ -36,11 +36,20 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", pkgPath, err)
 	}
-	pkg, err := loader.Load(pkgPath)
-	if err != nil {
+	if _, err := loader.Load(pkgPath); err != nil {
 		t.Fatal(err)
 	}
-	wants := collectWants(t, loader.Fset, pkg.Files)
+	// Interprocedural analyzers report at effect sites in dependency
+	// packages, so want comments are honoured in every fixture package the
+	// load pulled in — not just the analyzed one.
+	fixtureDir := filepath.Join(moduleRoot(t), "internal", "lint", "testdata", "src")
+	var files []*ast.File
+	for _, p := range loader.AllLoaded() {
+		if p.Dir != "" && strings.HasPrefix(p.Dir, fixtureDir+string(filepath.Separator)) {
+			files = append(files, p.Files...)
+		}
+	}
+	wants := collectWants(t, loader.Fset, files)
 
 	for _, d := range diags {
 		key := posKey{d.Pos.Filename, d.Pos.Line}

@@ -99,6 +99,22 @@ func (l *Loader) Loaded(path string) *Package {
 	return nil
 }
 
+// AllLoaded returns every package loaded with syntax so far, sorted by
+// import path for determinism. The runner uses it to collect suppression
+// directives module-wide (interprocedural analyzers report at effect
+// sites in packages other than the one under analysis) and the call
+// graph uses it to enumerate candidate interface implementations.
+func (l *Loader) AllLoaded() []*Package {
+	var out []*Package
+	for _, p := range l.pkgs {
+		if len(p.Files) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // Import implements types.Importer so the type-checker can resolve the
 // imports of whatever package is being loaded.
 func (l *Loader) Import(path string) (*types.Package, error) {

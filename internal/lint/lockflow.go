@@ -21,8 +21,9 @@ import (
 //   - a second Lock of a mutex already held on some path (self-deadlock),
 //     including RLock→Lock upgrades on the same RWMutex;
 //   - a read lock released with Unlock, or a write lock with RUnlock;
-//   - a call into a function of the same package that re-acquires a lock
-//     the caller still holds;
+//   - a call into a module function — same package or, through the call
+//     graph, any other loaded package — that re-acquires a lock the
+//     caller still holds;
 //   - a plain access to a struct field annotated "// guarded by <field>"
 //     outside a critical section of its guard;
 //   - a Store/Swap/CompareAndSwap on a sync/atomic field annotated
@@ -44,7 +45,8 @@ var LockFlow = &Analyzer{
 	Doc: "Lockset flow analysis: reports paths that return while a " +
 		"sync.Mutex/RWMutex is still held without a deferred release, " +
 		"double-Lock self-deadlocks, RLock/Unlock pair mismatches, calls " +
-		"into the same package that re-acquire a held lock, plain " +
+		"into module functions (cross-package, resolved through the call " +
+		"graph) that re-acquire a held lock, plain " +
 		"access to '// guarded by <field>' annotated struct fields " +
 		"outside their guard's critical section, and atomic " +
 		"Store/Swap/CompareAndSwap on '// swapped under <field>' " +
@@ -535,8 +537,11 @@ func (a *lockAnalysis) call(call *ast.CallExpr, st lockState, rctx *reportCtx) {
 		}
 		return
 	}
-	// Same-package callee while holding a lock: consult its summary.
-	if len(st) == 0 || rctx == nil || fn.Pkg() != a.pass.Pkg.Types {
+	// Module callee while holding a lock: consult its acquisition summary.
+	// declFor resolves same-package callees from the local index and
+	// everything else through the call graph, so the check crosses package
+	// boundaries.
+	if len(st) == 0 || rctx == nil {
 		return
 	}
 	summary := a.summarize(fn)
@@ -573,11 +578,29 @@ func (a *lockAnalysis) call(call *ast.CallExpr, st lockState, rctx *reportCtx) {
 	}
 }
 
-// summarize computes (and memoizes) the set of locks a same-package
-// function acquires, directly or through same-package calls on its own
-// receiver: receiver-relative paths for methods, keys for package-level
-// locks. Function literals inside the body run asynchronously or deferred
-// and are excluded.
+// declFor resolves the declaration, type info, and package scope a
+// summary for fn must be computed against: same-package functions come
+// from the local index, everything else from the module call graph (when
+// the driver built one — hand-built passes may run without it).
+func (a *lockAnalysis) declFor(fn *types.Func) (*ast.FuncDecl, *types.Info, *types.Scope) {
+	if fd := a.funcs[fn]; fd != nil {
+		return fd, a.pass.Pkg.Info, a.pass.Pkg.Types.Scope()
+	}
+	if a.pass.Graph != nil {
+		if n := a.pass.Graph.NodeOf(fn); n != nil && n.Decl != nil {
+			return n.Decl, n.Src.Info, n.Src.Types.Scope()
+		}
+	}
+	return nil, nil, nil
+}
+
+// summarize computes (and memoizes) the set of locks a module function
+// acquires, directly or through module calls on its own receiver:
+// receiver-relative paths for methods, keys for package-level locks.
+// Callees in other packages resolve through the call graph, so a held
+// lock handed across a package boundary is still checked. Function
+// literals inside the body run asynchronously or deferred and are
+// excluded.
 func (a *lockAnalysis) summarize(fn *types.Func) []acqEntry {
 	if s, done := a.summaries[fn]; done {
 		return s
@@ -585,7 +608,7 @@ func (a *lockAnalysis) summarize(fn *types.Func) []acqEntry {
 	if a.visiting[fn] {
 		return nil // recursion: the cycle's locks surface on the other path
 	}
-	fd := a.funcs[fn]
+	fd, info, pkgScope := a.declFor(fn)
 	if fd == nil {
 		a.summaries[fn] = nil
 		return nil
@@ -593,12 +616,10 @@ func (a *lockAnalysis) summarize(fn *types.Func) []acqEntry {
 	a.visiting[fn] = true
 	defer delete(a.visiting, fn)
 
-	info := a.pass.Pkg.Info
 	var recvObj types.Object
 	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
 		recvObj = info.Defs[fd.Recv.List[0].Names[0]]
 	}
-	pkgScope := a.pass.Pkg.Types.Scope()
 
 	var out []acqEntry
 	seen := make(map[string]bool)
@@ -644,7 +665,7 @@ func (a *lockAnalysis) summarize(fn *types.Func) []acqEntry {
 			}
 			return true
 		}
-		if cf.Pkg() == a.pass.Pkg.Types && cf != fn {
+		if cf != fn {
 			onOwnRecv := false
 			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && recvObj != nil {
 				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {

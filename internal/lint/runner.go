@@ -90,36 +90,61 @@ func collectDirectives(fset *token.FileSet, pkg *Package) []directive {
 // Run executes the analyzers over the packages, applies //lint:allow
 // suppression, and reports malformed directives. Diagnostics come back
 // sorted by position.
+//
+// Suppression is module-wide: interprocedural analyzers (hotpath) report
+// at effect sites that can live in a *different* package than the one
+// under analysis, and the justification belongs next to the effect, so
+// after the analyzed packages' directives are validated and indexed, the
+// directives of every other package the loader has seen source for are
+// indexed too (without validation — malformed directives are reported
+// only when their own package is analyzed, so they surface exactly once).
 func Run(loader *Loader, analyzers []*Analyzer, paths []string) ([]Diagnostic, error) {
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	var diags []Diagnostic
+	graph := newCallGraph(loader)
+	var diags []Diagnostic // directive findings, reported unconditionally
+	var raw []Diagnostic   // analyzer findings, filtered by suppression below
+
+	// suppressed[file][line][check]: a trailing directive covers its own
+	// line; a standalone directive covers the line below it.
+	suppressed := make(map[string]map[int]map[string]bool)
+	mark := func(file string, line int, check string) {
+		if suppressed[file] == nil {
+			suppressed[file] = make(map[int]map[string]bool)
+		}
+		if suppressed[file][line] == nil {
+			suppressed[file][line] = make(map[string]bool)
+		}
+		suppressed[file][line][check] = true
+	}
+	index := func(d directive) {
+		for _, check := range d.checks {
+			if !known[check] {
+				continue
+			}
+			line := d.pos.Line
+			if d.standalone {
+				line++
+			}
+			mark(d.pos.Filename, line, check)
+		}
+	}
+
+	analyzed := make(map[string]bool)
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			return nil, err
 		}
-		var raw []Diagnostic
+		analyzed[pkg.Path] = true
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Fset: loader.Fset, Pkg: pkg, Lookup: loader.Loaded, diags: &raw}
+			pass := &Pass{Analyzer: a, Fset: loader.Fset, Pkg: pkg, Lookup: loader.Loaded, Graph: graph, diags: &raw}
 			a.Run(pass)
-		}
-		// suppressed[file][line][check]: a trailing directive covers its own
-		// line; a standalone directive covers the line below it.
-		suppressed := make(map[string]map[int]map[string]bool)
-		mark := func(file string, line int, check string) {
-			if suppressed[file] == nil {
-				suppressed[file] = make(map[int]map[string]bool)
-			}
-			if suppressed[file][line] == nil {
-				suppressed[file][line] = make(map[string]bool)
-			}
-			suppressed[file][line][check] = true
 		}
 		for _, d := range collectDirectives(loader.Fset, pkg) {
 			if len(d.checks) == 0 {
@@ -143,19 +168,23 @@ func Run(loader *Loader, analyzers []*Analyzer, paths []string) ([]Diagnostic, e
 						Message: "//lint:allow " + check + " needs a justification after the check name",
 					})
 				}
-				line := d.pos.Line
-				if d.standalone {
-					line++
-				}
-				mark(d.pos.Filename, line, check)
 			}
+			index(d)
 		}
-		for _, d := range raw {
-			if suppressed[d.Pos.Filename][d.Pos.Line][d.Check] {
-				continue
-			}
-			diags = append(diags, d)
+	}
+	for _, pkg := range loader.AllLoaded() {
+		if analyzed[pkg.Path] {
+			continue
 		}
+		for _, d := range collectDirectives(loader.Fset, pkg) {
+			index(d)
+		}
+	}
+	for _, d := range raw {
+		if suppressed[d.Pos.Filename][d.Pos.Line][d.Check] {
+			continue
+		}
+		diags = append(diags, d)
 	}
 	sortDiagnostics(diags)
 	return diags, nil

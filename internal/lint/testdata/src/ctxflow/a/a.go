@@ -85,3 +85,22 @@ func LocalCtx(ctx context.Context, n int) int {
 func dropsLocal(ctx context.Context, n int) int {
 	return Local(n) // want `call to Local drops the caller's ctx; call LocalCtx`
 }
+
+// --- transitive drops through ctx-less helpers ---
+
+// The severing call can hide inside ctx-less helpers: the call graph
+// follows them down to the API that has a variant.
+func dropsTransitively(ctx context.Context, n int) int {
+	return b.Indirect(n) // want `call to Indirect drops the caller's ctx before it reaches Fetch, which has a FetchCtx variant; plumb ctx through \(path: Indirect → hop → Fetch\)`
+}
+
+// Helpers whose call trees never reach a *Ctx-sibling API are fine.
+func cleanTransitively(ctx context.Context, n int) int {
+	return b.PlainIndirect(n)
+}
+
+// The walk stops at context-taking callees: what they were handed is
+// their own callers' business.
+func stopsAtCtxTaker(ctx context.Context, n int) int {
+	return b.Stops(n)
+}

@@ -39,3 +39,16 @@ func SumCtx(ctx context.Context, n int) int {
 	_ = ctx
 	return n
 }
+
+// Indirect is a ctx-less helper with no *Ctx sibling of its own; its body
+// reaches Fetch (which has one) through another hop.
+func Indirect(n int) int { return hop(n) }
+
+func hop(n int) int { return Fetch(n) }
+
+// PlainIndirect only reaches APIs without *Ctx variants.
+func PlainIndirect(n int) int { return Plain(n) }
+
+// Stops hands FetchCtx a fresh root on purpose: it accepts no ctx, so the
+// transitive walk does not descend past a context-taking callee.
+func Stops(n int) int { return FetchCtx(context.Background(), n) }

@@ -1,0 +1,77 @@
+// Package service exercises goleak: goroutines started in daemon
+// packages must have a termination path.
+package service
+
+import "context"
+
+func leakyLiteral(work chan int) {
+	go func() { // want `goroutine runs func literal in leakyLiteral, which can never return`
+		for {
+			<-work
+		}
+	}()
+}
+
+func okCtxLoop(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+func leakyNamed() {
+	go spin() // want `goroutine runs spin, which can never return`
+}
+
+func leakyIndirect() {
+	go wraps() // want `goroutine runs wraps, which can never return`
+}
+
+// wraps diverges only through its callee.
+func wraps() {
+	spin()
+}
+
+func okRange(c chan int) {
+	go func() {
+		for range c {
+		}
+	}()
+}
+
+func okStraightLine(errc chan error, f func() error) {
+	go func() { errc <- f() }()
+}
+
+type worker struct{ done chan struct{} }
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		}
+	}
+}
+
+func okMethod(w *worker) {
+	go w.loop()
+}
+
+func justified() {
+	go spin() //lint:allow goleak fixture: process-lifetime worker by design
+}
+
+func unresolvable(f func()) {
+	go f() // indirect: the graph cannot see the target, so no finding
+}

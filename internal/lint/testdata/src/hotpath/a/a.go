@@ -1,0 +1,104 @@
+// Package a exercises the hotpath analyzer: functions declaring a
+// // hotpath: contract must not reach forbidden operations on any call
+// path, with violations reported at the effect site.
+package a
+
+import (
+	"time"
+
+	"hotpath/dep"
+)
+
+// Predict is the clean hot path: arithmetic, value structs, no effects.
+// hotpath: no-lock no-alloc no-clock
+func Predict(x int) int {
+	return helper(x) + 1
+}
+
+func helper(x int) int { return x * 2 }
+
+// Tainted reaches a mutex two hops away in another package; the finding
+// lands in dep/dep.go with this chain.
+// hotpath: no-lock no-alloc no-clock
+func Tainted(x int) int {
+	return viaDep(x)
+}
+
+func viaDep(x int) int {
+	return dep.Locked(x)
+}
+
+// Clocky reads the wall clock directly.
+// hotpath: no-clock
+func Clocky() int64 {
+	return time.Now().Unix() // want `reads the wall clock \(time\.Now\), violating the no-clock contract on Clocky; call chain: Clocky`
+}
+
+// AllocViaClosure allocates inside a nested literal.
+// hotpath: no-alloc
+func AllocViaClosure(xs []int) []int {
+	grow := func(ys []int) []int {
+		return append(ys, 1) // want `allocates \(append may grow\), violating the no-alloc contract on AllocViaClosure; call chain: AllocViaClosure \(a\.go:\d+\) → func literal in AllocViaClosure`
+	}
+	return grow(xs)
+}
+
+// Chatty blocks on a channel, which no-lock forbids.
+// hotpath: no-lock
+func Chatty(c chan int) int {
+	return <-c // want `channel receive, violating the no-lock contract on Chatty; call chain: Chatty`
+}
+
+// instrument stands in for nil-guarded tracing plumbing: statically it
+// locks, but the hot path never executes it with tracing disabled.
+// hotpath: exempt fixture: nil-guarded instrumentation, off the steady-state path
+func instrument(x int) int {
+	c := make(chan int, 1)
+	c <- x
+	return <-c
+}
+
+// ExemptBoundary calls the exempt function; the traversal must not
+// descend into it.
+// hotpath: no-lock no-alloc no-clock
+func ExemptBoundary(x int) int {
+	return instrument(x)
+}
+
+// verified carries its own contract, so callers trust it and do not
+// re-traverse it.
+// hotpath: no-lock no-alloc no-clock
+func verified(x int) int { return x + 1 }
+
+// TrustsCallee leans on verified's contract.
+// hotpath: no-lock no-alloc no-clock
+func TrustsCallee(x int) int {
+	return verified(x)
+}
+
+// partial declares only no-lock, so a no-alloc caller must still see
+// through it to the allocation.
+// hotpath: no-lock
+func partial(xs []int) []int {
+	return append(xs, 1) // want `allocates \(append may grow\), violating the no-alloc contract on PartialBoundary; call chain: PartialBoundary \(a\.go:\d+\) → partial`
+}
+
+// PartialBoundary requires no-alloc; partial's no-lock contract covers
+// only the lock bits.
+// hotpath: no-lock no-alloc no-clock
+func PartialBoundary(xs []int) []int {
+	return partial(xs)
+}
+
+// Justified suppresses its own map write with a sited justification.
+// hotpath: no-alloc
+func Justified(m map[string]int) {
+	m["k"] = 1 //lint:allow hotpath fixture: warm-up-only write, converges after first call
+}
+
+// CrossJustified reaches a justified site in dep; the directive there
+// silences the finding even though dep is not the analyzed package.
+// hotpath: no-alloc
+func CrossJustified(m map[string]int) {
+	dep.Quiet(m)
+}

@@ -1,0 +1,13 @@
+// Package bad holds malformed hotpath annotations; the analyzer reports
+// them on the comment itself, so the assertions live in hotpath_test.go
+// (a want comment cannot annotate a directive's own line).
+package bad
+
+// hotpath:
+func Empty() {}
+
+// hotpath: no-latency
+func UnknownToken() {}
+
+// hotpath: exempt
+func BareExempt() {}

@@ -1,0 +1,21 @@
+// Package dep is the cross-package half of the hotpath fixture: effect
+// sites here are reached from annotated roots in hotpath/a, and the
+// diagnostics must land on these lines with the full call chain.
+package dep
+
+import "sync"
+
+var mu sync.Mutex
+
+// Locked taints any hot path that reaches it.
+func Locked(x int) int {
+	mu.Lock() // want `acquires \(\*sync\.Mutex\)\.Lock, violating the no-lock contract on Tainted; call chain: Tainted \(a\.go:\d+\) → viaDep \(a\.go:\d+\) → Locked`
+	defer mu.Unlock()
+	return x
+}
+
+// Quiet's map write is justified where it happens, even though the
+// analyzed package is hotpath/a — suppression is module-wide.
+func Quiet(m map[string]int) {
+	m["q"] = 2 //lint:allow hotpath fixture: warm-up-only write, proven off the steady-state path
+}

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"lockflow/dep"
 )
 
 type counter struct {
@@ -22,7 +24,7 @@ var errBoom = errors.New("boom")
 func earlyReturn(c *counter, fail bool) error {
 	c.mu.Lock()
 	if fail {
-		return errBoom // want `returns while c\.mu \(locked at line 23\) is still held`
+		return errBoom // want `returns while c\.mu \(locked at line 25\) is still held`
 	}
 	c.mu.Unlock()
 	return nil
@@ -31,11 +33,11 @@ func earlyReturn(c *counter, fail bool) error {
 func fallsOffEnd(c *counter) {
 	c.mu.Lock()
 	c.n++
-} // want `returns while c\.mu \(locked at line 32\) is still held`
+} // want `returns while c\.mu \(locked at line 34\) is still held`
 
 func doubleLock(c *counter) {
 	c.mu.Lock()
-	c.mu.Lock() // want `Lock of c\.mu while it is already held \(locked at line 37\); this deadlocks`
+	c.mu.Lock() // want `Lock of c\.mu while it is already held \(locked at line 39\); this deadlocks`
 	c.mu.Unlock()
 }
 
@@ -48,7 +50,7 @@ func upgrade(c *counter) {
 
 func mismatch(c *counter) {
 	c.rw.RLock()
-	c.rw.Unlock() // want `Unlock of c\.rw releases a read lock \(RLock at line 50\); use RUnlock`
+	c.rw.Unlock() // want `Unlock of c\.rw releases a read lock \(RLock at line 52\); use RUnlock`
 }
 
 func (c *counter) incr() {
@@ -60,7 +62,7 @@ func (c *counter) incr() {
 func (c *counter) reacquires() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.incr() // want `call to incr re-acquires c\.mu, which is already held \(locked at line 61\); this deadlocks`
+	c.incr() // want `call to incr re-acquires c\.mu, which is already held \(locked at line 63\); this deadlocks`
 }
 
 // chained reaches incr's Lock through an intermediate same-package call.
@@ -250,4 +252,28 @@ type badSwap struct {
 	mu sync.Mutex
 	// swapped under missing
 	p atomic.Pointer[view] // want `// swapped under missing: the struct has no field named missing`
+}
+
+// --- cross-package summaries ---
+
+// The call graph resolves callees in other packages, so a re-acquisition
+// is caught even when the deadlocking Lock lives across a package
+// boundary.
+func reacquiresAcrossPackages(b *dep.Box) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.Touch() // want `call to Touch re-acquires b\.Mu, which is already held \(locked at line \d+\); this deadlocks`
+}
+
+// Package-level locks match by object identity across packages.
+func globalAcrossPackages() {
+	dep.Mu.Lock()
+	defer dep.Mu.Unlock()
+	dep.WithGlobal() // want `call to WithGlobal re-acquires Mu, which is already held`
+}
+
+// Not holding the lock makes the same calls fine.
+func cleanAcrossPackages(b *dep.Box) {
+	b.Touch()
+	dep.WithGlobal()
 }

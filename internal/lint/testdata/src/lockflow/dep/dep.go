@@ -1,0 +1,28 @@
+// Package dep is the callee side of the lockflow cross-package summary
+// fixture: its functions acquire locks that callers in package a may
+// already hold.
+package dep
+
+import "sync"
+
+// Mu is a package-level lock callers in other packages share.
+var Mu sync.Mutex
+
+// Box carries its own lock.
+type Box struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Touch acquires the receiver's lock.
+func (b *Box) Touch() {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.n++
+}
+
+// WithGlobal acquires the package-level lock.
+func WithGlobal() {
+	Mu.Lock()
+	defer Mu.Unlock()
+}

@@ -57,7 +57,7 @@ type Histogram struct {
 }
 
 func (h *Histogram) seed() {
-	h.once.Do(func() {
+	h.once.Do(func() { //lint:allow hotpath one-time min/max seeding; after the first observation Do is a single atomic load
 		h.minBits.Store(math.Float64bits(math.Inf(1)))
 		h.maxBits.Store(math.Float64bits(math.Inf(-1)))
 	})

@@ -264,6 +264,8 @@ type ctxKey struct{}
 
 // ContextWithSpan returns ctx carrying sp as the active span; a nil span
 // returns ctx unchanged.
+//
+// hotpath: exempt nil span returns ctx unchanged; the WithValue allocation happens only for sampled traces
 func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
 	if sp == nil {
 		return ctx
@@ -272,6 +274,8 @@ func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
 }
 
 // SpanFromContext returns the active span in ctx, or nil.
+//
+// hotpath: exempt ctxKey is an empty struct, so the interface conversion in Value is pointer-free and allocation-free
 func SpanFromContext(ctx context.Context) *Span {
 	sp, _ := ctx.Value(ctxKey{}).(*Span)
 	return sp
@@ -280,6 +284,8 @@ func SpanFromContext(ctx context.Context) *Span {
 // StartSpan opens a child of the active span in ctx and returns a context
 // carrying it. With no active span (tracing off, or no root opened) it
 // returns ctx unchanged and a nil span.
+//
+// hotpath: exempt no active span means no lock and no allocation; sampled traces opt out of the steady-state path
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	sp := SpanFromContext(ctx).StartChild(name)
 	if sp == nil {
@@ -307,6 +313,8 @@ func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *
 
 // StartChild opens a child span. On a nil span, or once the trace's span
 // bound is reached, it returns nil (and the overflow is counted).
+//
+// hotpath: exempt nil-receiver fast path is two branches; only spans of sampled traces pay the lock
 func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
@@ -333,6 +341,8 @@ func (s *Span) StartChild(name string) *Span {
 }
 
 // SetAttr attaches a key/value attribute to the span.
+//
+// hotpath: exempt nil-receiver fast path; attribute storage is paid only by sampled traces
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
 		return
@@ -344,6 +354,8 @@ func (s *Span) SetAttr(key, value string) {
 }
 
 // SetAttrInt attaches an integer attribute to the span.
+//
+// hotpath: exempt nil-receiver fast path; FormatInt runs only for sampled traces
 func (s *Span) SetAttrInt(key string, v int64) {
 	s.SetAttr(key, strconv.FormatInt(v, 10))
 }
@@ -352,6 +364,8 @@ func (s *Span) SetAttrInt(key string, v int64) {
 // children are closed at the root's end time, the sampling rules decide
 // whether the trace enters the ring, and the handle set becomes inert.
 // Double End is harmless.
+//
+// hotpath: exempt nil-receiver fast path; finalization cost belongs to sampled traces
 func (s *Span) End() {
 	if s == nil {
 		return

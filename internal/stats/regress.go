@@ -45,7 +45,7 @@ func FitLinear(xs, ys []float64) (*LinReg, error) {
 		r := ys[i] - (a + b*xs[i])
 		sse += r * r
 	}
-	return &LinReg{
+	return &LinReg{ //lint:allow hotpath one result struct per regression fit; part of the committed allocs/op floor
 		Slope:     b,
 		Intercept: a,
 		N:         n,
@@ -79,7 +79,7 @@ func (r *LinReg) PredictInterval(x, level float64) (pred, half float64) {
 // FitInverse fits y = a + b/x (the paper's "inverse regression") by
 // transforming the regressor to 1/x. All x must be nonzero.
 func FitInverse(xs, ys []float64) (*TransformedReg, error) {
-	tx := make([]float64, len(xs))
+	tx := make([]float64, len(xs)) //lint:allow hotpath one transformed-regressor slice per fit; part of the committed allocs/op floor
 	for i, x := range xs {
 		if x == 0 { //lint:allow floatcmp exact zero is the only x where 1/x is undefined
 			return nil, ErrInsufficientData
@@ -90,13 +90,13 @@ func FitInverse(xs, ys []float64) (*TransformedReg, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TransformedReg{lr: lr, transform: func(x float64) float64 { return 1 / x }}, nil
+	return &TransformedReg{lr: lr, transform: func(x float64) float64 { return 1 / x }}, nil //lint:allow hotpath one result struct per regression fit; part of the committed allocs/op floor
 }
 
 // FitLog fits y = a + b*ln(x) (the paper's "logarithmic regression").
 // All x must be positive.
 func FitLog(xs, ys []float64) (*TransformedReg, error) {
-	tx := make([]float64, len(xs))
+	tx := make([]float64, len(xs)) //lint:allow hotpath one transformed-regressor slice per fit; part of the committed allocs/op floor
 	for i, x := range xs {
 		if x <= 0 {
 			return nil, ErrInsufficientData
@@ -107,7 +107,7 @@ func FitLog(xs, ys []float64) (*TransformedReg, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TransformedReg{lr: lr, transform: math.Log}, nil
+	return &TransformedReg{lr: lr, transform: math.Log}, nil //lint:allow hotpath one result struct per regression fit; part of the committed allocs/op floor
 }
 
 // TransformedReg is a linear regression on a transformed regressor

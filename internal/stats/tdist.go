@@ -138,11 +138,11 @@ var tqCache sync.Map
 // degrees of freedom: the t such that TCDF(t, nu) = p, for 0 < p < 1.
 // Results for p outside (0,1) are ±Inf. Results are memoized.
 func TQuantile(p, nu float64) float64 {
-	if v, ok := tqCache.Load(tqKey{p, nu}); ok {
+	if v, ok := tqCache.Load(tqKey{p, nu}); ok { //lint:allow hotpath boxing the cache key is the price of sync.Map memoization; the steady state is one lock-free load
 		return v.(float64)
 	}
 	v := tQuantileSlow(p, nu)
-	tqCache.Store(tqKey{p, nu}, v)
+	tqCache.Store(tqKey{p, nu}, v) //lint:allow hotpath warm-up-only store; each (level, df) pair is computed once
 	return v
 }
 
