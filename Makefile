@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke bench-gate fuzz-smoke trace-smoke trace-demo ci
+.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke bench-gate fuzz-smoke trace-smoke admit-smoke trace-demo ci
 
 all: build vet lint test
 
@@ -87,6 +87,12 @@ fuzz-smoke:
 # /v1/traces and /v1/accuracy endpoints are well-formed (the CI step).
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# Boot qwaitd with predictive SLO admission, drive /v1/admit with admit
+# and shed scenarios, and assert the metrics and trace surface (the CI
+# admit-smoke step).
+admit-smoke:
+	sh scripts/admit_smoke.sh
 
 # Trace one prediction end to end and pretty-print its span tree.
 trace-demo:

@@ -8,20 +8,29 @@
 //	qsim -workload ANL -policy Backfill -predictor smith [-scale N] [-seed S] [-csv out.csv]
 //	qsim -in trace.swf -policy LWF -predictor maxrt [-usage usage.csv]
 //	qsim -workload ANL -predictor smith -accuracy        # per-run error summary
+//	qsim -regret [-regret-json out.json]                 # price-of-misprediction sweep
 //
 // With -accuracy, every completion is scored (the prediction made just
 // before the predictor observes it, against the actual run time) and the
 // run ends with the workload's mean/RMS error, absolute-error quantiles,
 // and over/under counts — the live counterpart of the paper's Tables 4–9.
+//
+// With -regret, the four study workloads are swept through the predictive
+// SLO admission experiment (SJF + admission control under injected
+// prediction error versus FCFS/always-admit); -err-scales, -biases and
+// -headrooms override the sweep grid, and -regret-json writes the full
+// machine-readable report.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/obs/accuracy"
@@ -51,8 +60,17 @@ func run(args []string, stdout io.Writer) error {
 	csvOut := fs.String("csv", "", "write the per-job schedule as CSV to this file")
 	usageOut := fs.String("usage", "", "write the node-usage timeline as CSV to this file")
 	accOn := fs.Bool("accuracy", false, "score every completion and print the prediction-error summary")
+	regretOn := fs.Bool("regret", false, "run the predictive-admission regret sweep over the study workloads")
+	regretJSON := fs.String("regret-json", "", "with -regret, write the machine-readable report to this file")
+	errScales := fs.String("err-scales", "", "with -regret, comma-separated error scales (default 0,0.5,1,2)")
+	biases := fs.String("biases", "", "with -regret, comma-separated error sign biases (default -1,0,1)")
+	headrooms := fs.String("headrooms", "", "with -regret, comma-separated budget headrooms (default 1,2)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *regretOn {
+		return runRegret(stdout, *scale, *seed, *errScales, *biases, *headrooms, *regretJSON)
 	}
 
 	w, err := loadWorkload(*name, *in, *nodes, *scale, *seed)
@@ -114,6 +132,64 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "usage timeline written to %s\n", *usageOut)
 	}
 	return nil
+}
+
+// runRegret executes the predictive-admission regret sweep and prints the
+// cell table plus the headline mean-regret-by-scale series per headroom.
+func runRegret(stdout io.Writer, scale int, seed int64, errScales, biases, headrooms, jsonOut string) error {
+	cfg := exp.DefaultRegretConfig()
+	cfg.Scale, cfg.Seed = scale, seed
+	var err error
+	if cfg.ErrScales, err = overrideFloats(cfg.ErrScales, errScales); err != nil {
+		return fmt.Errorf("-err-scales: %w", err)
+	}
+	if cfg.Biases, err = overrideFloats(cfg.Biases, biases); err != nil {
+		return fmt.Errorf("-biases: %w", err)
+	}
+	if cfg.Headrooms, err = overrideFloats(cfg.Headrooms, headrooms); err != nil {
+		return fmt.Errorf("-headrooms: %w", err)
+	}
+	report, err := exp.RegretExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, exp.TableRegret(report).String())
+	for _, h := range cfg.Headrooms {
+		mean := report.MeanRegretByScale(h)
+		fmt.Fprintf(stdout, "mean regret (headroom %g):", h)
+		for _, s := range cfg.ErrScales {
+			fmt.Fprintf(stdout, "  err %g -> %.4f", s, mean[s])
+		}
+		fmt.Fprintln(stdout)
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", jsonOut)
+	}
+	return nil
+}
+
+// overrideFloats parses a comma-separated flag value, keeping the default
+// when the flag was not set.
+func overrideFloats(def []float64, s string) ([]float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // printAccuracy reports the per-key prediction-error summary accumulated

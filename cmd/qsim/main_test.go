@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -68,7 +69,7 @@ func TestRunErrors(t *testing.T) {
 	if err := run(nil, &sb); err == nil {
 		t.Error("no workload should error")
 	}
-	if err := run([]string{"-workload", "ANL", "-scale", "200", "-policy", "SJF"}, &sb); err == nil {
+	if err := run([]string{"-workload", "ANL", "-scale", "200", "-policy", "EDF"}, &sb); err == nil {
 		t.Error("unknown policy should error")
 	}
 	if err := run([]string{"-workload", "ANL", "-scale", "200", "-predictor", "psychic"}, &sb); err == nil {
@@ -76,6 +77,45 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", "/nonexistent.swf"}, &sb); err == nil {
 		t.Error("missing trace should error")
+	}
+}
+
+func TestRunRegretSweep(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "regret.json")
+	var sb strings.Builder
+	err := run([]string{"-regret", "-scale", "100",
+		"-err-scales", "0,1", "-biases", "0", "-headrooms", "1",
+		"-regret-json", out}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"fcfs-always", "sjf-admit", "mean regret (headroom 1)", "err 1 ->"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(b, &report); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if cells, ok := report["cells"].([]any); !ok || len(cells) == 0 {
+		t.Fatalf("report has no cells: %v", report["cells"])
+	}
+}
+
+func TestRunRegretFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-regret", "-err-scales", "zero"}, &sb); err == nil {
+		t.Error("bad -err-scales should error")
+	}
+	if err := run([]string{"-regret", "-scale", "100", "-headrooms", ""}, &sb); err != nil {
+		t.Errorf("empty override should keep defaults, got %v", err)
 	}
 }
 

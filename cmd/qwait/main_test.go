@@ -58,7 +58,7 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-workload", "NERSC"}, &sb); err == nil {
 		t.Error("unknown workload should error")
 	}
-	if err := run([]string{"-policy", "SJF"}, &sb); err == nil {
+	if err := run([]string{"-policy", "EDF"}, &sb); err == nil {
 		t.Error("unknown policy should error")
 	}
 	if err := run([]string{"-scale", "100", "-predictor", "psychic"}, &sb); err == nil {

@@ -7,12 +7,17 @@
 //	       [-data dir] [-snapshot-interval 5m] [-pprof]
 //	       [-metrics-interval 30s] [-log-level info]
 //	       [-trace-sample 0.01] [-trace-slow 250ms] [-trace-ring 64]
+//	       [-admit-classes interactive=10m:always,standard=1h:shed]
+//	       [-admit-headroom 1.5] [-admit-policy Backfill]
+//	       [-admit-overflow batch] [-admit-token-window 1h] [-admit-state]
 //
 //	POST /v1/observe      {"job": {...}}                 record a completion
 //	POST /v1/predict      {"job": {...}, "age": 120}     run-time prediction
 //	POST /v1/predict/batch {"jobs": [{"job": {...}}, ...]} score many jobs at once
 //	POST /v1/predictwait  {"now":..., "policy":"Backfill",
 //	                       "target":{...}, "queue":[...], "running":[...]}
+//	POST /v1/admit        {"now":..., "job":{...},
+//	                       "queue":[...], "running":[...]}  admit/shed decision
 //	POST /v1/checkpoint                                   snapshot the store
 //	GET  /v1/stats                                        service counters
 //	GET  /v1/metrics                                      metrics (JSON or Prometheus text)
@@ -38,6 +43,15 @@
 // quantiles, over/under counts, and drift state per stream, with drift
 // transitions logged as warnings.
 //
+// With -admit-classes, the daemon runs a predictive SLO admission
+// controller (internal/admission): POST /v1/admit estimates the job's
+// queue wait by forward simulation under -admit-policy (plus, with
+// -admit-state, the §5 state-based predictor) and decides admit/shed
+// against the per-class budgets; -admit-headroom scales every budget,
+// -admit-overflow names the spill-over class, and -admit-token-window
+// sets the admission-token replenishment period. Decisions surface as
+// admission.* counters on /v1/metrics and admission.decide trace spans.
+//
 // The -state flag (single-file checkpoints, saved only on graceful
 // shutdown) is deprecated. With both -state and -data, the old state file
 // is imported once into an empty store and the store takes over; with
@@ -57,11 +71,15 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/histstore"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
+	"repro/internal/predict"
+	"repro/internal/sched"
 	"repro/internal/service"
+	"repro/internal/waitpred"
 	"repro/internal/workload"
 )
 
@@ -191,6 +209,21 @@ func metricsFields(s obs.Snapshot) []interface{} {
 	return kv
 }
 
+// defaultAdmitClass picks the class unlabeled jobs fall into: "standard"
+// when the operator's table has it, otherwise the alphabetically first
+// class, so any valid -admit-classes value yields a working controller.
+func defaultAdmitClass(classes map[string]admission.ClassConfig) string {
+	if _, ok := classes["standard"]; ok {
+		return "standard"
+	}
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names[0]
+}
+
 // build constructs the configured daemon without starting to listen.
 func build(args []string, stdout io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("qwaitd", flag.ContinueOnError)
@@ -207,6 +240,12 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	traceSample := fs.Float64("trace-sample", 0, "probability of keeping a request trace (0 disables sampling)")
 	traceSlow := fs.Duration("trace-slow", 0, "always keep traces slower than this (0 disables the slow rule)")
 	traceRing := fs.Int("trace-ring", trace.DefaultCapacity, "how many kept traces to retain for /v1/traces")
+	admitClasses := fs.String("admit-classes", "", "enable predictive SLO admission with this class table, e.g. interactive=10m:always,standard=1h:shed,batch=4h:shed:tokens=200 (empty disables /v1/admit)")
+	admitHeadroom := fs.Float64("admit-headroom", 1.0, "multiplier applied to every admission wait budget (requires -admit-classes)")
+	admitPolicy := fs.String("admit-policy", "Backfill", "scheduling policy the admission forward simulation replays")
+	admitOverflow := fs.String("admit-overflow", "", "class whose remaining budget over-budget sheddable jobs may overflow into")
+	admitTokenWindow := fs.Duration("admit-token-window", time.Hour, "replenishment window for per-class admission tokens")
+	admitState := fs.Bool("admit-state", false, "also learn state-based wait estimates (paper §5) from admitted jobs' realized waits")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -322,6 +361,38 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		))
 		fmt.Fprintf(stdout, "tracing: sample %g, slow threshold %s, ring %d\n",
 			*traceSample, *traceSlow, *traceRing)
+	}
+	if *admitClasses != "" {
+		classes, err := admission.ParseClasses(*admitClasses)
+		if err != nil {
+			return nil, err
+		}
+		pol := sched.ByName(*admitPolicy)
+		if pol == nil {
+			return nil, fmt.Errorf("unknown -admit-policy %q", *admitPolicy)
+		}
+		cfg := admission.Config{
+			Classes:        classes,
+			DefaultClass:   defaultAdmitClass(classes),
+			Headroom:       *admitHeadroom,
+			OverflowClass:  *admitOverflow,
+			TokenWindowSec: int64(*admitTokenWindow / time.Second),
+			TotalNodes:     *nodes,
+			Policy:         pol,
+			Predictor:      pred,
+			Decision:       predict.MaxRuntime{},
+			Metrics:        srv.Metrics(),
+		}
+		if *admitState {
+			cfg.StatePred = waitpred.NewStatePredictor(waitpred.DefaultStateTemplates(true))
+		}
+		ctrl, err := admission.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		srv.SetAdmission(ctrl)
+		fmt.Fprintf(stdout, "admission: %s, headroom %g, policy %s\n",
+			admission.FormatClasses(classes), *admitHeadroom, pol.Name())
 	}
 	fmt.Fprintf(stdout, "configured: %d templates, %d-node machine\n", len(ts), *nodes)
 	return &app{

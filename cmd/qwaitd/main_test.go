@@ -423,3 +423,75 @@ func TestBuildTraceFlags(t *testing.T) {
 		t.Fatalf("tracer attached by default:\n%s", sb.String())
 	}
 }
+
+func TestBuildAdmissionFlags(t *testing.T) {
+	var sb strings.Builder
+	a, err := build([]string{
+		"-nodes", "64",
+		"-admit-classes", "interactive=10m:always,standard=1h:shed,batch=4h:shed:tokens=50",
+		"-admit-headroom", "1.5",
+		"-admit-policy", "FCFS",
+		"-admit-overflow", "batch",
+		"-admit-state",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "admission:") ||
+		!strings.Contains(sb.String(), "headroom 1.5") ||
+		!strings.Contains(sb.String(), "policy FCFS") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+
+	// /v1/admit is live and admits on an empty machine.
+	ts := httptest.NewServer(a.srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(service.AdmitRequest{
+		Now: 0,
+		Job: service.JobJSON{ID: 1, User: "u", Nodes: 4, MaxRunTime: 600, Class: "standard"},
+	})
+	resp, err := http.Post(ts.URL+"/v1/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d service.AdmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !d.Admit || d.Class != "standard" {
+		t.Fatalf("admit: status %d %+v", resp.StatusCode, d)
+	}
+	if d.EffectiveBudgetSec != 5400 {
+		t.Fatalf("effective budget = %d, want 1.5 × 3600", d.EffectiveBudgetSec)
+	}
+}
+
+func TestBuildAdmissionErrors(t *testing.T) {
+	var sb strings.Builder
+	if _, err := build([]string{"-admit-classes", "bad spec"}, &sb); err == nil {
+		t.Error("bad class spec should error")
+	}
+	if _, err := build([]string{"-admit-classes", "a=600", "-admit-policy", "EDF"}, &sb); err == nil {
+		t.Error("unknown admission policy should error")
+	}
+	if _, err := build([]string{"-admit-classes", "a=600", "-admit-overflow", "missing"}, &sb); err == nil {
+		t.Error("unknown overflow class should error")
+	}
+	// Without -admit-classes the endpoint stays off.
+	a, err := build(nil, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(service.AdmitRequest{Job: service.JobJSON{ID: 1, Nodes: 1}})
+	resp, err := http.Post(ts.URL+"/v1/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disabled admission: status %d, want 503", resp.StatusCode)
+	}
+}

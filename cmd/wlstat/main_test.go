@@ -38,7 +38,7 @@ func TestErrors(t *testing.T) {
 	if err := run(nil, &sb); err == nil {
 		t.Error("no source should error")
 	}
-	if err := run([]string{"-workload", "ANL", "-scale", "100", "-simulate", "SJF"}, &sb); err == nil {
+	if err := run([]string{"-workload", "ANL", "-scale", "100", "-simulate", "EDF"}, &sb); err == nil {
 		t.Error("unknown policy should error")
 	}
 	if err := run([]string{"-in", "/missing.swf"}, &sb); err == nil {

@@ -159,17 +159,18 @@ func ByName(list string) ([]*Analyzer, error) {
 // package whose import path contains one of these as a path segment is
 // held to the detrand and wallclock invariants.
 var deterministicPackages = map[string]bool{
-	"sim":      true,
-	"sched":    true,
-	"ga":       true,
-	"metasim":  true,
-	"waitpred": true,
-	"predict":  true,
-	"workload": true,
-	"stats":    true,
-	"core":     true,
-	"trace":    true,
-	"accuracy": true,
+	"sim":       true,
+	"sched":     true,
+	"admission": true,
+	"ga":        true,
+	"metasim":   true,
+	"waitpred":  true,
+	"predict":   true,
+	"workload":  true,
+	"stats":     true,
+	"core":      true,
+	"trace":     true,
+	"accuracy":  true,
 }
 
 // isDeterministicPkg reports whether the import path names one of the

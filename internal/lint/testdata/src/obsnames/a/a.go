@@ -50,6 +50,27 @@ func tracing(reg *obs.Registry, key string) {
 	reg.Gauge("accuracy." + key + ".driftP").Set(1)                // want `metric name fragment "\.driftP" is not snake_case`
 }
 
+// admissionMetrics exercises the admission-controller counter families, so
+// the names the controller registers at construction stay snake_case.
+func admissionMetrics(reg *obs.Registry, class string) {
+	reg.Counter("admission.decisions").Inc()                    // ok
+	reg.Counter("admission.admitted").Inc()                     // ok
+	reg.Counter("admission.shed").Inc()                         // ok
+	reg.Counter("admission.shed_budget").Inc()                  // ok
+	reg.Counter("admission.shed_tokens").Inc()                  // ok
+	reg.Counter("admission.overflow").Inc()                     // ok
+	reg.Counter("admission.over_budget").Inc()                  // ok
+	reg.Counter("admission.no_prediction").Inc()                // ok
+	reg.Counter("admission.estimates_state").Inc()              // ok
+	reg.Counter("admission.estimates_forward").Inc()            // ok
+	reg.Counter("admission.class." + class + ".admitted").Inc() // ok: class name is the dynamic part
+	reg.Counter("admission.class." + class + ".shed").Inc()     // ok
+	reg.Gauge("admission.headroom").Set(1)                      // ok
+	reg.Gauge("admission.token_window_seconds").SetInt(3600)    // ok
+	reg.Counter("admission.shedBudget").Inc()                   // want `metric name "admission.shedBudget" is not snake_case`
+	reg.Counter("admission.class." + class + ".Admitted").Inc() // want `metric name fragment "\.Admitted" is not snake_case`
+}
+
 func logging(endpoint string) {
 	l := obs.NewLogger(io.Discard, obs.LevelDebug)
 	l.Info("listening", "addr", ":8080", "badKey", 2)       // want `log key "badKey" is not snake_case`

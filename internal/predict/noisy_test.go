@@ -1,0 +1,112 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func noisyJob(id int) *workload.Job {
+	return &workload.Job{ID: id, Nodes: 1, RunTime: 3600, MaxRunTime: 7200}
+}
+
+func TestNoisyZeroScaleIsIdentity(t *testing.T) {
+	n := Noisy{Inner: Oracle{}, Scale: 0, Bias: 1, Seed: 42}
+	for id := 1; id <= 100; id++ {
+		j := noisyJob(id)
+		got, ok := n.Predict(j, 0)
+		want, _ := Oracle{}.Predict(j, 0)
+		if !ok || got != want {
+			t.Fatalf("job %d: (%d, %v), want identity %d", id, got, ok, want)
+		}
+	}
+}
+
+func TestNoisyDeterministic(t *testing.T) {
+	n := Noisy{Inner: Oracle{}, Scale: 0.8, Bias: 0, Seed: 7}
+	j := noisyJob(13)
+	first, _ := n.Predict(j, 0)
+	for i := 0; i < 10; i++ {
+		if got, _ := n.Predict(j, 0); got != first {
+			t.Fatalf("prediction changed across calls: %d then %d", first, got)
+		}
+	}
+	// A different seed decorrelates at least some jobs.
+	other := Noisy{Inner: Oracle{}, Scale: 0.8, Bias: 0, Seed: 8}
+	diff := 0
+	for id := 1; id <= 50; id++ {
+		a, _ := n.Predict(noisyJob(id), 0)
+		b, _ := other.Predict(noisyJob(id), 0)
+		if a != b {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 7 and 8 produced identical noise for 50 jobs")
+	}
+}
+
+func TestNoisyBiasSign(t *testing.T) {
+	// Bias +1 draws noise from [0, 2): never under-predicts (beyond
+	// rounding). Bias -1 draws from [-2, 0): never over-predicts.
+	over := Noisy{Inner: Oracle{}, Scale: 0.5, Bias: 1, Seed: 3}
+	under := Noisy{Inner: Oracle{}, Scale: 0.5, Bias: -1, Seed: 3}
+	for id := 1; id <= 200; id++ {
+		j := noisyJob(id)
+		truth := j.RunTime
+		if got, _ := over.Predict(j, 0); got < truth {
+			t.Fatalf("job %d: bias +1 predicted %d < %d", id, got, truth)
+		}
+		if got, _ := under.Predict(j, 0); got > truth {
+			t.Fatalf("job %d: bias -1 predicted %d > %d", id, got, truth)
+		}
+	}
+}
+
+func TestNoisyScaleBoundsError(t *testing.T) {
+	n := Noisy{Inner: Oracle{}, Scale: 1.0, Bias: 0, Seed: 11}
+	bound := math.Exp(1.0)
+	for id := 1; id <= 200; id++ {
+		j := noisyJob(id)
+		got, _ := n.Predict(j, 0)
+		ratio := float64(got) / float64(j.RunTime)
+		if ratio > bound*1.01 || ratio < 1/(bound*1.01) {
+			t.Fatalf("job %d: ratio %.3f outside e^±1", id, ratio)
+		}
+	}
+}
+
+func TestNoisyClampsToPositive(t *testing.T) {
+	// A tiny true runtime under heavy under-prediction must stay ≥ 1 so a
+	// valid prediction never becomes nonpositive.
+	n := Noisy{Inner: Oracle{}, Scale: 3, Bias: -1, Seed: 5}
+	j := &workload.Job{ID: 9, Nodes: 1, RunTime: 2}
+	got, ok := n.Predict(j, 0)
+	if !ok || got < 1 {
+		t.Fatalf("(%d, %v), want clamped ≥ 1", got, ok)
+	}
+}
+
+func TestNoisyForwardsMissAndObserve(t *testing.T) {
+	rm := &RunningMean{}
+	n := Noisy{Inner: rm, Scale: 0.5, Seed: 1}
+	j := noisyJob(1)
+	if _, ok := n.Predict(j, 0); ok {
+		t.Fatal("empty inner predictor produced a prediction through Noisy")
+	}
+	// Observe flows to the inner predictor untouched.
+	j.StartTime = 0
+	j.EndTime = j.RunTime
+	n.Observe(j)
+	if got, ok := rm.Predict(noisyJob(2), 0); !ok || got != j.RunTime {
+		t.Fatalf("inner after Observe: (%d, %v), want %d", got, ok, j.RunTime)
+	}
+}
+
+func TestNoisyName(t *testing.T) {
+	n := Noisy{Inner: Oracle{}, Scale: 0.5, Bias: -1}
+	if got := n.Name(); got != "actual+err(0.5,-1)" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

@@ -53,15 +53,12 @@ func (l LWF) Name() string {
 }
 
 // Pick starts jobs in least-work order, skipping (or, if Blocking, stopping
-// at) jobs that do not fit.
+// at) jobs that do not fit. The work of each job is computed exactly once,
+// in a single pass that also records the arrival index, so the sort needs
+// no per-comparison estimator calls or map lookups and ties between
+// equal-work jobs break deterministically in arrival order.
 func (l LWF) Pick(now int64, queue, running []*workload.Job, free, total int, est sim.Estimator) []*workload.Job {
-	ordered := make([]*workload.Job, len(queue))
-	copy(ordered, queue)
-	work := make(map[*workload.Job]int64, len(queue))
-	for _, j := range ordered {
-		work[j] = int64(j.Nodes) * est(j, 0)
-	}
-	sort.SliceStable(ordered, func(a, b int) bool { return work[ordered[a]] < work[ordered[b]] })
+	ordered := rankQueue(queue, func(j *workload.Job) int64 { return int64(j.Nodes) * est(j, 0) })
 	var picked []*workload.Job
 	for _, j := range ordered {
 		if j.Nodes > free {
@@ -74,6 +71,36 @@ func (l LWF) Pick(now int64, queue, running []*workload.Job, free, total int, es
 		free -= j.Nodes
 	}
 	return picked
+}
+
+// rankedJob pairs a queued job with its sort key and arrival index.
+type rankedJob struct {
+	job *workload.Job
+	key int64
+	idx int // arrival index: position in the submitted queue
+}
+
+// rankQueue orders the queue by increasing key with an explicit
+// arrival-order tie-break. The key function is called exactly once per
+// job (one estimator invocation each), and the tie-break is encoded in
+// the comparison itself rather than relying on sort stability, so the
+// resulting order is a pure function of (keys, arrival order).
+func rankQueue(queue []*workload.Job, key func(j *workload.Job) int64) []*workload.Job {
+	ranked := make([]rankedJob, len(queue))
+	for i, j := range queue {
+		ranked[i] = rankedJob{job: j, key: key(j), idx: i}
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].key != ranked[b].key {
+			return ranked[a].key < ranked[b].key
+		}
+		return ranked[a].idx < ranked[b].idx
+	})
+	ordered := make([]*workload.Job, len(ranked))
+	for i, r := range ranked {
+		ordered[i] = r.job
+	}
+	return ordered
 }
 
 // Backfill is the paper's backfill algorithm: a variant of FCFS in which an
@@ -154,8 +181,9 @@ var (
 )
 
 // ByName returns the policy with the given name: "FCFS", "LWF",
-// "LWF/blocking", "Backfill", or "Backfill/EASY". It returns nil for
-// unknown names.
+// "LWF/blocking", "Backfill", "Backfill/EASY", "SJF", "SJF/blocking", or
+// "Priority" (priority-FCFS on the job's SLO class with the default
+// priority table). It returns nil for unknown names.
 func ByName(name string) sim.Policy {
 	switch name {
 	case "FCFS":
@@ -168,6 +196,12 @@ func ByName(name string) sim.Policy {
 		return Backfill{}
 	case "Backfill/EASY":
 		return Backfill{EASY: true}
+	case "SJF":
+		return SJF{}
+	case "SJF/blocking":
+		return SJF{Blocking: true}
+	case "Priority":
+		return PriorityFCFS{}
 	}
 	return nil
 }

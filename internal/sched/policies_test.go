@@ -180,7 +180,7 @@ func TestByName(t *testing.T) {
 			t.Errorf("ByName(%q) = %v", name, p)
 		}
 	}
-	if ByName("SJF") != nil {
+	if ByName("EDF") != nil {
 		t.Error("unknown policy should be nil")
 	}
 }

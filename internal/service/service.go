@@ -5,7 +5,9 @@
 // from multiple systems, to schedule other activities, and so forth."
 // A scheduler (or metascheduler) feeds completions to /v1/observe and asks
 // /v1/predict for run times (/v1/predict/batch to score a whole queue in
-// one request) and /v1/predictwait for queue waits.
+// one request) and /v1/predictwait for queue waits. With an admission
+// controller attached (SetAdmission), POST /v1/admit turns those wait
+// estimates into admit/shed decisions against per-class SLO budgets.
 //
 // The server guards the predictor with a read-write mutex: observations
 // and checkpoints take the write lock, while predictions — which never
@@ -40,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/histstore"
 	"repro/internal/obs"
@@ -93,6 +96,7 @@ type Server struct {
 	pprof        bool
 	tracer       *trace.Tracer // nil until SetTracer; nil tracer is inert
 	acc          *accuracy.Tracker
+	adm          *admission.Controller // nil until SetAdmission; /v1/admit 503s
 
 	// Cached instrument handles (allocated once in New, not per request).
 	mObserve     *obs.Counter
@@ -197,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
 	mux.HandleFunc("/v1/predict/batch", s.instrument("predict_batch", s.handlePredictBatch))
 	mux.HandleFunc("/v1/predictwait", s.instrument("predictwait", s.handlePredictWait))
+	mux.HandleFunc("/v1/admit", s.instrument("admit", s.handleAdmit))
 	mux.HandleFunc("/v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("/v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("/v1/metrics", s.instrument("metrics", s.handleMetrics))

@@ -173,7 +173,7 @@ func TestPredictWaitValidation(t *testing.T) {
 	}
 	// Unknown policy.
 	resp = post(t, ts.URL+"/v1/predictwait", PredictWaitRequest{
-		Policy: "SJF", Target: target, Queue: []JobJSON{target},
+		Policy: "EDF", Target: target, Queue: []JobJSON{target},
 	}, nil)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown policy: status %d", resp.StatusCode)

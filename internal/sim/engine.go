@@ -43,6 +43,19 @@ type Options struct {
 	// DefaultRuntime is the estimate of last resort (see predict.Estimate).
 	// Zero means predict.DefaultRuntime.
 	DefaultRuntime int64
+	// Admission, when non-nil, is consulted for every arriving job BEFORE
+	// it joins the queue: the predictive-SLO control loop hooks here
+	// (internal/admission), estimating the job's wait against the live
+	// queue and running set and returning false to shed it. A shed job
+	// never queues, never starts, is marked Shed, and is excluded from the
+	// wait and utilization metrics (like a cancellation, but decided at
+	// submission instead of by user patience). The queue and running
+	// slices are snapshots owned by the callee only for the duration of
+	// the call; the arriving job is not yet in queue.
+	Admission func(now int64, j *workload.Job, queue, running []*workload.Job, free, total int) bool
+	// OnShed, when non-nil, is invoked for every job the Admission hook
+	// rejects.
+	OnShed func(now int64, j *workload.Job)
 	// OnSubmit, when non-nil, is invoked for every job immediately after it
 	// joins the queue (before the scheduling pass). The wait-time prediction
 	// experiments hook here: the paper predicts "the wait time of an
@@ -82,8 +95,8 @@ type Options struct {
 // simMetrics caches the engine's instrument handles so the event loop pays
 // one nil check plus atomic adds, nothing more.
 type simMetrics struct {
-	events, arrivals, starts, completions, cancellations *obs.Counter
-	clock                                                *obs.Gauge
+	events, arrivals, starts, completions, cancellations, shed *obs.Counter
+	clock                                                      *obs.Gauge
 }
 
 func newSimMetrics(reg *obs.Registry) *simMetrics {
@@ -96,6 +109,7 @@ func newSimMetrics(reg *obs.Registry) *simMetrics {
 		starts:        reg.Counter("sim.starts"),
 		completions:   reg.Counter("sim.completions"),
 		cancellations: reg.Counter("sim.cancellations"),
+		shed:          reg.Counter("sim.shed"),
 		clock:         reg.Gauge("sim.clock_seconds"),
 	}
 }
@@ -123,6 +137,10 @@ type Result struct {
 	// Cancelled counts jobs withdrawn from the queue before starting;
 	// they are excluded from the wait and utilization metrics.
 	Cancelled int
+	// Shed counts jobs the Admission hook rejected at submission; like
+	// cancelled jobs they never start and are excluded from the wait and
+	// utilization metrics.
+	Shed int
 	// WaitDist summarizes the wait-time distribution in seconds (mean,
 	// quantiles); tail behaviour distinguishes policies whose mean waits
 	// coincide.
@@ -303,10 +321,26 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 			}
 		}
 
-		// 3. Arrivals at this instant.
+		// 3. Arrivals at this instant. The admission hook sees the queue
+		// and running set as they stand — the arriving job is not yet
+		// queued — and may shed the job before it ever waits.
 		for nextJob < len(jobs) && jobs[nextJob].SubmitTime == now {
 			j := jobs[nextJob]
 			nextJob++
+			if met != nil {
+				met.arrivals.Inc()
+			}
+			if opts.Admission != nil && !opts.Admission(now, j, queue, running, free, wc.MachineNodes) {
+				j.Shed = true
+				res.Shed++
+				if opts.OnShed != nil {
+					opts.OnShed(now, j)
+				}
+				if met != nil {
+					met.shed.Inc()
+				}
+				continue
+			}
 			queue = append(queue, j)
 			queued[j] = true
 			if j.CancelAfter > 0 {
@@ -314,9 +348,6 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 			}
 			if opts.OnSubmit != nil {
 				opts.OnSubmit(now, j, queue, running)
-			}
-			if met != nil {
-				met.arrivals.Inc()
 			}
 		}
 
@@ -349,14 +380,14 @@ func Run(w *workload.Workload, pol Policy, pred predict.Predictor, opts Options)
 		}
 	}
 
-	// Metrics over the jobs that actually ran (cancelled jobs never start
-	// and contribute neither wait nor work).
+	// Metrics over the jobs that actually ran (cancelled and shed jobs
+	// never start and contribute neither wait nor work).
 	var waitSum, work int64
 	first := jobs[0].SubmitTime
 	last := first
 	waits := make([]float64, 0, len(jobs))
 	for _, j := range jobs {
-		if j.Cancelled {
+		if j.Cancelled || j.Shed {
 			continue
 		}
 		waitSum += j.WaitTime()

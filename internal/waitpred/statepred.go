@@ -270,6 +270,31 @@ func NewStatePredictor(templates []StateTemplate) *StatePredictor {
 	}
 }
 
+// SetLevel sets the confidence level for the category interval contest.
+// Levels are clamped into (0, maxStateLevel]: a level ≥ 1 would put the t
+// quantile at +Inf, making every category's half-width infinite and the
+// contest degenerate, and a level ≤ 0 would invert the interval. The
+// admission controller exposes this as a knob, so out-of-range operator
+// input must degrade to the nearest meaningful level instead of poisoning
+// every estimate.
+func (p *StatePredictor) SetLevel(level float64) {
+	switch {
+	case level >= maxStateLevel:
+		p.level = maxStateLevel
+	case level <= 0:
+		p.level = 0.5
+	default:
+		p.level = level
+	}
+}
+
+// Level returns the (clamped) confidence level in use.
+func (p *StatePredictor) Level() float64 { return p.level }
+
+// maxStateLevel caps the confidence level strictly below 1 so that the
+// t-quantile stays finite.
+const maxStateLevel = 0.9999
+
 // PredictWait predicts the wait of job j submitted in state s, where
 // jobWork is the scheduler's estimated work for j (nodes × estimate).
 // The smallest-confidence-interval category estimate wins.

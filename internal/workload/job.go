@@ -149,6 +149,10 @@ type Job struct {
 	// Cancelled reports that the job was withdrawn before starting; its
 	// StartTime/EndTime remain zero and it is excluded from metrics.
 	Cancelled bool
+	// Shed reports that an admission controller rejected the job at
+	// submission: it never joined the queue, its StartTime/EndTime remain
+	// zero, and it is excluded from the wait and utilization metrics.
+	Shed bool
 }
 
 // Characteristic returns the job's value for the given template
@@ -189,6 +193,7 @@ func (j *Job) Clone() *Job {
 	c.StartTime = 0
 	c.EndTime = 0
 	c.Cancelled = false
+	c.Shed = false
 	return &c
 }
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env sh
+# Admission-control smoke test for qwaitd's /v1/admit surface.
+#
+# Builds the daemon, boots it with predictive SLO admission and tracing
+# enabled, and asserts against a live process:
+#
+#   - a short job on an empty machine is admitted within budget via the
+#     forward simulation;
+#   - a standard job behind a machine-filling two-hour hog is shed (its
+#     7200s predicted wait exceeds the 3600s budget), while an interactive
+#     job behind the same hog passes on its always-admit contract;
+#   - /v1/metrics counts the three decisions (2 admitted, 1 shed, with the
+#     per-class and per-reason breakdowns agreeing);
+#   - /v1/traces kept an http.admit trace that decomposes into the
+#     admission.decide and waitpred.simulate child spans.
+#
+# Usage: scripts/admit_smoke.sh [port]
+set -eu
+
+PORT="${1:-18653}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+BIN="${WORK}/qwaitd"
+PID=""
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+wait_ready() {
+    i=0
+    while ! curl -sf "http://${ADDR}/v1/stats" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            fail "daemon did not become ready on ${ADDR}"
+        fi
+        sleep 0.2
+    done
+}
+
+go build -o "${BIN}" ./cmd/qwaitd
+
+"${BIN}" -addr "${ADDR}" -nodes 64 -snapshot-interval 0 \
+    -admit-classes 'interactive=10m:always,standard=1h:shed,batch=4h:shed' \
+    -trace-sample 1 -trace-ring 32 &
+PID=$!
+wait_ready
+
+# Empty machine: a standard 8-node job waits 0s and is admitted.
+D1="${WORK}/d1.json"
+curl -sf -X POST "http://${ADDR}/v1/admit" \
+    -d '{"now":0,"job":{"id":1,"user":"alice","nodes":8,"maxRunTime":600,"class":"standard"}}' \
+    >"${D1}"
+grep -q '"admit":true' "${D1}" || fail "empty machine did not admit: $(cat "${D1}")"
+grep -q '"reason":"within_budget"' "${D1}" || fail "admit reason: $(cat "${D1}")"
+grep -q '"source":"forward"' "${D1}" || fail "admit source: $(cat "${D1}")"
+
+# The whole machine is held for two hours: the standard job's predicted
+# wait (7200s) blows its 3600s budget and it is shed.
+HOG='{"id":100,"user":"bob","nodes":64,"maxRunTime":7200,"startTime":0}'
+D2="${WORK}/d2.json"
+curl -sf -X POST "http://${ADDR}/v1/admit" \
+    -d "{\"now\":0,\"job\":{\"id\":2,\"user\":\"alice\",\"nodes\":8,\"maxRunTime\":600,\"class\":\"standard\"},\"running\":[${HOG}]}" \
+    >"${D2}"
+grep -q '"admit":false' "${D2}" || fail "hogged machine did not shed: $(cat "${D2}")"
+grep -q '"reason":"shed_budget"' "${D2}" || fail "shed reason: $(cat "${D2}")"
+grep -q '"predictedWaitSec":7200' "${D2}" || fail "predicted wait: $(cat "${D2}")"
+
+# The same hog cannot block an interactive job: always-admit contract.
+D3="${WORK}/d3.json"
+curl -sf -X POST "http://${ADDR}/v1/admit" \
+    -d "{\"now\":0,\"job\":{\"id\":3,\"user\":\"alice\",\"nodes\":8,\"maxRunTime\":600,\"class\":\"interactive\"},\"running\":[${HOG}]}" \
+    >"${D3}"
+grep -q '"admit":true' "${D3}" || fail "interactive job was not admitted: $(cat "${D3}")"
+grep -q '"reason":"always"' "${D3}" || fail "interactive reason: $(cat "${D3}")"
+
+# /v1/metrics: the three decisions, with per-reason and per-class agreement.
+METRICS="${WORK}/metrics.json"
+curl -sf "http://${ADDR}/v1/metrics" >"${METRICS}"
+grep -q '"admission.decisions":3' "${METRICS}" || fail "admission.decisions != 3"
+grep -q '"admission.admitted":2' "${METRICS}" || fail "admission.admitted != 2"
+grep -q '"admission.shed":1' "${METRICS}" || fail "admission.shed != 1"
+grep -q '"admission.shed_budget":1' "${METRICS}" || fail "admission.shed_budget != 1"
+grep -q '"admission.class.standard.shed":1' "${METRICS}" || fail "per-class shed counter"
+grep -q '"admission.class.interactive.admitted":1' "${METRICS}" || fail "per-class admitted counter"
+grep -q '"admission.headroom":1' "${METRICS}" || fail "admission.headroom gauge"
+
+# /v1/traces: the admit trace decomposes into the decision and the forward
+# simulation underneath it.
+TRACES="${WORK}/traces.json"
+curl -sf "http://${ADDR}/v1/traces" >"${TRACES}"
+grep -q '"enabled":true' "${TRACES}" || fail "/v1/traces not enabled"
+for span in http.admit admission.decide waitpred.simulate; do
+    grep -q "\"${span}\"" "${TRACES}" || fail "trace missing span ${span}"
+done
+
+kill "${PID}" 2>/dev/null || true
+wait "${PID}" 2>/dev/null || true
+PID=""
+echo "OK: /v1/admit admits within budget, sheds over budget, honors always-admit; metrics and traces agree"
