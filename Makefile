@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke bench-gate fuzz-smoke trace-smoke admit-smoke trace-demo ci
+.PHONY: all build vet lint vuln test race cover bench tables examples clean fmt-check bench-smoke bench-gate fuzz-smoke trace-smoke admit-smoke reselect-smoke trace-demo ci
 
 all: build vet lint test
 
@@ -93,6 +93,13 @@ trace-smoke:
 # admit-smoke step).
 admit-smoke:
 	sh scripts/admit_smoke.sh
+
+# Boot qwaitd with -reselect, inject a run-time step through /v1/observe,
+# and assert the /v1/stable scoreboard, the switch to the scoreboard
+# winner, and the accuracy.reselect.* metric and span surface (the CI
+# reselect-smoke step).
+reselect-smoke:
+	sh scripts/reselect_smoke.sh
 
 # Trace one prediction end to end and pretty-print its span tree.
 trace-demo:

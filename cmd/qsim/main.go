@@ -8,18 +8,31 @@
 //	qsim -workload ANL -policy Backfill -predictor smith [-scale N] [-seed S] [-csv out.csv]
 //	qsim -in trace.swf -policy LWF -predictor maxrt [-usage usage.csv]
 //	qsim -workload ANL -predictor smith -accuracy        # per-run error summary
+//	qsim -workload ANL -accuracy -shadow                 # + live stable scoreboard
 //	qsim -regret [-regret-json out.json]                 # price-of-misprediction sweep
+//	qsim -reselect [-tail-cost 2] [-fill 0.95]           # drift → re-selection sweep
 //
 // With -accuracy, every completion is scored (the prediction made just
 // before the predictor observes it, against the actual run time) and the
 // run ends with the workload's mean/RMS error, absolute-error quantiles,
-// and over/under counts — the live counterpart of the paper's Tables 4–9.
+// signed tail quantiles, asymmetric cost (-tail-cost sets the
+// under-prediction ratio) and over/under counts — the live counterpart of
+// the paper's Tables 4–9 with the TARE-style tail view. Adding -shadow
+// also scores the whole predictor stable against every completion and
+// prints the resulting scoreboard.
 //
 // With -regret, the four study workloads are swept through the predictive
 // SLO admission experiment (SJF + admission control under injected
 // prediction error versus FCFS/always-admit); -err-scales, -biases and
 // -headrooms override the sweep grid, and -regret-json writes the full
 // machine-readable report.
+//
+// With -reselect, each study workload (or just -workload) gets a run-time
+// step change injected halfway through (-fill sets the post-step run time
+// as a fraction of the user limit) and is scheduled twice — template
+// predictor pinned versus drift-adaptive re-selection over the stable —
+// reporting switches, post-step tail scores, and the Welch-t significance
+// of the per-completion asymmetric cost difference.
 package main
 
 import (
@@ -36,6 +49,7 @@ import (
 	"repro/internal/obs/accuracy"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -60,6 +74,11 @@ func run(args []string, stdout io.Writer) error {
 	csvOut := fs.String("csv", "", "write the per-job schedule as CSV to this file")
 	usageOut := fs.String("usage", "", "write the node-usage timeline as CSV to this file")
 	accOn := fs.Bool("accuracy", false, "score every completion and print the prediction-error summary")
+	shadowOn := fs.Bool("shadow", false, "with -accuracy, shadow-score the whole predictor stable and print the scoreboard")
+	tailCost := fs.Float64("tail-cost", stats.DefaultCostRatio, "asymmetric cost of under-prediction relative to over-prediction")
+	reselectOn := fs.Bool("reselect", false, "run the drift-injection re-selection sweep over the study workloads")
+	fill := fs.Float64("fill", 0.95, "with -reselect, post-step run time as a fraction of the user limit")
+	stepFrac := fs.Float64("step-frac", 0.5, "with -reselect, step position as a fraction of the trace")
 	regretOn := fs.Bool("regret", false, "run the predictive-admission regret sweep over the study workloads")
 	regretJSON := fs.String("regret-json", "", "with -regret, write the machine-readable report to this file")
 	errScales := fs.String("err-scales", "", "with -regret, comma-separated error scales (default 0,0.5,1,2)")
@@ -71,6 +90,9 @@ func run(args []string, stdout io.Writer) error {
 
 	if *regretOn {
 		return runRegret(stdout, *scale, *seed, *errScales, *biases, *headrooms, *regretJSON)
+	}
+	if *reselectOn {
+		return runReselect(stdout, *name, *scale, *seed, *tailCost, *fill, *stepFrac)
 	}
 
 	w, err := loadWorkload(*name, *in, *nodes, *scale, *seed)
@@ -93,10 +115,24 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var acc *accuracy.Tracker
+	var shadow *accuracy.Shadow
 	opts := sim.Options{}
 	if *accOn {
-		acc = accuracy.New()
+		acc = accuracy.New(accuracy.WithCostRatio(*tailCost))
 		opts.Accuracy = acc
+		if *shadowOn {
+			stable, err := exp.Stable(w)
+			if err != nil {
+				return err
+			}
+			shadow = accuracy.NewShadow(stable,
+				accuracy.New(accuracy.WithCostRatio(*tailCost)), 0)
+			// OnFinish runs before the serving predictor observes the
+			// completion, so the stable scores on the same footing.
+			opts.OnFinish = func(now int64, j *workload.Job) {
+				shadow.ScoreAndObserve(j, float64(j.RunTime))
+			}
+		}
 	}
 	res, err := sim.Run(w, pol, pred, opts)
 	if err != nil {
@@ -117,6 +153,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if acc != nil {
 		printAccuracy(stdout, acc)
+	}
+	if shadow != nil {
+		printScoreboard(stdout, shadow)
 	}
 
 	if *csvOut != "" {
@@ -194,7 +233,8 @@ func overrideFloats(def []float64, s string) ([]float64, error) {
 
 // printAccuracy reports the per-key prediction-error summary accumulated
 // during the run (one key per workload name; minutes for readability, as
-// in the paper's tables).
+// in the paper's tables), including the signed tail quantiles and the
+// asymmetric cost the TARE view argues schedulers actually pay.
 func printAccuracy(stdout io.Writer, acc *accuracy.Tracker) {
 	for _, key := range acc.Keys() {
 		ks := acc.Snapshot()[key]
@@ -203,7 +243,60 @@ func printAccuracy(stdout io.Writer, acc *accuracy.Tracker) {
 		fmt.Fprintf(stdout, "accuracy[%s] mean err %.2f min, rms %.2f min, abs p50/p90/p99 %.1f / %.1f / %.1f min\n",
 			key, ks.MeanError/60, ks.RMSError/60,
 			ks.P50AbsError/60, ks.P90AbsError/60, ks.P99AbsError/60)
+		fmt.Fprintf(stdout, "accuracy[%s] signed p50/p90/p99 %.1f / %.1f / %.1f min, asym cost %.2f min (ratio %g), tail score %.2f min\n",
+			key, ks.P50Error/60, ks.P90Error/60, ks.P99Error/60,
+			ks.MeanAsymCost/60, ks.CostRatio, ks.TailScore/60)
 	}
+}
+
+// printScoreboard reports the shadow stable's ranking after the run.
+func printScoreboard(stdout io.Writer, shadow *accuracy.Shadow) {
+	fmt.Fprintln(stdout, "shadow scoreboard (window tail score, minutes; lower is better)")
+	for i, e := range shadow.Scoreboard() {
+		state := "eligible"
+		if !e.Eligible {
+			state = "warming"
+		}
+		fmt.Fprintf(stdout, "  #%d %-16s %10.2f  (%s, %d scored, mean err %.2f min)\n",
+			i+1, e.Name, e.Score/60, state, e.Snapshot.Count, e.Snapshot.MeanError/60)
+	}
+}
+
+// runReselect executes the drift-injection re-selection comparison and
+// prints one block per workload: what switched, when, and whether the
+// adaptive arm's post-step asymmetric cost beats the pinned baseline.
+func runReselect(stdout io.Writer, name string, scale int, seed int64, tailCost, fill, stepFrac float64) error {
+	dc := exp.DefaultDriftConfig()
+	dc.CostRatio, dc.Fill, dc.StepFrac = tailCost, fill, stepFrac
+	var names []string
+	if name != "" {
+		names = []string{name}
+	}
+	cfg := exp.DefaultConfig
+	cfg.Scale, cfg.Seed = scale, seed
+	results, err := exp.ReselectSweep(names, dc, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "drift-injection re-selection sweep (policy Backfill, fill %.2f, step at %.0f%%, cost ratio %g)\n",
+		dc.Fill, 100*dc.StepFrac, dc.CostRatio)
+	for _, r := range results {
+		fmt.Fprintf(stdout, "%s: step at job %d, %d post-step completions\n",
+			r.Workload, r.StepAt, r.Baseline.N)
+		fmt.Fprintf(stdout, "  baseline %-12s post-step tail %8.1f min, mean asym cost %8.1f min\n",
+			r.Baseline.Predictor, r.Baseline.PostTail/60, r.Baseline.PostMeanCost/60)
+		fmt.Fprintf(stdout, "  adaptive %-12s post-step tail %8.1f min, mean asym cost %8.1f min\n",
+			r.Adaptive.Predictor, r.Adaptive.PostTail/60, r.Adaptive.PostMeanCost/60)
+		for _, ev := range r.Adaptive.Events {
+			fmt.Fprintf(stdout, "  switch #%d at completion %d: %s -> %s (score %.1f -> %.1f min, drift p=%.2g)\n",
+				ev.Seq, ev.Completions, ev.From, ev.To, ev.FromScore/60, ev.ToScore/60, ev.Drift.P)
+		}
+		if r.Adaptive.Switches == 0 {
+			fmt.Fprintln(stdout, "  no switch")
+		}
+		fmt.Fprintf(stdout, "  welch t=%.2f p=%.3g on per-completion asymmetric cost\n", r.T, r.P)
+	}
+	return nil
 }
 
 func loadWorkload(name, in string, nodes, scale int, seed int64) (*workload.Workload, error) {

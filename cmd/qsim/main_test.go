@@ -127,7 +127,8 @@ func TestRunAccuracySummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"accuracy[SDSC95] scored", "mean err", "rms", "abs p50/p90/p99"} {
+	for _, want := range []string{"accuracy[SDSC95] scored", "mean err", "rms", "abs p50/p90/p99",
+		"signed p50/p90/p99", "asym cost", "(ratio 2)", "tail score"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
 		}
@@ -139,5 +140,43 @@ func TestRunAccuracySummary(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "accuracy[") {
 		t.Fatalf("accuracy printed without -accuracy:\n%s", sb.String())
+	}
+}
+
+func TestRunAccuracyShadowScoreboard(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-workload", "CTC", "-scale", "100", "-predictor", "smith",
+		"-accuracy", "-shadow", "-tail-cost", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"shadow scoreboard", "(ratio 4)",
+		"smith", "gibbons", "downey-avg", "maxrt", "globalmean", "smith>maxrt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "#") < 6 {
+		t.Fatalf("scoreboard should rank all six stable members:\n%s", out)
+	}
+}
+
+// TestRunReselectSweep drives the full drift-injection pipeline on one
+// small workload: the injected step must fire drift, switch the serving
+// predictor away from the template predictor, and report the Welch-t
+// comparison against the pinned baseline.
+func TestRunReselectSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-reselect", "-workload", "CTC", "-scale", "40"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"drift-injection re-selection sweep",
+		"baseline smith", "adaptive", "switch #1", "welch t="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
 	}
 }

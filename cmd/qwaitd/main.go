@@ -10,6 +10,8 @@
 //	       [-admit-classes interactive=10m:always,standard=1h:shed]
 //	       [-admit-headroom 1.5] [-admit-policy Backfill]
 //	       [-admit-overflow batch] [-admit-token-window 1h] [-admit-state]
+//	       [-shadow] [-reselect] [-tail-cost 2] [-reselect-window 64]
+//	       [-reselect-dwell 128]
 //
 //	POST /v1/observe      {"job": {...}}                 record a completion
 //	POST /v1/predict      {"job": {...}, "age": 120}     run-time prediction
@@ -23,6 +25,7 @@
 //	GET  /v1/metrics                                      metrics (JSON or Prometheus text)
 //	GET  /v1/traces                                       recently kept request traces
 //	GET  /v1/accuracy                                     online prediction-accuracy stats
+//	GET  /v1/stable                                       predictor scoreboard + switch events (-shadow/-reselect)
 //	GET  /debug/pprof/                                    profiles (-pprof)
 //
 // Job objects carry the Table-2 characteristics (user, executable, queue,
@@ -51,6 +54,19 @@
 // -admit-overflow names the spill-over class, and -admit-token-window
 // sets the admission-token replenishment period. Decisions surface as
 // admission.* counters on /v1/metrics and admission.decide trace spans.
+//
+// With -shadow, every observation also scores a whole predictor stable
+// (template predictor, Gibbons, Downey, maximum run times, global mean,
+// smith>maxrt) side by side; GET /v1/stable serves the live tail-score
+// scoreboard and the accuracy.shadow.* gauges join /v1/metrics. -reselect
+// additionally arms the drift-adaptive controller: when the serving
+// predictor's error distribution deteriorates (Welch-t confirmed), the
+// daemon switches to the scoreboard winner — predictions then come from,
+// and are labeled with, the new predictor — with hysteresis and a
+// -reselect-dwell completion floor between switches. -tail-cost sets the
+// asymmetric cost ratio (how many over-prediction seconds one second of
+// under-prediction is worth) used by every accuracy stream, and
+// -reselect-window the scoring window.
 //
 // The -state flag (single-file checkpoints, saved only on graceful
 // shutdown) is deprecated. With both -state and -data, the old state file
@@ -246,6 +262,11 @@ func build(args []string, stdout io.Writer) (*app, error) {
 	admitOverflow := fs.String("admit-overflow", "", "class whose remaining budget over-budget sheddable jobs may overflow into")
 	admitTokenWindow := fs.Duration("admit-token-window", time.Hour, "replenishment window for per-class admission tokens")
 	admitState := fs.Bool("admit-state", false, "also learn state-based wait estimates (paper §5) from admitted jobs' realized waits")
+	shadowOn := fs.Bool("shadow", false, "shadow-score the full predictor stable on every observation (scoreboard at /v1/stable)")
+	reselectOn := fs.Bool("reselect", false, "switch the serving predictor to the shadow-scoreboard winner on confirmed drift (implies -shadow)")
+	tailCost := fs.Float64("tail-cost", 0, "asymmetric cost ratio for accuracy scoring: seconds of over-prediction one under-prediction second costs (0 = default 2)")
+	reselectWindow := fs.Int("reselect-window", 0, "accuracy window for the serving and shadow streams (0 = default 64)")
+	reselectDwell := fs.Int64("reselect-dwell", 0, "minimum completions between predictor switches (0 = 2x window)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -393,6 +414,20 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		srv.SetAdmission(ctrl)
 		fmt.Fprintf(stdout, "admission: %s, headroom %g, policy %s\n",
 			admission.FormatClasses(classes), *admitHeadroom, pol.Name())
+	}
+	if *reselectOn || *shadowOn {
+		srv.EnableReselect(service.ReselectOptions{
+			CostRatio: *tailCost,
+			Window:    *reselectWindow,
+			MinDwell:  *reselectDwell,
+			Switching: *reselectOn,
+		})
+		mode := "shadow-only"
+		if *reselectOn {
+			mode = "reselect on confirmed drift"
+		}
+		fmt.Fprintf(stdout, "stable: shadow scoring %d predictors (%s)\n",
+			len(srv.Reselector().Shadow().Members()), mode)
 	}
 	fmt.Fprintf(stdout, "configured: %d templates, %d-node machine\n", len(ts), *nodes)
 	return &app{

@@ -77,6 +77,59 @@ func TestBuildObservabilityFlags(t *testing.T) {
 	}
 }
 
+func TestBuildReselectFlags(t *testing.T) {
+	var sb strings.Builder
+	a, err := build([]string{"-reselect", "-tail-cost", "3", "-reselect-window", "16"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.srv.Reselector()
+	if r == nil {
+		t.Fatal("-reselect did not attach a controller")
+	}
+	if got := r.Serving().CostRatio(); got != 3 {
+		t.Fatalf("cost ratio = %v, want 3", got)
+	}
+	if got := r.Serving().Window(); got != 16 {
+		t.Fatalf("window = %d, want 16", got)
+	}
+	if n := len(r.Shadow().Members()); n != 6 {
+		t.Fatalf("stable has %d members, want 6", n)
+	}
+	if !strings.Contains(sb.String(), "stable: shadow scoring 6 predictors (reselect on confirmed drift)") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	// /v1/stable mounted and live.
+	ts := httptest.NewServer(a.srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/stable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stable struct {
+		Enabled  bool `json:"enabled"`
+		Reselect bool `json:"reselect"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stable)
+	resp.Body.Close()
+	if err != nil || !stable.Enabled || !stable.Reselect {
+		t.Fatalf("stable = %+v (err %v), want enabled with switching", stable, err)
+	}
+
+	// -shadow alone leaves switching off.
+	sb.Reset()
+	a, err = build([]string{"-shadow"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.srv.Reselector() == nil {
+		t.Fatal("-shadow did not attach the stable")
+	}
+	if !strings.Contains(sb.String(), "(shadow-only)") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}
+
 func TestBuildWithWarmAndState(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "warm.swf")

@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/obs/accuracy"
+	"repro/internal/predict"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The drift-injection experiment: prove end-to-end that the re-selection
+// controller earns its keep. A step change is injected into a study
+// workload (every post-step job runs at a fixed fraction of its maximum
+// run time — InjectRuntimeStep), which makes any history-trained
+// predictor under-predict by most of the limit while the maximum-run-time
+// predictor becomes near-exact by construction. The workload is then
+// scheduled twice: once with the template predictor pinned (baseline),
+// once under a Reselector over the full stable. Both variants score every
+// post-step completion identically — the serving estimate immediately
+// before the predictor observes it — and the variants are compared by
+// per-completion asymmetric cost with a Welch t-test.
+
+// Stable builds the full predictor stable for w: the template predictor
+// (first — re-selection starts from it), Gibbons, Downey, maximum run
+// times, the global mean, and the deployment chain smith>maxrt. Every
+// member is a fresh instance so shadow training is independent.
+func Stable(w *workload.Workload) ([]accuracy.Member, error) {
+	smith, err := NewPredictor(KindSmith, w)
+	if err != nil {
+		return nil, err
+	}
+	gib, err := NewPredictor(KindGibbons, w)
+	if err != nil {
+		return nil, err
+	}
+	dow, err := NewPredictor(KindDowneyAvg, w)
+	if err != nil {
+		return nil, err
+	}
+	chainSmith, err := NewPredictor(KindSmith, w)
+	if err != nil {
+		return nil, err
+	}
+	chain := predict.NewChain(chainSmith, predict.MaxRuntime{})
+	return []accuracy.Member{
+		{Name: smith.Name(), P: smith},
+		{Name: gib.Name(), P: gib},
+		{Name: dow.Name(), P: dow},
+		{Name: predict.MaxRuntime{}.Name(), P: predict.MaxRuntime{}},
+		{Name: (&predict.RunningMean{}).Name(), P: &predict.RunningMean{}},
+		{Name: chain.Name(), P: chain},
+	}, nil
+}
+
+// DriftConfig tunes the injected regime change and the controller.
+type DriftConfig struct {
+	StepFrac  float64 // step position as a fraction of the trace (default 0.5)
+	Fill      float64 // post-step run time as a fraction of MaxRunTime (default 0.95)
+	CostRatio float64 // asymmetric cost ratio (default stats.DefaultCostRatio)
+	Window    int     // tracker window for serving + shadow streams (default 32)
+	MinDwell  int64   // completions between switches (default 2×Window)
+}
+
+// DefaultDriftConfig returns the EXPERIMENTS.md sweep configuration.
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{StepFrac: 0.5, Fill: 0.95, CostRatio: stats.DefaultCostRatio, Window: 32, MinDwell: 64}
+}
+
+func (dc *DriftConfig) fill() {
+	if dc.StepFrac <= 0 || dc.StepFrac >= 1 {
+		dc.StepFrac = 0.5
+	}
+	if dc.Fill <= 0 {
+		dc.Fill = 0.95
+	}
+	if dc.CostRatio <= 0 {
+		dc.CostRatio = stats.DefaultCostRatio
+	}
+	if dc.Window < 2 {
+		dc.Window = 32
+	}
+	if dc.MinDwell <= 0 {
+		dc.MinDwell = 2 * int64(dc.Window)
+	}
+}
+
+// ReselectVariant is one arm of the comparison.
+type ReselectVariant struct {
+	Reselect     bool                   `json:"reselect"`
+	Predictor    string                 `json:"predictor"` // serving predictor at the end of the run
+	Switches     int64                  `json:"switches"`
+	Events       []accuracy.SwitchEvent `json:"events,omitempty"`
+	N            int                    `json:"postStepCompletions"`
+	PostTail     float64                `json:"postTailScore"`       // TailCompositeSample over post-step signed errors
+	PostMeanCost float64                `json:"postMeanCostSeconds"` // mean per-completion asymmetric cost
+	costs        []float64              // per-completion asymmetric cost, for the t-test
+}
+
+// ReselectResult is one workload's baseline-versus-adaptive comparison.
+type ReselectResult struct {
+	Workload  string          `json:"workload"`
+	Policy    string          `json:"policy"`
+	StepAt    int             `json:"stepAt"`
+	Fill      float64         `json:"fill"`
+	CostRatio float64         `json:"costRatio"`
+	Baseline  ReselectVariant `json:"baseline"`
+	Adaptive  ReselectVariant `json:"adaptive"`
+	// T and P compare the two variants' per-completion post-step
+	// asymmetric costs (Welch, two-sided).
+	T float64 `json:"t"`
+	P float64 `json:"p"`
+}
+
+// ReselectExperiment runs the drift-injection comparison on one workload.
+func ReselectExperiment(w *workload.Workload, pol sim.Policy, dc DriftConfig, cfg Config) (ReselectResult, error) {
+	dc.fill()
+	stepAt := int(dc.StepFrac * float64(len(w.Jobs)))
+	wl := w.InjectRuntimeStep(stepAt, dc.Fill)
+	post := make(map[int]bool, len(wl.Jobs)-stepAt)
+	for _, j := range wl.Jobs[stepAt:] {
+		post[j.ID] = true
+	}
+
+	base, err := reselectVariant(wl, pol, dc, post, false)
+	if err != nil {
+		return ReselectResult{}, err
+	}
+	adapt, err := reselectVariant(wl, pol, dc, post, true)
+	if err != nil {
+		return ReselectResult{}, err
+	}
+	out := ReselectResult{
+		Workload: w.Name, Policy: pol.Name(),
+		StepAt: stepAt, Fill: dc.Fill, CostRatio: dc.CostRatio,
+		Baseline: base, Adaptive: adapt,
+	}
+	var mb, ma stats.Moments
+	for _, c := range base.costs {
+		mb.Add(c)
+	}
+	for _, c := range adapt.costs {
+		ma.Add(c)
+	}
+	if r, err := stats.WelchTMoments(ma, mb); err == nil {
+		out.T, out.P = r.T, r.P
+	}
+	return out, nil
+}
+
+// reselectVariant schedules wl once, serving either the pinned template
+// predictor or the full re-selection pipeline, and scores every post-step
+// completion with the estimate in force immediately before the predictor
+// observes it.
+func reselectVariant(wl *workload.Workload, pol sim.Policy, dc DriftConfig, post map[int]bool, reselect bool) (ReselectVariant, error) {
+	stable, err := Stable(wl)
+	if err != nil {
+		return ReselectVariant{}, err
+	}
+	var pred predict.Predictor = stable[0].P
+	var r *accuracy.Reselector
+	if reselect {
+		sw := predict.NewSwitchable(stable[0].P)
+		shadowTr := accuracy.New(accuracy.WithWindow(dc.Window), accuracy.WithCostRatio(dc.CostRatio))
+		sh := accuracy.NewShadow(stable, shadowTr, dc.Window)
+		serving := accuracy.New(
+			accuracy.WithWindow(dc.Window),
+			accuracy.WithMinBaseline(dc.Window),
+			accuracy.WithCostRatio(dc.CostRatio),
+		)
+		r = accuracy.NewReselector(sw, sh, serving, accuracy.ReselectConfig{MinDwell: dc.MinDwell})
+		pred = r
+	}
+
+	v := ReselectVariant{Reselect: reselect}
+	var errs []float64
+	opts := sim.Options{
+		// OnFinish runs before the engine feeds the completion to the
+		// predictor, so the estimate is the one a queued job would have
+		// been given at this instant.
+		OnFinish: func(now int64, j *workload.Job) {
+			if !post[j.ID] {
+				return
+			}
+			e := float64(predict.Estimate(pred, j, 0, predict.DefaultRuntime) - j.RunTime)
+			errs = append(errs, e)
+			v.costs = append(v.costs, stats.AsymCost(e, dc.CostRatio))
+		},
+	}
+	if _, err := sim.Run(wl, pol, pred, opts); err != nil {
+		return ReselectVariant{}, err
+	}
+	v.Predictor = pred.Name()
+	if r != nil {
+		v.Switches = r.Switches()
+		v.Events = r.Events()
+	}
+	v.N = len(errs)
+	if len(errs) > 0 {
+		v.PostTail = stats.TailCompositeSample(errs, dc.CostRatio)
+		var m stats.Moments
+		for _, c := range v.costs {
+			m.Add(c)
+		}
+		v.PostMeanCost = m.Mean
+	}
+	return v, nil
+}
+
+// ReselectSweep runs the drift-injection comparison across the study
+// workloads (or the single named one) under Backfill.
+func ReselectSweep(names []string, dc DriftConfig, cfg Config) ([]ReselectResult, error) {
+	if len(names) == 0 {
+		names = workload.StudyNames
+	}
+	pol := sched.ByName("Backfill")
+	if pol == nil {
+		return nil, fmt.Errorf("exp: Backfill policy unavailable")
+	}
+	out := make([]ReselectResult, 0, len(names))
+	for i, name := range names {
+		w, err := workload.Study(name, cfg.Scale, cfg.Seed+int64(i)*1000)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ReselectExperiment(w, pol, dc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -71,6 +71,32 @@ func admissionMetrics(reg *obs.Registry, class string) {
 	reg.Counter("admission.class." + class + ".Admitted").Inc() // want `metric name fragment "\.Admitted" is not snake_case`
 }
 
+// tailAndReselect exercises the tail-score gauge family the accuracy
+// tracker publishes per key, the shadow scoreboard family (member name is
+// the dynamic part), and the re-selection controller counters, so the
+// observability surface added with predictor re-selection stays
+// snake_case.
+func tailAndReselect(reg *obs.Registry, key, member string) {
+	reg.Gauge("accuracy." + key + ".p50_error_seconds").Set(0)            // ok
+	reg.Gauge("accuracy." + key + ".p90_error_seconds").Set(0)            // ok
+	reg.Gauge("accuracy." + key + ".p99_error_seconds").Set(0)            // ok
+	reg.Gauge("accuracy." + key + ".mean_asym_cost_seconds").Set(0)       // ok
+	reg.Gauge("accuracy." + key + ".tail_score").Set(0)                   // ok
+	reg.Gauge("accuracy." + key + ".window_tail_score").Set(0)            // ok
+	reg.Gauge("accuracy.shadow." + member + ".count").SetInt(0)           // ok
+	reg.Gauge("accuracy.shadow." + member + ".window_tail_score").Set(0)  // ok
+	reg.Gauge("accuracy.reselect.switches").SetInt(0)                     // ok
+	reg.Gauge("accuracy.reselect.considered").SetInt(0)                   // ok
+	reg.Gauge("accuracy.reselect.held_dwell").SetInt(0)                   // ok
+	reg.Gauge("accuracy.reselect.held_hysteresis").SetInt(0)              // ok
+	reg.Gauge("accuracy.reselect.held_incumbent").SetInt(0)               // ok
+	reg.Gauge("accuracy.reselect.held_improving").SetInt(0)               // ok
+	reg.Gauge("accuracy.reselect.completions").SetInt(0)                  // ok
+	reg.Gauge("accuracy." + key + ".tailScore").Set(0)                    // want `metric name fragment "\.tailScore" is not snake_case`
+	reg.Gauge("accuracy.reselect.heldDwell").SetInt(0)                    // want `metric name "accuracy.reselect.heldDwell" is not snake_case`
+	reg.Gauge("accuracy.shadow." + member + ".windowTailScore").SetInt(0) // want `metric name fragment "\.windowTailScore" is not snake_case`
+}
+
 func logging(endpoint string) {
 	l := obs.NewLogger(io.Discard, obs.LevelDebug)
 	l.Info("listening", "addr", ":8080", "badKey", 2)       // want `log key "badKey" is not snake_case`

@@ -75,6 +75,11 @@ type stream struct {
 	under  int64         // predicted < actual
 	exact  int64         // predicted == actual
 
+	overErr   obs.Histogram // over-prediction magnitudes (signed tail, see tail.go)
+	underErr  obs.Histogram // under-prediction magnitudes
+	overCost  float64       // Σ over-prediction seconds
+	underCost float64       // Σ under-prediction seconds (unscaled; ratio applies at read)
+
 	ring  []float64     // recent signed errors (bounded window)
 	pos   int           // next write position once the ring is full
 	win   stats.Moments // moments of the ring's current contents
@@ -84,12 +89,36 @@ type stream struct {
 	drift Drift
 }
 
+// scoreSample is the per-sample scoring core: every ledger a stream keeps
+// that does not depend on tracker configuration — Welford moments,
+// absolute-error histogram, sign counts, and the tail state (tail.go).
+// The caller holds the stream exclusively (Record under the tracker
+// mutex; benchmarks and the shadow scorer on streams they own), supplies
+// any notion of time itself, and no lock is taken beyond the histograms'
+// one-time lint-allowed seeding.
+//
+// hotpath: no-lock no-clock
+func (s *stream) scoreSample(e float64) {
+	s.err.Add(e)
+	s.absErr.Observe(math.Abs(e))
+	switch {
+	case e > 0:
+		s.over++
+	case e < 0:
+		s.under++
+	default:
+		s.exact++
+	}
+	s.scoreTail(e)
+}
+
 // Tracker maintains accuracy streams by key.
 type Tracker struct {
 	window      int
 	minBaseline int
 	alpha       float64
 	confirm     int
+	costRatio   float64
 	onDrift     func(key string, d Drift)
 
 	mu      sync.Mutex
@@ -142,6 +171,18 @@ func WithConfirm(n int) Option {
 	}
 }
 
+// WithCostRatio sets the asymmetric cost ratio: how many seconds of
+// over-prediction one second of under-prediction is worth in the tail
+// composite and the mean asymmetric cost (stats.AsymCost). Values at or
+// below zero keep the default.
+func WithCostRatio(r float64) Option {
+	return func(t *Tracker) {
+		if r > 0 {
+			t.costRatio = r
+		}
+	}
+}
+
 // WithOnDrift installs f, called once each time a key's detector
 // transitions into drift (not on every drifting sample). f runs outside
 // the tracker's lock; it may call back into the tracker.
@@ -156,6 +197,7 @@ func New(opts ...Option) *Tracker {
 		minBaseline: DefaultMinBaseline,
 		alpha:       DefaultAlpha,
 		confirm:     DefaultConfirm,
+		costRatio:   stats.DefaultCostRatio,
 		streams:     make(map[string]*stream),
 	}
 	for _, o := range opts {
@@ -166,6 +208,30 @@ func New(opts ...Option) *Tracker {
 
 // Window returns the configured recent-error window size.
 func (t *Tracker) Window() int { return t.window }
+
+// CostRatio returns the configured asymmetric cost ratio.
+func (t *Tracker) CostRatio() float64 { return t.costRatio }
+
+// DriftState returns the latest drift state for key, or a zero Drift if
+// the key is unknown or has not run a drift test yet.
+func (t *Tracker) DriftState(key string) Drift {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.streams[key]; ok {
+		return s.drift
+	}
+	return Drift{}
+}
+
+// Reset discards all accumulated state for key. The re-selection
+// controller calls it after switching predictors so the stream scores the
+// new regime from scratch — keeping the old baseline would hold the drift
+// detector in alarm against history the new predictor never produced.
+func (t *Tracker) Reset(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.streams, key)
+}
 
 // Record feeds one completion under key: the run time that was predicted
 // for the job and the run time it actually achieved, both in seconds.
@@ -181,16 +247,7 @@ func (t *Tracker) Record(key string, predicted, actual float64) {
 		s = &stream{}
 		t.streams[key] = s
 	}
-	s.err.Add(e)
-	s.absErr.Observe(math.Abs(e))
-	switch {
-	case e > 0:
-		s.over++
-	case e < 0:
-		s.under++
-	default:
-		s.exact++
-	}
+	s.scoreSample(e)
 	// Window update: a full ring evicts its oldest error into the baseline.
 	if len(s.ring) < t.window {
 		s.ring = append(s.ring, e)
@@ -254,10 +311,26 @@ type KeySnapshot struct {
 	Under        int64   `json:"under"`
 	Exact        int64   `json:"exact"`
 	Drift        Drift   `json:"drift"`
+
+	// Tail view (tail.go): signed-error quantiles composed from the
+	// over/under magnitude histograms, asymmetric costs, and the
+	// TARE-style tail-weighted composites. WindowTailScore covers only
+	// the recent drift window and is what the shadow scoreboard ranks by.
+	P50Error         float64 `json:"p50ErrorSeconds"`
+	P90Error         float64 `json:"p90ErrorSeconds"`
+	P99Error         float64 `json:"p99ErrorSeconds"`
+	OverCostSeconds  float64 `json:"overCostSeconds"`
+	UnderCostSeconds float64 `json:"underCostSeconds"`
+	MeanAsymCost     float64 `json:"meanAsymCostSeconds"`
+	CostRatio        float64 `json:"costRatio"`
+	TailScore        float64 `json:"tailScore"`
+	WindowTailScore  float64 `json:"windowTailScore"`
+	WindowCount      int     `json:"windowCount"`
 }
 
 // snapshotLocked builds one key's snapshot; the caller holds the lock.
-func (s *stream) snapshotLocked() KeySnapshot {
+// ratio is the tracker's asymmetric cost ratio.
+func (s *stream) snapshotLocked(ratio float64) KeySnapshot {
 	hs := s.absErr.Snapshot()
 	ks := KeySnapshot{
 		Count:        int64(s.err.N),
@@ -278,6 +351,7 @@ func (s *stream) snapshotLocked() KeySnapshot {
 		// that provides the mean, no second pass over the stream.
 		ks.RMSError = math.Sqrt(s.err.M2/n + s.err.Mean*s.err.Mean)
 	}
+	s.tailSnapshotLocked(&ks, ratio)
 	return ks
 }
 
@@ -287,7 +361,7 @@ func (t *Tracker) Snapshot() map[string]KeySnapshot {
 	defer t.mu.Unlock()
 	out := make(map[string]KeySnapshot, len(t.streams))
 	for k, s := range t.streams {
-		out[k] = s.snapshotLocked()
+		out[k] = s.snapshotLocked(t.costRatio)
 	}
 	return out
 }
@@ -321,6 +395,12 @@ func (t *Tracker) Publish(reg *obs.Registry) {
 		reg.Gauge(prefix + "p99_abs_error_seconds").Set(ks.P99AbsError)
 		reg.Gauge(prefix + "over").SetInt(ks.Over)
 		reg.Gauge(prefix + "under").SetInt(ks.Under)
+		reg.Gauge(prefix + "p50_error_seconds").Set(ks.P50Error)
+		reg.Gauge(prefix + "p90_error_seconds").Set(ks.P90Error)
+		reg.Gauge(prefix + "p99_error_seconds").Set(ks.P99Error)
+		reg.Gauge(prefix + "mean_asym_cost_seconds").Set(ks.MeanAsymCost)
+		reg.Gauge(prefix + "tail_score").Set(ks.TailScore)
+		reg.Gauge(prefix + "window_tail_score").Set(ks.WindowTailScore)
 		reg.Gauge(prefix + "drift_p").Set(ks.Drift.P)
 		var drifting float64
 		if ks.Drift.Drifting {

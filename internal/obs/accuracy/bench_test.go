@@ -1,0 +1,53 @@
+package accuracy
+
+import (
+	"testing"
+
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// BenchmarkAccuracyRecord times one completion through a tracker stream:
+// the scoring core (Welford moments, histograms, sign counts, tail state —
+// the // hotpath: no-lock no-clock region) plus the window ring and the
+// Welch-t drift test. This is the per-completion cost every serving and
+// shadow stream pays.
+func BenchmarkAccuracyRecord(b *testing.B) {
+	tr := New()
+	gen := lcg{s: 9}
+	// Pre-generate errors so the generator is not in the timed loop.
+	errs := make([]float64, 4096)
+	for i := range errs {
+		errs[i] = 200*gen.next() - 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Record("bench", 100+errs[i&4095], 100)
+	}
+}
+
+// BenchmarkAccuracyShadowScore times one completion through the full
+// shadow pipeline: every stable member predicts, every estimate is
+// recorded, and the non-external members observe. The per-member cost
+// here is what a deployment pays on every /v1/observe with -shadow on.
+func BenchmarkAccuracyShadowScore(b *testing.B) {
+	stable := []Member{
+		{Name: "const100", P: constPred{name: "const100", v: 100}},
+		{Name: "actual", P: predict.Oracle{}},
+		{Name: "maxrt", P: predict.MaxRuntime{}},
+		{Name: "globalmean", P: &predict.RunningMean{}},
+	}
+	sh := NewShadow(stable, New(), 0)
+	gen := lcg{s: 9}
+	jobs := make([]*workload.Job, 256)
+	for i := range jobs {
+		jobs[i] = &workload.Job{ID: i, RunTime: 100 + int64(50*gen.next()), MaxRunTime: 400}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := jobs[i&255]
+		sh.ScoreAndObserve(j, float64(j.RunTime))
+	}
+}

@@ -1,0 +1,236 @@
+package accuracy
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/predict"
+	"repro/internal/workload"
+)
+
+// constPred predicts a fixed total run time for every job.
+type constPred struct {
+	name string
+	v    int64
+}
+
+func (c constPred) Name() string                               { return c.name }
+func (c constPred) Predict(*workload.Job, int64) (int64, bool) { return c.v, true }
+func (constPred) Observe(*workload.Job)                        {}
+
+// job builds a completed job at sequence i with the given run time.
+func job(i int, rt int64) *workload.Job {
+	return &workload.Job{ID: i, RunTime: rt, EndTime: int64(i) * 10}
+}
+
+// runTimes produces n run times around base with a small deterministic
+// spread (the drift t-test needs non-zero variance).
+func runTimes(gen *lcg, n int, base int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(10*gen.next())
+	}
+	return out
+}
+
+func newTestReselector(onSwitch func(SwitchEvent)) *Reselector {
+	stable := []Member{
+		{Name: "const100", P: constPred{name: "const100", v: 100}},
+		{Name: "actual", P: predict.Oracle{}},
+	}
+	shadowTr := New(WithWindow(8))
+	sh := NewShadow(stable, shadowTr, 8)
+	serving := New(WithWindow(8), WithMinBaseline(8), WithConfirm(2))
+	sw := predict.NewSwitchable(stable[0].P)
+	return NewReselector(sw, sh, serving, ReselectConfig{
+		MinDwell: 4,
+		OnSwitch: onSwitch,
+	})
+}
+
+// TestReselectOnInjectedDrift is the end-to-end controller test: a step
+// change in run times drives the serving stream into confirmed drift, the
+// scoreboard ranks the oracle above the stale constant predictor, and the
+// controller switches exactly once, emitting the structured event.
+func TestReselectOnInjectedDrift(t *testing.T) {
+	var fired []SwitchEvent
+	r := newTestReselector(func(ev SwitchEvent) { fired = append(fired, ev) })
+	gen := lcg{s: 11}
+
+	i := 0
+	for _, rt := range runTimes(&gen, 60, 100) { // const100 is near-exact
+		r.Observe(job(i, rt))
+		i++
+	}
+	if r.Switches() != 0 {
+		t.Fatalf("switched during the stationary phase: %+v", r.Events())
+	}
+	if r.Name() != "const100" {
+		t.Fatalf("serving %q before drift, want const100", r.Name())
+	}
+
+	for _, rt := range runTimes(&gen, 60, 1000) { // step change: const100 under-predicts by ~900
+		r.Observe(job(i, rt))
+		i++
+	}
+	if r.Switches() != 1 {
+		t.Fatalf("Switches = %d, want exactly 1 (events %+v)", r.Switches(), r.Events())
+	}
+	if r.Name() != "actual" {
+		t.Fatalf("serving %q after drift, want actual", r.Name())
+	}
+	evs := r.Events()
+	if len(evs) != 1 || len(fired) != 1 {
+		t.Fatalf("events = %d, callbacks = %d, want 1/1", len(evs), len(fired))
+	}
+	ev := evs[0]
+	if ev.From != "const100" || ev.To != "actual" || ev.Seq != 1 {
+		t.Fatalf("event %+v", ev)
+	}
+	if !(ev.ToScore < ev.FromScore) {
+		t.Fatalf("winner score %v not below incumbent %v", ev.ToScore, ev.FromScore)
+	}
+	if !ev.Drift.Drifting {
+		t.Fatalf("event drift state not drifting: %+v", ev.Drift)
+	}
+
+	// Post-switch the serving stream was reset and scores the oracle: the
+	// window tail recovers to (near) zero.
+	for _, rt := range runTimes(&gen, 20, 1000) {
+		r.Observe(job(i, rt))
+		i++
+	}
+	ks := r.Serving().Snapshot()["serving"]
+	if ks.WindowTailScore >= 1 {
+		t.Fatalf("post-switch WindowTailScore = %v, want ~0 (oracle serving)", ks.WindowTailScore)
+	}
+	if r.Switches() != 1 {
+		t.Fatalf("controller flapped: %d switches", r.Switches())
+	}
+}
+
+// TestReselectHysteresisHoldsNearTies: when the challenger's advantage is
+// inside the hysteresis margin, confirmed drift does not cause a switch.
+func TestReselectHysteresisHoldsNearTies(t *testing.T) {
+	stable := []Member{
+		{Name: "a", P: constPred{name: "a", v: 100}},
+		{Name: "b", P: constPred{name: "b", v: 103}},
+	}
+	sh := NewShadow(stable, New(WithWindow(8)), 8)
+	serving := New(WithWindow(8), WithMinBaseline(8), WithConfirm(2))
+	sw := predict.NewSwitchable(stable[0].P)
+	r := NewReselector(sw, sh, serving, ReselectConfig{MinDwell: 4})
+
+	gen := lcg{s: 5}
+	i := 0
+	for _, rt := range runTimes(&gen, 40, 100) {
+		r.Observe(job(i, rt))
+		i++
+	}
+	// Step change hurts both members almost equally: b leads by ~3 parts
+	// in 900, far inside the 10% hysteresis margin.
+	for _, rt := range runTimes(&gen, 60, 1000) {
+		r.Observe(job(i, rt))
+		i++
+	}
+	if r.Switches() != 0 {
+		t.Fatalf("switched on a near-tie: %+v", r.Events())
+	}
+	reg := obs.NewRegistry()
+	r.Publish(reg)
+	if got := reg.Gauge("accuracy.reselect.held_hysteresis").Value(); got < 1 {
+		t.Fatalf("held_hysteresis = %v, want >= 1", got)
+	}
+	if got := reg.Gauge("accuracy.reselect.switches").Value(); got != 0 {
+		t.Fatalf("switches gauge = %v, want 0", got)
+	}
+}
+
+// TestReselectFrozenScoresButNeverSwitches: shadow-only mode keeps the
+// scoreboard and drift telemetry live while pinning the serving predictor.
+func TestReselectFrozenScoresButNeverSwitches(t *testing.T) {
+	stable := []Member{
+		{Name: "const100", P: constPred{name: "const100", v: 100}},
+		{Name: "actual", P: predict.Oracle{}},
+	}
+	sh := NewShadow(stable, New(WithWindow(8)), 8)
+	serving := New(WithWindow(8), WithMinBaseline(8), WithConfirm(2))
+	sw := predict.NewSwitchable(stable[0].P)
+	r := NewReselector(sw, sh, serving, ReselectConfig{MinDwell: 4, Frozen: true})
+
+	gen := lcg{s: 11}
+	i := 0
+	for _, rt := range runTimes(&gen, 60, 100) {
+		r.Observe(job(i, rt))
+		i++
+	}
+	for _, rt := range runTimes(&gen, 60, 1000) { // same drift that flips the live controller
+		r.Observe(job(i, rt))
+		i++
+	}
+	if r.Switches() != 0 || r.Name() != "const100" {
+		t.Fatalf("frozen controller switched: %d switches, serving %q", r.Switches(), r.Name())
+	}
+	if !r.Serving().DriftState("serving").Drifting {
+		t.Fatal("frozen controller should still detect drift")
+	}
+	if best, ok := r.Shadow().Best(); !ok || best.Name != "actual" {
+		t.Fatalf("frozen scoreboard best = %+v,%v, want actual", best, ok)
+	}
+}
+
+func TestScoreboardRanksAndGates(t *testing.T) {
+	stable := []Member{
+		{Name: "far", P: constPred{name: "far", v: 500}},
+		{Name: "near", P: constPred{name: "near", v: 110}},
+		{Name: "exact", P: predict.Oracle{}},
+	}
+	sh := NewShadow(stable, New(WithWindow(4)), 4)
+	if _, ok := sh.Best(); ok {
+		t.Fatal("Best before any scores, want ineligible")
+	}
+	for i := 0; i < 8; i++ {
+		sh.ScoreAndObserve(&workload.Job{ID: i, RunTime: 100}, 100)
+	}
+	board := sh.Scoreboard()
+	if len(board) != 3 {
+		t.Fatalf("board size %d", len(board))
+	}
+	for i, want := range []string{"exact", "near", "far"} {
+		if board[i].Name != want || !board[i].Eligible {
+			t.Fatalf("board[%d] = %+v, want %s eligible", i, board[i], want)
+		}
+	}
+	if best, ok := sh.Best(); !ok || best.Name != "exact" || best.Score != 0 {
+		t.Fatalf("Best = %+v,%v", best, ok)
+	}
+	if sh.Member("near") == nil || sh.Member("nope") != nil {
+		t.Fatal("Member lookup")
+	}
+}
+
+// TestShadowPublishesMetricFamily: shadow streams surface under the
+// accuracy.shadow.<member>.* gauge family.
+func TestShadowPublishesMetricFamily(t *testing.T) {
+	sh := NewShadow([]Member{{Name: "maxrt", P: predict.MaxRuntime{}}}, New(), 0)
+	sh.ScoreAndObserve(&workload.Job{RunTime: 90, MaxRunTime: 100}, 90)
+	reg := obs.NewRegistry()
+	sh.Publish(reg)
+	if got := reg.Gauge("accuracy.shadow.maxrt.count").Value(); got != 1 {
+		t.Fatalf("accuracy.shadow.maxrt.count = %v, want 1", got)
+	}
+	if got := reg.Gauge("accuracy.shadow.maxrt.tail_score").Value(); got <= 0 {
+		t.Fatalf("accuracy.shadow.maxrt.tail_score = %v, want > 0 (over-prediction of 10)", got)
+	}
+}
+
+// TestExternalMemberIsScoredNotObserved: External members never receive
+// Observe from the shadow (the caller trains them itself).
+func TestExternalMemberIsScoredNotObserved(t *testing.T) {
+	m := &predict.RunningMean{}
+	sh := NewShadow([]Member{{Name: "mean", P: m, External: true}}, New(), 0)
+	sh.ScoreAndObserve(&workload.Job{RunTime: 50}, 50)
+	if _, ok := m.Predict(&workload.Job{}, 0); ok {
+		t.Fatal("external member was observed by the shadow")
+	}
+}

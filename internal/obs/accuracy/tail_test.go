@@ -1,0 +1,167 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// TestTailSnapshotMatchesOfflineRecomputation extends the bit-equality
+// acceptance check to the tail view: signed quantiles, asymmetric costs,
+// and the tail-weighted composites must equal the values recomputed
+// offline from the identical completion stream using the same primitives
+// (magnitude histograms fed in the same order, the same signedQuantile
+// composition, the same stats.TailComposite fold).
+func TestTailSnapshotMatchesOfflineRecomputation(t *testing.T) {
+	const ratio = 3.0
+	tr := New(WithCostRatio(ratio))
+	gen := lcg{s: 2026}
+	errs := make([]float64, 0, 400)
+	for i := 0; i < 400; i++ {
+		actual := 10 + 5000*gen.next()
+		predicted := actual * (0.25 + 1.5*gen.next())
+		errs = append(errs, predicted-actual)
+		tr.Record("all", predicted, actual)
+	}
+
+	var over, under obs.Histogram
+	var overN, underN, exactN int64
+	var overCost, underCost float64
+	for _, e := range errs {
+		switch {
+		case e > 0:
+			over.Observe(e)
+			overN++
+			overCost += e
+		case e < 0:
+			under.Observe(-e)
+			underN++
+			underCost += -e
+		default:
+			exactN++
+		}
+	}
+
+	ks := tr.Snapshot()["all"]
+	if ks.CostRatio != ratio {
+		t.Fatalf("CostRatio = %v, want %v", ks.CostRatio, ratio)
+	}
+	if ks.OverCostSeconds != overCost || ks.UnderCostSeconds != underCost {
+		t.Fatalf("costs = %v/%v, offline %v/%v (must be bit-for-bit equal)",
+			ks.OverCostSeconds, ks.UnderCostSeconds, overCost, underCost)
+	}
+	wantMean := (overCost + ratio*underCost) / float64(len(errs))
+	if ks.MeanAsymCost != wantMean {
+		t.Fatalf("MeanAsymCost = %v, offline %v", ks.MeanAsymCost, wantMean)
+	}
+	p50 := signedQuantile(&under, &over, underN, exactN, overN, 0.50)
+	p90 := signedQuantile(&under, &over, underN, exactN, overN, 0.90)
+	p99 := signedQuantile(&under, &over, underN, exactN, overN, 0.99)
+	if ks.P50Error != p50 || ks.P90Error != p90 || ks.P99Error != p99 {
+		t.Fatalf("signed quantiles = %v/%v/%v, offline %v/%v/%v",
+			ks.P50Error, ks.P90Error, ks.P99Error, p50, p90, p99)
+	}
+	if want := stats.TailComposite(p50, p90, p99, ratio); ks.TailScore != want {
+		t.Fatalf("TailScore = %v, offline %v", ks.TailScore, want)
+	}
+	// The window composite recomputes exactly from the retained sample
+	// tail, because the default window (64) holds the last 64 errors.
+	tail := errs[len(errs)-tr.Window():]
+	if want := stats.TailCompositeSample(tail, ratio); ks.WindowTailScore != want {
+		t.Fatalf("WindowTailScore = %v, offline %v", ks.WindowTailScore, want)
+	}
+	if ks.WindowCount != tr.Window() {
+		t.Fatalf("WindowCount = %d, want %d", ks.WindowCount, tr.Window())
+	}
+}
+
+// TestSignedQuantileRegions pins the three-region composition on a stream
+// whose signed distribution is known exactly.
+func TestSignedQuantileRegions(t *testing.T) {
+	tr := New()
+	// 4 unders (−40, −30, −20, −10), 2 exacts, 4 overs (10, 20, 30, 40).
+	for _, e := range []float64{-40, -30, -20, -10, 0, 0, 10, 20, 30, 40} {
+		tr.Record("k", e, 0)
+	}
+	ks := tr.Snapshot()["k"]
+	if ks.P50Error != 0 {
+		t.Fatalf("P50Error = %v, want 0 (median lands in the exact region)", ks.P50Error)
+	}
+	if ks.P90Error <= 0 || ks.P99Error < ks.P90Error {
+		t.Fatalf("tail quantiles %v/%v: want positive and monotone", ks.P90Error, ks.P99Error)
+	}
+	// An all-under stream has a negative p99.
+	for _, e := range []float64{-40, -30, -20, -10} {
+		tr.Record("neg", e, 0)
+	}
+	if ks := tr.Snapshot()["neg"]; ks.P99Error >= 0 || ks.P50Error > ks.P99Error {
+		t.Fatalf("all-under quantiles p50=%v p99=%v: want negative and monotone",
+			ks.P50Error, ks.P99Error)
+	}
+}
+
+func TestResetAndDriftState(t *testing.T) {
+	tr := New()
+	tr.Record("k", 5, 1)
+	if d := tr.DriftState("k"); d.Drifting || d.WindowN != 0 {
+		t.Fatalf("fresh stream drift state = %+v", d)
+	}
+	if d := tr.DriftState("unknown"); d != (Drift{}) {
+		t.Fatalf("unknown key drift state = %+v", d)
+	}
+	tr.Reset("k")
+	if _, ok := tr.Snapshot()["k"]; ok {
+		t.Fatal("stream survived Reset")
+	}
+}
+
+// FuzzTailScore holds the tail-scorer invariants under arbitrary error
+// streams: signed quantiles are monotone in q, every cost and composite
+// is non-negative, and the sign counts partition the sample count.
+func FuzzTailScore(f *testing.F) {
+	f.Add(uint64(1), uint(50), 2.0)
+	f.Add(uint64(42), uint(3), 0.5)
+	f.Add(uint64(7), uint(200), 10.0)
+	f.Add(uint64(0), uint(1), 1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint, ratio float64) {
+		if n == 0 || n > 2048 {
+			return
+		}
+		if math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+			return
+		}
+		tr := New(WithCostRatio(ratio))
+		gen := lcg{s: seed}
+		for i := uint(0); i < n; i++ {
+			// Errors spanning strongly-under to strongly-over, with a
+			// deliberate mass of exact hits to exercise the middle region.
+			e := 2000 * (gen.next() - 0.5)
+			if gen.next() < 0.1 {
+				e = 0
+			}
+			tr.Record("k", e, 0)
+		}
+		ks := tr.Snapshot()["k"]
+		if ks.Over+ks.Under+ks.Exact != ks.Count {
+			t.Fatalf("over+under+exact = %d+%d+%d != count %d",
+				ks.Over, ks.Under, ks.Exact, ks.Count)
+		}
+		if !(ks.P50Error <= ks.P90Error && ks.P90Error <= ks.P99Error) {
+			t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v",
+				ks.P50Error, ks.P90Error, ks.P99Error)
+		}
+		if ks.OverCostSeconds < 0 || ks.UnderCostSeconds < 0 {
+			t.Fatalf("negative cost: over=%v under=%v",
+				ks.OverCostSeconds, ks.UnderCostSeconds)
+		}
+		if ks.MeanAsymCost < 0 || ks.TailScore < 0 || ks.WindowTailScore < 0 {
+			t.Fatalf("negative composite: mean=%v tail=%v window=%v",
+				ks.MeanAsymCost, ks.TailScore, ks.WindowTailScore)
+		}
+		if ks.WindowCount == 0 || ks.WindowCount > tr.Window() {
+			t.Fatalf("WindowCount = %d with window %d", ks.WindowCount, tr.Window())
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package predict
+
+import (
+	"sync/atomic"
+
+	"repro/internal/workload"
+)
+
+// Switchable is a Predictor whose implementation can be replaced while
+// serving: the re-selection controller (internal/obs/accuracy) swaps in
+// the shadow-scoreboard winner when drift is confirmed. Reads are one
+// atomic pointer load — the predict hot path never sees a lock — and a
+// swap is one pointer store, so a prediction in flight finishes on the
+// predictor it started with.
+type Switchable struct {
+	cur atomic.Pointer[switchBox]
+}
+
+// switchBox wraps the interface value so the atomic pointer always
+// stores one concrete type regardless of which Predictor is installed.
+type switchBox struct {
+	p Predictor
+}
+
+// NewSwitchable starts serving p.
+func NewSwitchable(p Predictor) *Switchable {
+	s := &Switchable{}
+	s.cur.Store(&switchBox{p: p})
+	return s
+}
+
+// Use atomically replaces the serving predictor.
+func (s *Switchable) Use(p Predictor) {
+	s.cur.Store(&switchBox{p: p})
+}
+
+// Current returns the serving predictor.
+func (s *Switchable) Current() Predictor {
+	return s.cur.Load().p
+}
+
+// Name reports the serving predictor's name; it changes across a switch.
+func (s *Switchable) Name() string { return s.Current().Name() }
+
+// Predict delegates to the serving predictor: one atomic pointer load,
+// then whatever the installed predictor costs.
+func (s *Switchable) Predict(j *workload.Job, age int64) (int64, bool) {
+	return s.Current().Predict(j, age)
+}
+
+// Observe delegates to the serving predictor. Under a re-selection
+// controller this is not called — the controller observes the whole
+// stable itself so shadow members keep learning — but a bare Switchable
+// remains a complete Predictor.
+func (s *Switchable) Observe(j *workload.Job) {
+	s.Current().Observe(j)
+}

@@ -1,0 +1,38 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSwitchableDelegatesAndSwaps(t *testing.T) {
+	sw := NewSwitchable(MaxRuntime{})
+	j := &workload.Job{RunTime: 123, MaxRunTime: 600}
+	if sw.Name() != "maxrt" {
+		t.Fatalf("Name = %q, want maxrt", sw.Name())
+	}
+	if got, ok := sw.Predict(j, 0); !ok || got != 600 {
+		t.Fatalf("Predict = %d,%v, want 600,true", got, ok)
+	}
+
+	sw.Use(Oracle{})
+	if sw.Name() != "actual" {
+		t.Fatalf("Name after Use = %q, want actual", sw.Name())
+	}
+	if got, ok := sw.Predict(j, 0); !ok || got != 123 {
+		t.Fatalf("Predict after Use = %d,%v, want 123,true", got, ok)
+	}
+	if _, ok := sw.Current().(Oracle); !ok {
+		t.Fatalf("Current = %T, want Oracle", sw.Current())
+	}
+}
+
+func TestSwitchableObserveDelegates(t *testing.T) {
+	m := &RunningMean{}
+	sw := NewSwitchable(m)
+	sw.Observe(&workload.Job{RunTime: 50})
+	if got, ok := sw.Predict(&workload.Job{}, 0); !ok || got != 50 {
+		t.Fatalf("mean after observe = %d,%v, want 50,true", got, ok)
+	}
+}

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// newReselectServer builds a test server with the stable attached, using a
+// small window so drift confirms within a few dozen observations.
+func newReselectServer(t *testing.T, switching bool) (*httptest.Server, *Server) {
+	t.Helper()
+	pred := core.New(core.DefaultTemplates(
+		workload.MaskOf(workload.CharUser, workload.CharExec), true))
+	s := New(pred, 64)
+	s.EnableReselect(ReselectOptions{
+		Window: 8, MinDwell: 8, CostRatio: 2, Switching: switching,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func getStable(t *testing.T, baseURL string) StableResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/stable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stable status %d", resp.StatusCode)
+	}
+	var sr StableResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// observeStep posts n completions from one user with the given run time
+// and limit, so the core predictor's category history is exercised.
+func observeStep(t *testing.T, baseURL string, startID, n int, rt, maxRT int64) int {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		var ok map[string]bool
+		resp := post(t, baseURL+"/v1/observe",
+			ObserveRequest{Job: job(startID+i, "alice", 8, rt+int64(i%5), maxRT)}, &ok)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe %d: status %d", startID+i, resp.StatusCode)
+		}
+	}
+	return startID + n
+}
+
+func TestStableEndpointDisabled(t *testing.T) {
+	ts, _ := newTestServer(t)
+	sr := getStable(t, ts.URL)
+	if sr.Enabled || sr.Reselect || len(sr.Scoreboard) != 0 || len(sr.Events) != 0 {
+		t.Fatalf("stable without EnableReselect = %+v, want disabled and empty", sr)
+	}
+}
+
+// TestShadowOnlyScoreboard: without switching armed, the stable is scored
+// and ranked — and drift is detected — but the serving predictor is pinned.
+func TestShadowOnlyScoreboard(t *testing.T) {
+	ts, s := newReselectServer(t, false)
+	id := observeStep(t, ts.URL, 0, 40, 600, 4000)
+	observeStep(t, ts.URL, id, 40, 3900, 4000) // step change the core predicts badly
+
+	sr := getStable(t, ts.URL)
+	if !sr.Enabled || sr.Reselect {
+		t.Fatalf("stable = %+v, want enabled shadow-only", sr)
+	}
+	if sr.Serving != "smith" || sr.Switches != 0 || len(sr.Events) != 0 {
+		t.Fatalf("shadow-only mode switched: %+v", sr)
+	}
+	if sr.CostRatio != 2 || sr.Window != 8 {
+		t.Fatalf("config echo = ratio %v window %d", sr.CostRatio, sr.Window)
+	}
+	if len(sr.Scoreboard) != 6 {
+		t.Fatalf("scoreboard has %d rows, want 6", len(sr.Scoreboard))
+	}
+	names := map[string]bool{}
+	for _, e := range sr.Scoreboard {
+		names[e.Name] = true
+		if !e.Eligible {
+			t.Fatalf("member %q ineligible after 80 completions", e.Name)
+		}
+	}
+	for _, want := range []string{"smith", "gibbons", "downey-avg", "maxrt", "globalmean", "smith>maxrt"} {
+		if !names[want] {
+			t.Fatalf("scoreboard missing %q: %+v", want, sr.Scoreboard)
+		}
+	}
+	// The stable's drift still registers even though no switch fires.
+	if d := s.Reselector().Serving().DriftState("serving"); !d.Drifting {
+		t.Fatalf("serving stream not drifting after the step: %+v", d)
+	}
+
+	// The new gauge families surface on /v1/metrics.
+	snap := getMetrics(t, ts.URL)
+	if snap.Gauges["accuracy.shadow.maxrt.count"] != 80 {
+		t.Fatalf("accuracy.shadow.maxrt.count = %v, want 80", snap.Gauges["accuracy.shadow.maxrt.count"])
+	}
+	if v, ok := snap.Gauges["accuracy.serving.window_tail_score"]; !ok || v <= 0 {
+		t.Fatalf("accuracy.serving.window_tail_score = %v,%v", v, ok)
+	}
+	if v, ok := snap.Gauges["accuracy.reselect.switches"]; !ok || v != 0 {
+		t.Fatalf("accuracy.reselect.switches = %v,%v, want present and 0", v, ok)
+	}
+
+	// Predictions name the serving predictor.
+	var pr PredictResponse
+	post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(999, "alice", 8, 0, 4000)}, &pr)
+	if pr.Predictor != "smith" {
+		t.Fatalf("predict served by %q, want smith", pr.Predictor)
+	}
+}
+
+// TestReselectSwitchesServing is the end-to-end HTTP test: a run-time step
+// the template predictor cannot follow drives confirmed drift, the
+// controller installs the scoreboard winner, and the predict endpoints
+// serve — and name — the new predictor.
+func TestReselectSwitchesServing(t *testing.T) {
+	ts, _ := newReselectServer(t, true)
+	id := observeStep(t, ts.URL, 0, 40, 600, 4000)
+	sr := getStable(t, ts.URL)
+	if sr.Switches != 0 || sr.Serving != "smith" {
+		t.Fatalf("switched during the stationary phase: %+v", sr)
+	}
+	observeStep(t, ts.URL, id, 60, 3900, 4000)
+
+	sr = getStable(t, ts.URL)
+	if !sr.Enabled || !sr.Reselect {
+		t.Fatalf("stable = %+v, want enabled with switching", sr)
+	}
+	if sr.Switches < 1 || len(sr.Events) == 0 {
+		t.Fatalf("no switch after the step: %+v", sr)
+	}
+	if sr.Serving == "smith" {
+		t.Fatalf("still serving smith after the step: %+v", sr)
+	}
+	ev := sr.Events[0]
+	if ev.From != "smith" {
+		t.Fatalf("first event %+v, want a switch away from smith", ev)
+	}
+	if sr.Switches == 1 && ev.To != sr.Serving {
+		t.Fatalf("single switch to %q but serving %q", ev.To, sr.Serving)
+	}
+	if !ev.Drift.Drifting || !(ev.ToScore < ev.FromScore) {
+		t.Fatalf("switch without confirmed improvement: %+v", ev)
+	}
+	if ev.At == 0 {
+		t.Fatalf("event missing wall-time stamp: %+v", ev)
+	}
+
+	// Single and batch predictions follow the switch and say who served.
+	var pr PredictResponse
+	post(t, ts.URL+"/v1/predict", PredictRequest{Job: job(9999, "alice", 8, 0, 4000)}, &pr)
+	if pr.Predictor != sr.Serving {
+		t.Fatalf("predict served by %q, stable reports %q", pr.Predictor, sr.Serving)
+	}
+	if !pr.OK || pr.Seconds <= 0 {
+		t.Fatalf("switched predictor gave no estimate: %+v", pr)
+	}
+	var br PredictBatchResponse
+	post(t, ts.URL+"/v1/predict/batch", PredictBatchRequest{Jobs: []PredictRequest{
+		{Job: job(9998, "alice", 8, 0, 4000)},
+	}}, &br)
+	if len(br.Results) != 1 || br.Results[0].Predictor != sr.Serving {
+		t.Fatalf("batch results %+v, want served by %q", br.Results, sr.Serving)
+	}
+
+	// The switch is visible in the reselect counter family.
+	snap := getMetrics(t, ts.URL)
+	if v := snap.Gauges["accuracy.reselect.switches"]; v < 1 {
+		t.Fatalf("accuracy.reselect.switches = %v, want >= 1", v)
+	}
+}

@@ -28,6 +28,15 @@
 // also scores the prediction the server would have made for it, feeding
 // the accuracy tracker behind GET /v1/accuracy — the paper's Tables 4–9
 // error columns, computed live, with drift warnings in the log.
+//
+// With EnableReselect (reselect.go), every completion additionally
+// shadow-scores a whole predictor stable — template predictor, Gibbons,
+// Downey, maximum run times, global mean, and the smith>maxrt chain — and
+// GET /v1/stable serves the live scoreboard. When switching is armed, a
+// confirmed deterioration of the serving predictor swaps it for the
+// scoreboard winner; /v1/predict, /v1/predict/batch, and /v1/predictwait
+// follow the switch, and accuracy.reselect.* counters plus structured
+// switch events record the history.
 package service
 
 import (
@@ -98,6 +107,12 @@ type Server struct {
 	acc          *accuracy.Tracker
 	adm          *admission.Controller // nil until SetAdmission; /v1/admit 503s
 
+	// Re-selection (reselect.go): nil until EnableReselect. The controller
+	// serializes the shadow stable behind its own mutex; callers only need
+	// s.mu for the core predictor reads the pipeline makes.
+	resel          *accuracy.Reselector
+	reselSwitching bool // false = shadow-only (scoreboard without switching)
+
 	// Cached instrument handles (allocated once in New, not per request).
 	mObserve     *obs.Counter
 	mPredictOK   *obs.Counter
@@ -117,12 +132,19 @@ func New(pred *core.Predictor, machineNodes int) *Server {
 		mPredictMiss: reg.Counter("service.predict.misses"),
 		mWaitErrors:  reg.Counter("service.predictwait.errors"),
 	}
-	s.acc = accuracy.New(accuracy.WithOnDrift(func(key string, d accuracy.Drift) {
+	s.acc = s.newAccuracyTracker()
+	return s
+}
+
+// newAccuracyTracker builds an accuracy tracker wired to the server's
+// drift-warning log, with any extra options appended.
+func (s *Server) newAccuracyTracker(opts ...accuracy.Option) *accuracy.Tracker {
+	opts = append(opts, accuracy.WithOnDrift(func(key string, d accuracy.Drift) {
 		s.log.Warn("prediction accuracy drift", "key", key,
 			"window_mean_seconds", d.WindowMean, "baseline_mean_seconds", d.BaselineMean,
 			"p", d.P, "t", d.T)
 	}))
-	return s
+	return accuracy.New(opts...)
 }
 
 // SetTracer attaches a request tracer: every endpoint opens a root span,
@@ -207,6 +229,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("/v1/traces", s.instrument("traces", s.handleTraces))
 	mux.HandleFunc("/v1/accuracy", s.instrument("accuracy", s.handleAccuracy))
+	mux.HandleFunc("/v1/stable", s.instrument("stable", s.handleStable))
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -279,6 +302,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.store.RefreshMetrics()
 	}
 	s.acc.Publish(s.reg)
+	if s.resel != nil {
+		s.resel.Serving().Publish(s.reg) // accuracy.serving.*
+		s.resel.Shadow().Publish(s.reg)  // accuracy.shadow.<member>.*
+		s.resel.Publish(s.reg)           // accuracy.reselect.*
+	}
 	snap := s.reg.Snapshot()
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", obs.PrometheusContentType)
@@ -434,6 +462,13 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			s.acc.Record("all", err, actual)
 			s.acc.Record("template_"+strconv.Itoa(det.Template), err, actual)
 		}
+		// The re-selection pipeline also scores pre-observe: the serving
+		// estimate and every shadow member's estimate are the ones a queued
+		// job would have received at this instant. Switch events are stamped
+		// with arrival wall time — the service's event clock.
+		if s.resel != nil {
+			s.resel.ObserveAt(ctx, float64(time.Now().Unix()), job) //lint:allow wallclock switch events record real arrival time
+		}
 	}
 	if s.store != nil {
 		// Store-backed observes are concurrency-safe (the store's shard
@@ -463,13 +498,17 @@ type PredictRequest struct {
 
 // PredictResponse carries the prediction. When the history cannot provide
 // one, OK is false and Seconds falls back to the job's maximum run time
-// (zero when there is none).
+// (zero when there is none). With re-selection enabled, Predictor names
+// the serving predictor that produced the estimate; a value other than
+// the core template predictor means a switch is in effect, and the
+// template/interval details are absent.
 type PredictResponse struct {
-	OK       bool    `json:"ok"`
-	Seconds  int64   `json:"seconds"`
-	Interval float64 `json:"interval,omitempty"` // CI half-width, seconds
-	Template int     `json:"template,omitempty"`
-	Points   int     `json:"points,omitempty"`
+	OK        bool    `json:"ok"`
+	Seconds   int64   `json:"seconds"`
+	Interval  float64 `json:"interval,omitempty"` // CI half-width, seconds
+	Template  int     `json:"template,omitempty"`
+	Points    int     `json:"points,omitempty"`
+	Predictor string  `json:"predictor,omitempty"` // serving predictor (re-selection only)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -478,15 +517,37 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job := req.Job.toJob()
+	// A re-selection switch replaces the serving predictor: predictions
+	// come from the scoreboard winner (no template details) until the
+	// controller switches again.
+	if p := s.servingOverride(); p != nil {
+		s.mu.RLock()
+		sec, ok := p.Predict(job, req.Age)
+		s.mu.RUnlock()
+		resp := PredictResponse{OK: ok, Predictor: p.Name()}
+		if ok {
+			s.mPredictOK.Inc()
+			resp.Seconds = sec
+		} else {
+			s.mPredictMiss.Inc()
+			resp.Seconds = job.MaxRunTime
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	s.mu.RLock()
 	det, ok := s.pred.PredictDetailedCtx(r.Context(), job, req.Age)
+	var servedBy string
+	if s.resel != nil {
+		servedBy = s.pred.Name()
+	}
 	s.mu.RUnlock()
 	if ok {
 		s.mPredictOK.Inc()
 	} else {
 		s.mPredictMiss.Inc()
 	}
-	resp := PredictResponse{OK: ok}
+	resp := PredictResponse{OK: ok, Predictor: servedBy}
 	if ok {
 		resp.Seconds = det.Seconds
 		resp.Interval = det.Interval
@@ -534,12 +595,38 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		jobs[i] = req.Jobs[i].Job.toJob()
 		items[i] = core.BatchItem{Job: jobs[i], Age: req.Jobs[i].Age}
 	}
+	if p := s.servingOverride(); p != nil {
+		// Switched serving predictor: score the batch member by member (no
+		// category resolution to amortize outside the core predictor).
+		resp := PredictBatchResponse{Results: make([]PredictResponse, len(jobs))}
+		name := p.Name()
+		s.mu.RLock()
+		for i, j := range jobs {
+			sec, ok := p.Predict(j, items[i].Age)
+			pr := PredictResponse{OK: ok, Predictor: name}
+			if ok {
+				s.mPredictOK.Inc()
+				pr.Seconds = sec
+			} else {
+				s.mPredictMiss.Inc()
+				pr.Seconds = j.MaxRunTime
+			}
+			resp.Results[i] = pr
+		}
+		s.mu.RUnlock()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	s.mu.RLock()
 	res := s.pred.PredictDetailedBatchCtx(r.Context(), items)
+	var servedBy string
+	if s.resel != nil {
+		servedBy = s.pred.Name()
+	}
 	s.mu.RUnlock()
 	resp := PredictBatchResponse{Results: make([]PredictResponse, len(res))}
 	for i, br := range res {
-		pr := PredictResponse{OK: br.OK}
+		pr := PredictResponse{OK: br.OK, Predictor: servedBy}
 		if br.OK {
 			s.mPredictOK.Inc()
 			pr.Seconds = br.Seconds
@@ -604,8 +691,15 @@ func (s *Server) handlePredictWait(w http.ResponseWriter, r *http.Request) {
 		running = append(running, req.Running[i].toJob())
 	}
 	s.mu.RLock()
+	// Wait predictions follow re-selection: the forward simulation runs the
+	// predictor currently serving (the switchable tracks switches), so a
+	// drift-driven switch changes wait estimates on the same completion.
+	var rp predict.Predictor = s.pred
+	if s.resel != nil {
+		rp = s.resel.Switchable()
+	}
 	start, err := waitpred.PredictStartCtx(r.Context(), req.Now, target, queue, running,
-		s.machineNodes, pol, s.pred, predict.MaxRuntime{}, 0)
+		s.machineNodes, pol, rp, predict.MaxRuntime{}, 0)
 	s.mu.RUnlock()
 	if err != nil {
 		s.mWaitErrors.Inc()

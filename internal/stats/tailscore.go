@@ -1,0 +1,79 @@
+package stats
+
+import "math"
+
+// Tail-weighted asymmetric scoring, the TARE-style view of prediction
+// error: schedulers do not pay for the mean miss, they pay for the tails,
+// and they pay differently for the two signs. An over-prediction
+// (predicted > actual) wastes backfill holes the scheduler reserved for
+// nothing; an under-prediction (predicted < actual) breaks reservations
+// that were made on the strength of the estimate. The functions here are
+// the single shared implementation of that cost model: the online
+// accuracy tracker (internal/obs/accuracy) computes them from streaming
+// state, and the experiment harness (internal/exp) recomputes them
+// offline from retained samples — the bit-equality tests hold the two
+// together.
+//
+// All errors are signed predicted − actual, in seconds.
+
+// Tail quantile weights for TailComposite. The tails dominate by design:
+// the p99 miss carries half the score, because one reservation broken by
+// a 99th-percentile under-prediction costs more scheduler goodput than
+// many median-sized misses (the TARE argument).
+const (
+	TailWeightP50 = 0.2
+	TailWeightP90 = 0.3
+	TailWeightP99 = 0.5
+)
+
+// DefaultCostRatio is the default relative cost of under-prediction:
+// each second of under-prediction costs twice a second of
+// over-prediction, the asymmetry of a scheduler that loses a reservation
+// versus one that loses a backfill hole.
+const DefaultCostRatio = 2.0
+
+// AsymCost is the per-sample asymmetric penalty of one signed error e
+// (predicted − actual): e itself when the prediction was over, ratio·|e|
+// when it was under, zero when exact. Ratios at or below zero fall back
+// to DefaultCostRatio. The result is never negative.
+func AsymCost(e, ratio float64) float64 {
+	if ratio <= 0 {
+		ratio = DefaultCostRatio
+	}
+	switch {
+	case e > 0:
+		return e
+	case e < 0:
+		return ratio * -e
+	}
+	return 0
+}
+
+// TailComposite folds three signed-error quantiles (p50, p90, p99) into
+// one tail-weighted asymmetric score: Σ w_q · AsymCost(e_q, ratio) with
+// the TailWeight constants. Lower is better; zero means every quantile
+// of the error distribution is exact. The composite is what the shadow
+// scoreboard ranks predictors by and what the re-selection controller
+// compares against its hysteresis margin.
+func TailComposite(p50, p90, p99, ratio float64) float64 {
+	return TailWeightP50*AsymCost(p50, ratio) +
+		TailWeightP90*AsymCost(p90, ratio) +
+		TailWeightP99*AsymCost(p99, ratio)
+}
+
+// TailCompositeSample computes TailComposite from retained signed-error
+// samples: type-7 quantiles over a copy of errs, then the same fold the
+// streaming scorer applies. It is the offline-recomputation counterpart
+// used by the drift-injection experiment and the bit-equality tests; an
+// empty sample scores NaN (no evidence is not a perfect score).
+func TailCompositeSample(errs []float64, ratio float64) float64 {
+	if len(errs) == 0 {
+		return math.NaN()
+	}
+	qs := []float64{
+		Quantile(errs, 0.50),
+		Quantile(errs, 0.90),
+		Quantile(errs, 0.99),
+	}
+	return TailComposite(qs[0], qs[1], qs[2], ratio)
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAsymCost(t *testing.T) {
+	cases := []struct {
+		e, ratio, want float64
+	}{
+		{e: 10, ratio: 2, want: 10},     // over-prediction costs its own size
+		{e: -10, ratio: 2, want: 20},    // under-prediction costs ratio times
+		{e: 0, ratio: 2, want: 0},       // exact is free
+		{e: -5, ratio: 1, want: 5},      // symmetric ratio
+		{e: -5, ratio: 0, want: 10},     // non-positive ratio falls back to default
+		{e: -5, ratio: -3, want: 10},    // negative ratio falls back to default
+		{e: 2.5, ratio: 100, want: 2.5}, // ratio never touches over-predictions
+	}
+	for _, c := range cases {
+		if got := AsymCost(c.e, c.ratio); got != c.want {
+			t.Errorf("AsymCost(%v, %v) = %v, want %v", c.e, c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestAsymCostNonNegative(t *testing.T) {
+	for _, e := range []float64{-1e9, -1, -1e-12, 0, 1e-12, 1, 1e9} {
+		for _, r := range []float64{0.25, 1, 2, 10} {
+			if got := AsymCost(e, r); got < 0 {
+				t.Fatalf("AsymCost(%v, %v) = %v < 0", e, r, got)
+			}
+		}
+	}
+}
+
+func TestTailCompositeWeights(t *testing.T) {
+	if w := TailWeightP50 + TailWeightP90 + TailWeightP99; w != 1.0 {
+		t.Fatalf("tail weights sum to %v, want 1", w)
+	}
+	// All-over quantiles: plain weighted sum, ratio irrelevant.
+	if got, want := TailComposite(10, 20, 40, 2), 0.2*10+0.3*20+0.5*40; got != want {
+		t.Fatalf("TailComposite over = %v, want %v", got, want)
+	}
+	// All-under quantiles: every term scaled by the ratio.
+	if got, want := TailComposite(-10, -20, -40, 2), 2*(0.2*10+0.3*20+0.5*40); got != want {
+		t.Fatalf("TailComposite under = %v, want %v", got, want)
+	}
+	// Perfect predictor scores zero.
+	if got := TailComposite(0, 0, 0, 2); got != 0 {
+		t.Fatalf("TailComposite exact = %v, want 0", got)
+	}
+}
+
+func TestTailCompositeSample(t *testing.T) {
+	// A constant error stream: every quantile is that constant.
+	errs := []float64{-30, -30, -30, -30}
+	if got, want := TailCompositeSample(errs, 2), TailComposite(-30, -30, -30, 2); got != want {
+		t.Fatalf("TailCompositeSample = %v, want %v", got, want)
+	}
+	if got := TailCompositeSample(nil, 2); !math.IsNaN(got) {
+		t.Fatalf("TailCompositeSample(empty) = %v, want NaN", got)
+	}
+	// Matches a hand-built quantile computation on a mixed sample.
+	mixed := []float64{-100, -10, 0, 5, 50}
+	want := TailComposite(Quantile(mixed, 0.5), Quantile(mixed, 0.9), Quantile(mixed, 0.99), 3)
+	if got := TailCompositeSample(mixed, 3); got != want {
+		t.Fatalf("TailCompositeSample mixed = %v, want %v", got, want)
+	}
+}

@@ -109,6 +109,36 @@ func (w *Workload) InjectCancellations(frac float64, patienceMean int64, seed in
 	return c
 }
 
+// InjectRuntimeStep returns a deep copy with a regime change at job index
+// at (submit order): every later job that carries a maximum run time has
+// its run time replaced by fill·MaxRunTime (clamped to [1, MaxRunTime]).
+// A predictor trained on the pre-step regime — where users typically use
+// a small fraction of their limit — suddenly under-predicts by most of
+// the limit, which is the drift the re-selection controller exists to
+// catch: after the step, the maximum-run-time predictor is near-exact by
+// construction. Jobs without a limit are left untouched.
+func (w *Workload) InjectRuntimeStep(at int, fill float64) *Workload {
+	c := w.Clone()
+	if at < 0 || at >= len(c.Jobs) || fill <= 0 {
+		return c
+	}
+	for _, j := range c.Jobs[at:] {
+		if j.MaxRunTime <= 0 {
+			continue
+		}
+		rt := int64(fill * float64(j.MaxRunTime))
+		if rt < 1 {
+			rt = 1
+		}
+		if rt > j.MaxRunTime {
+			rt = j.MaxRunTime
+		}
+		j.RunTime = rt
+	}
+	c.Name = fmt.Sprintf("%s/step@%d fill=%.2f", w.Name, at, fill)
+	return c
+}
+
 // ScaleRuntimes multiplies every run time (and maximum run time) by factor,
 // flooring run times at one second. It changes the offered load without
 // touching the arrival process — the complement of Compress.

@@ -109,6 +109,40 @@ func TestScaleRuntimes(t *testing.T) {
 	}
 }
 
+func TestInjectRuntimeStep(t *testing.T) {
+	w := transformFixture()
+	s := w.InjectRuntimeStep(2, 0.95)
+	// Pre-step jobs untouched; post-step jobs run at 95% of their limit.
+	if s.Jobs[0].RunTime != 100 || s.Jobs[1].RunTime != 100 {
+		t.Fatalf("pre-step jobs changed: %d, %d", s.Jobs[0].RunTime, s.Jobs[1].RunTime)
+	}
+	if s.Jobs[2].RunTime != 190 || s.Jobs[3].RunTime != 190 {
+		t.Fatalf("post-step run times = %d, %d, want 190", s.Jobs[2].RunTime, s.Jobs[3].RunTime)
+	}
+	if w.Jobs[2].RunTime != 100 {
+		t.Fatal("step mutated the original")
+	}
+	if !strings.Contains(s.Name, "step@2") {
+		t.Fatalf("name = %q", s.Name)
+	}
+	// Fill above 1 clamps to the limit; jobs without a limit are skipped.
+	w.Jobs[3].MaxRunTime = 0
+	c := w.InjectRuntimeStep(2, 2)
+	if c.Jobs[2].RunTime != 200 {
+		t.Fatalf("overfilled run time = %d, want clamp to 200", c.Jobs[2].RunTime)
+	}
+	if c.Jobs[3].RunTime != 100 {
+		t.Fatalf("limitless job changed: %d", c.Jobs[3].RunTime)
+	}
+	// Out-of-range step index or nonpositive fill is a no-op copy.
+	if n := w.InjectRuntimeStep(99, 0.95); n.Jobs[2].RunTime != 100 {
+		t.Fatal("out-of-range step should not change run times")
+	}
+	if n := w.InjectRuntimeStep(2, 0); n.Jobs[2].RunTime != 100 {
+		t.Fatal("zero fill should not change run times")
+	}
+}
+
 func TestScaleRuntimesChangesLoad(t *testing.T) {
 	// Large enough that the trace span dwarfs individual run times (the
 	// load denominator includes the trailing span of the last jobs).

@@ -1,0 +1,128 @@
+#!/usr/bin/env sh
+# Re-selection smoke test for qwaitd's shadow-scored predictor stable.
+#
+# Builds the daemon, boots it with -reselect (small window and dwell so
+# drift confirms within ~100 observations) and tracing, injects a run-time
+# step through /v1/observe — phase one trains the template predictor on
+# short jobs, phase two runs every job near its limit so the template
+# predictor under-predicts by most of it — and asserts:
+#
+#   - /v1/stable is enabled with switching armed, ranks all six stable
+#     members as eligible, reports at least one switch away from the
+#     template predictor, and carries the structured switch event
+#     (from/to, scores, drift state);
+#   - /v1/predict names the serving predictor, and it is the scoreboard's
+#     — not the template predictor the daemon booted with;
+#   - /v1/metrics (Prometheus exposition) carries the accuracy.reselect.*
+#     counter family with switches >= 1 and the accuracy.shadow.* family;
+#   - /v1/traces shows the http.observe trace decomposing into the
+#     accuracy.reselect span emitted at the switch.
+#
+# Usage: scripts/reselect_smoke.sh [port]
+set -eu
+
+PORT="${1:-18654}"
+ADDR="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+BIN="${WORK}/qwaitd"
+PID=""
+
+cleanup() {
+    [ -n "${PID}" ] && kill -9 "${PID}" 2>/dev/null || true
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+wait_ready() {
+    i=0
+    while ! curl -sf "http://${ADDR}/v1/stats" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            fail "daemon did not become ready on ${ADDR}"
+        fi
+        sleep 0.2
+    done
+}
+
+go build -o "${BIN}" ./cmd/qwaitd
+
+"${BIN}" -addr "${ADDR}" -nodes 128 \
+    -reselect -reselect-window 8 -reselect-dwell 8 -tail-cost 2 \
+    -trace-sample 1 -trace-ring 64 &
+PID=$!
+wait_ready
+
+# Before any traffic: the stable is mounted, armed, and unswitched.
+STABLE="${WORK}/stable.json"
+curl -sf "http://${ADDR}/v1/stable" >"${STABLE}"
+grep -q '"enabled":true' "${STABLE}" || fail "/v1/stable not enabled"
+grep -q '"reselect":true' "${STABLE}" || fail "/v1/stable switching not armed"
+grep -q '"serving":"smith"' "${STABLE}" || fail "daemon did not boot serving the template predictor"
+
+observe() {
+    curl -sf -X POST "http://${ADDR}/v1/observe" \
+        -d "{\"job\":{\"id\":$1,\"user\":\"alice\",\"executable\":\"alice/app\",\"nodes\":4,\"runTime\":$2,\"maxRunTime\":4000}}" \
+        >/dev/null
+}
+
+# Phase one: 40 short completions. The template predictor learns ~600s.
+i=0
+while [ "$i" -lt 40 ]; do
+    observe "$i" $((600 + i % 5))
+    i=$((i + 1))
+done
+
+curl -sf "http://${ADDR}/v1/stable" >"${STABLE}"
+grep -q '"switches":0' "${STABLE}" || fail "switched during the stationary phase"
+
+# Phase two: 60 completions running near the limit. The template predictor
+# under-predicts by ~3300s while maxrt is off by ~100s; the serving stream
+# drifts, and the controller installs the scoreboard winner.
+while [ "$i" -lt 100 ]; do
+    observe "$i" $((3900 + i % 5))
+    i=$((i + 1))
+done
+
+curl -sf "http://${ADDR}/v1/stable" >"${STABLE}"
+grep -q '"switches":0' "${STABLE}" && fail "no switch after the injected step"
+grep -q '"serving":"smith"' "${STABLE}" && fail "still serving the template predictor after the step"
+grep -q '"from":"smith"' "${STABLE}" || fail "switch event does not leave the template predictor"
+grep -q '"drifting":true' "${STABLE}" || fail "switch event carries no confirmed drift state"
+for member in smith gibbons downey-avg maxrt globalmean; do
+    grep -q "\"name\":\"${member}\"" "${STABLE}" || fail "scoreboard missing member ${member}"
+done
+# encoding/json HTML-escapes '>' in the chain's name.
+grep -qF "\"name\":\"smith\\u003emaxrt\"" "${STABLE}" || fail "scoreboard missing the smith>maxrt chain"
+grep -q '"eligible":false' "${STABLE}" && fail "a stable member is still ineligible after 100 completions"
+
+# Predictions are served — and labeled — by the switched predictor.
+PRED="${WORK}/predict.json"
+curl -sf -X POST "http://${ADDR}/v1/predict" \
+    -d '{"job":{"id":9999,"user":"alice","executable":"alice/app","nodes":4,"maxRunTime":4000}}' \
+    >"${PRED}"
+grep -q '"predictor"' "${PRED}" || fail "/v1/predict does not name the serving predictor"
+grep -q '"predictor":"smith"' "${PRED}" && fail "/v1/predict still served by the template predictor"
+
+# The counter families surface in Prometheus exposition.
+PROM="${WORK}/metrics.prom"
+curl -sf -H 'Accept: text/plain' "http://${ADDR}/v1/metrics" >"${PROM}"
+grep -q '^accuracy_reselect_switches [1-9]' "${PROM}" || fail "accuracy_reselect_switches not >= 1"
+grep -q '^accuracy_reselect_completions 100' "${PROM}" || fail "accuracy_reselect_completions != 100"
+grep -q '^accuracy_shadow_maxrt_window_tail_score' "${PROM}" || fail "Prometheus exposition missing shadow gauges"
+grep -q '^accuracy_serving_window_tail_score' "${PROM}" || fail "Prometheus exposition missing serving-stream gauges"
+
+# The switch decomposes into a span on the observe trace.
+TRACES="${WORK}/traces.json"
+curl -sf "http://${ADDR}/v1/traces" >"${TRACES}"
+grep -q '"http.observe"' "${TRACES}" || fail "no http.observe trace kept"
+grep -q '"accuracy.reselect"' "${TRACES}" || fail "no accuracy.reselect span on the observe trace"
+
+kill "${PID}" 2>/dev/null || true
+wait "${PID}" 2>/dev/null || true
+PID=""
+echo "OK: stable scoreboard live, drift switched the serving predictor, counters and spans recorded it"
