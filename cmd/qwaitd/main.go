@@ -346,6 +346,9 @@ func build(args []string, stdout io.Writer) (*app, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := w.Validate(); err != nil {
+				return nil, fmt.Errorf("warm trace %s: %w", *warm, err)
+			}
 			for _, j := range w.Jobs {
 				pred.Observe(j)
 			}
@@ -406,6 +409,12 @@ func build(args []string, stdout io.Writer) (*app, error) {
 		}
 		if *admitState {
 			cfg.StatePred = waitpred.NewStatePredictor(waitpred.DefaultStateTemplates(true))
+		}
+		// The headroom, overflow, and token-window knobs came straight off
+		// the command line; reject bad values before the class tables are
+		// installed.
+		if err := cfg.Validate(); err != nil {
+			return nil, err
 		}
 		ctrl, err := admission.New(cfg)
 		if err != nil {

@@ -145,7 +145,14 @@ func TestSARIFFormat(t *testing.T) {
 				Driver struct {
 					Name  string `json:"name"`
 					Rules []struct {
-						ID string `json:"id"`
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+						FullDescription struct {
+							Text string `json:"text"`
+						} `json:"fullDescription"`
+						HelpURI string `json:"helpUri"`
 					} `json:"rules"`
 				} `json:"driver"`
 			} `json:"tool"`
@@ -182,6 +189,19 @@ func TestSARIFFormat(t *testing.T) {
 	if len(run0.Tool.Driver.Rules) != 1 || run0.Tool.Driver.Rules[0].ID != "errdrop" {
 		t.Errorf("want one rule 'errdrop', got %+v", run0.Tool.Driver.Rules)
 	}
+	// Rule metadata links the CONTRIBUTING check catalog: helpUri anchors
+	// by check name, shortDescription is the Doc's first clause (one line
+	// for the code-scanning card), fullDescription the whole Doc.
+	rule := run0.Tool.Driver.Rules[0]
+	if rule.HelpURI != "CONTRIBUTING.md#errdrop" {
+		t.Errorf("helpUri = %q, want CONTRIBUTING.md#errdrop", rule.HelpURI)
+	}
+	if rule.ShortDescription.Text == "" || strings.Contains(rule.ShortDescription.Text, "\n") {
+		t.Errorf("shortDescription = %q, want a non-empty single line", rule.ShortDescription.Text)
+	}
+	if full := rule.FullDescription.Text; full == "" || !strings.HasPrefix(full, rule.ShortDescription.Text) {
+		t.Errorf("fullDescription = %q, want the full Doc extending the short clause", full)
+	}
 	if len(run0.Results) != 1 {
 		t.Fatalf("want one result, got %d", len(run0.Results))
 	}
@@ -213,5 +233,74 @@ func TestSARIFCleanRunIsValid(t *testing.T) {
 	}
 	if len(log.Runs) != 1 || log.Runs[0].Results == nil || len(log.Runs[0].Results) != 0 {
 		t.Errorf("clean run must have one run with an empty results array:\n%s", stdout.String())
+	}
+}
+
+// TestSARIFHelpBaseOverride: CI passes the repository blob URL as
+// -help-base so the code-scanning card's "Learn more" resolves from
+// anywhere; every selected rule must anchor its own catalog entry.
+func TestSARIFHelpBaseOverride(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", "..", "-format", "sarif",
+		"-help-base", "https://example.test/CONTRIBUTING.md",
+		"-checks", "errdrop,detrand", "./internal/lint/cfg"}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v\n%s", code, err, stderr.String())
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID      string `json:"id"`
+						HelpURI string `json:"helpUri"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if len(rules) != 2 {
+		t.Fatalf("want 2 rules, got %+v", rules)
+	}
+	for _, r := range rules {
+		if r.HelpURI != "https://example.test/CONTRIBUTING.md#"+r.ID {
+			t.Errorf("rule %s helpUri = %q, want the overridden base with its own anchor", r.ID, r.HelpURI)
+		}
+	}
+}
+
+// TestRequireContract pins the -require contract: a required entry point
+// without a // hotpath: annotation is a finding (exit 1), and a symbol
+// the type checker cannot resolve is a tool error (exit 2) — a rename
+// must fail the gate loudly, not retire the check.
+func TestRequireContract(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"a.go": "package a\n\n// hotpath: no-lock no-clock\nfunc Fast() {}\n\nfunc Slow() {}\n",
+	})
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-C", dir, "-checks", "hotpath", "-require", "tmpmod.Fast", "./..."}, &stdout, &stderr)
+	if err != nil || code != 0 {
+		t.Fatalf("contracted entry point: run = %d, %v\n%s", code, err, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code, err = run([]string{"-C", dir, "-checks", "hotpath", "-require", "tmpmod.Slow", "./..."}, &stdout, &stderr)
+	if err != nil || code != 1 {
+		t.Fatalf("uncontracted entry point: run = %d, %v; want exit 1\n%s", code, err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "declares no // hotpath: contract") {
+		t.Errorf("missing-contract finding not printed:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code, err = run([]string{"-C", dir, "-checks", "hotpath", "-require", "tmpmod.Renamed", "./..."}, &stdout, &stderr)
+	if code != 2 || err == nil {
+		t.Fatalf("stale symbol: run = %d, %v; want exit 2 and an error", code, err)
 	}
 }

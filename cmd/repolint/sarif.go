@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -42,6 +43,8 @@ type sarifDriver struct {
 type sarifRule struct {
 	ID                   string       `json:"id"`
 	ShortDescription     sarifMessage `json:"shortDescription"`
+	FullDescription      sarifMessage `json:"fullDescription"`
+	HelpURI              string       `json:"helpUri"`
 	DefaultConfiguration sarifConfig  `json:"defaultConfiguration"`
 }
 
@@ -80,16 +83,36 @@ type sarifRegion struct {
 	StartColumn int `json:"startColumn,omitempty"`
 }
 
+// shortDoc truncates an analyzer Doc to its first clause for the SARIF
+// shortDescription (code-scanning cards show roughly one line; the full
+// Doc goes in fullDescription).
+func shortDoc(doc string) string {
+	if i := strings.IndexAny(doc, ".;:("); i > 0 {
+		doc = doc[:i]
+	}
+	return strings.TrimSpace(doc)
+}
+
+// ruleHelpURI links a rule to its entry in the CONTRIBUTING check
+// catalog, whose headings anchor by check name. helpBase defaults to the
+// repo-relative "CONTRIBUTING.md"; CI passes the repository blob URL so
+// the code-scanning card's "Learn more" resolves from anywhere.
+func ruleHelpURI(helpBase, name string) string {
+	return helpBase + "#" + name
+}
+
 // writeSARIF emits one SARIF run covering the selected analyzers. Findings
 // gate CI, so every rule (and every result) carries level "error".
-func writeSARIF(w io.Writer, analyzers []*lint.Analyzer, diags []lint.Diagnostic) error {
+func writeSARIF(w io.Writer, helpBase string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) error {
 	rules := make([]sarifRule, 0, len(analyzers))
 	index := make(map[string]int, len(analyzers))
 	for i, a := range analyzers {
 		index[a.Name] = i
 		rules = append(rules, sarifRule{
 			ID:                   a.Name,
-			ShortDescription:     sarifMessage{Text: a.Doc},
+			ShortDescription:     sarifMessage{Text: shortDoc(a.Doc)},
+			FullDescription:      sarifMessage{Text: a.Doc},
+			HelpURI:              ruleHelpURI(helpBase, a.Name),
 			DefaultConfiguration: sarifConfig{Level: "error"},
 		})
 	}

@@ -34,6 +34,7 @@ package admission
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 
@@ -174,7 +175,9 @@ type classState struct {
 // Controller decides admission per SLO class from online wait estimates.
 // All methods are safe for concurrent use; Decide is lock-free.
 type Controller struct {
-	cfg         Config
+	cfg Config
+	// bounded by the validated Config: the class table is populated once in
+	// New from cfg.Classes and never grows afterward
 	classes     map[string]*classState
 	defaultCls  *classState
 	overflowCls *classState // nil when no overflow is configured
@@ -192,13 +195,68 @@ type Controller struct {
 	mForwardEst   *obs.Counter
 }
 
-// New validates the configuration and builds a controller.
-func New(cfg Config) (*Controller, error) {
+// Validate checks the configuration without mutating it: the class table,
+// budgets, headroom, machine size, and the policy/predictor wiring must all
+// be coherent before a controller is built from them. Fields with a
+// documented zero-value default (DefaultClass, Headroom, TokenWindowSec,
+// Decision, DefaultRT) are treated as unset rather than invalid; New applies
+// those defaults after validation. Callers assembling a Config from
+// operator input (flags, environment, request bodies) should call Validate
+// themselves so a bad knob is rejected before it reaches New.
+//
+// taint: sanitizer rejects class tables and knobs no controller should be built from
+func (cfg Config) Validate() error {
 	if len(cfg.Classes) == 0 {
-		return nil, fmt.Errorf("admission: no classes configured")
+		return fmt.Errorf("admission: no classes configured")
 	}
 	if cfg.Headroom < 0 {
-		return nil, fmt.Errorf("admission: negative headroom %g", cfg.Headroom)
+		return fmt.Errorf("admission: negative headroom %g", cfg.Headroom)
+	}
+	if math.IsNaN(cfg.Headroom) || math.IsInf(cfg.Headroom, 0) {
+		return fmt.Errorf("admission: headroom %g must be finite", cfg.Headroom)
+	}
+	dc := cfg.DefaultClass
+	if dc == "" {
+		dc = "standard" // the default New will apply; it must still exist
+	}
+	if _, ok := cfg.Classes[dc]; !ok {
+		return fmt.Errorf("admission: default class %q not configured", dc)
+	}
+	if cfg.OverflowClass != "" {
+		if _, ok := cfg.Classes[cfg.OverflowClass]; !ok {
+			return fmt.Errorf("admission: overflow class %q not configured", cfg.OverflowClass)
+		}
+	}
+	if cfg.TotalNodes <= 0 {
+		return fmt.Errorf("admission: nonpositive machine size %d", cfg.TotalNodes)
+	}
+	if cfg.Policy == nil {
+		return fmt.Errorf("admission: no scheduling policy configured")
+	}
+	if cfg.Predictor == nil {
+		return fmt.Errorf("admission: no run-time predictor configured")
+	}
+	for name, cc := range cfg.Classes {
+		if cc.WaitBudgetSec < 0 {
+			return fmt.Errorf("admission: class %q has negative wait budget", name)
+		}
+		if cc.TokensPerWindow < 0 {
+			return fmt.Errorf("admission: class %q has negative token budget", name)
+		}
+	}
+	return nil
+}
+
+// New validates the configuration, applies the documented defaults, and
+// builds a controller. The class table it installs is consulted on every
+// subsequent admission decision, so the configuration must come through
+// Validate (called here, and again by flag-parsing callers before they
+// hand the config over).
+//
+// taint: sink installs the class tables and budgets every admission decision consults
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Headroom == 0 { //lint:allow floatcmp zero is the unset flag value, not a computed quantity
 		cfg.Headroom = 1.0
@@ -206,39 +264,14 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.DefaultClass == "" {
 		cfg.DefaultClass = "standard"
 	}
-	if _, ok := cfg.Classes[cfg.DefaultClass]; !ok {
-		return nil, fmt.Errorf("admission: default class %q not configured", cfg.DefaultClass)
-	}
-	if cfg.OverflowClass != "" {
-		if _, ok := cfg.Classes[cfg.OverflowClass]; !ok {
-			return nil, fmt.Errorf("admission: overflow class %q not configured", cfg.OverflowClass)
-		}
-	}
 	if cfg.TokenWindowSec <= 0 {
 		cfg.TokenWindowSec = 3600
-	}
-	if cfg.TotalNodes <= 0 {
-		return nil, fmt.Errorf("admission: nonpositive machine size %d", cfg.TotalNodes)
-	}
-	if cfg.Policy == nil {
-		return nil, fmt.Errorf("admission: no scheduling policy configured")
-	}
-	if cfg.Predictor == nil {
-		return nil, fmt.Errorf("admission: no run-time predictor configured")
 	}
 	if cfg.Decision == nil {
 		cfg.Decision = cfg.Predictor
 	}
 	if cfg.DefaultRT <= 0 {
 		cfg.DefaultRT = predict.DefaultRuntime
-	}
-	for name, cc := range cfg.Classes {
-		if cc.WaitBudgetSec < 0 {
-			return nil, fmt.Errorf("admission: class %q has negative wait budget", name)
-		}
-		if cc.TokensPerWindow < 0 {
-			return nil, fmt.Errorf("admission: class %q has negative token budget", name)
-		}
 	}
 
 	c := &Controller{cfg: cfg, classes: make(map[string]*classState, len(cfg.Classes)), tokenWindow: cfg.TokenWindowSec}

@@ -214,7 +214,7 @@ func runPredictive(w *workload.Workload, pred predict.Predictor,
 	classes map[string]admission.ClassConfig, headroom float64, defaultRT int64) (schemeRun, error) {
 
 	pol := sched.SJF{}
-	ctrl, err := admission.New(admission.Config{
+	acfg := admission.Config{
 		Classes:      classes,
 		DefaultClass: "standard",
 		Headroom:     headroom,
@@ -224,7 +224,13 @@ func runPredictive(w *workload.Workload, pred predict.Predictor,
 		Predictor:    pred,
 		Decision:     pred, // the simulated scheduler is the real one: both rank by the noisy estimates
 		DefaultRT:    defaultRT,
-	})
+	}
+	// The headroom sweep values come from a flag; validate the assembled
+	// config before the class tables are built from it.
+	if err := acfg.Validate(); err != nil {
+		return schemeRun{}, err
+	}
+	ctrl, err := admission.New(acfg)
 	if err != nil {
 		return schemeRun{}, err
 	}

@@ -2,6 +2,7 @@ package histstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/maphash"
 	"sort"
@@ -50,6 +51,10 @@ type shard struct {
 // shardView is one shard's immutable key table. The map must never be
 // mutated after it is published; writers clone it to add or replace a key.
 type shardView struct {
+	// bounded by Store.maxCats: applyLocked refuses to publish a new key
+	// once nCats reaches the cap, so the union of all shards' tables stays
+	// finite no matter what keys the observe path is fed; Put, the other
+	// publish path, reinstalls snapshots that were written under the same cap
 	cats map[string]*catHandle
 }
 
@@ -76,6 +81,12 @@ func (sh *shard) loadView() *shardView { return sh.view.Load() }
 type Store struct {
 	shards []shard
 	seed   maphash.Seed
+
+	// maxCats caps the total number of categories (keys) across all
+	// shards; 0 disables the cap. Without it, a stream of never-repeating
+	// keys — a misconfigured template or a hostile observe feed — grows
+	// the key tables without bound for the life of the daemon.
+	maxCats int
 
 	// Aggregate sizes, maintained on the insert path so gauges and
 	// capacity planning never need a full sweep.
@@ -120,6 +131,29 @@ func WithShards(n int) Option {
 	}
 }
 
+// DefaultMaxCategories is the default cap on the total number of
+// categories a store will hold. The paper's template sets produce at most
+// a few thousand categories per workload; a store that reaches a million
+// distinct keys is being fed garbage, and refusing the million-and-first
+// is strictly better than growing until the daemon is OOM-killed.
+const DefaultMaxCategories = 1 << 20
+
+// ErrCategoryLimit is returned by Insert when creating one more category
+// would exceed the store's cap (WithMaxCategories). Points for existing
+// categories are unaffected.
+var ErrCategoryLimit = errors.New("histstore: category limit reached")
+
+// WithMaxCategories caps the total number of categories (0 disables the
+// cap; the default is DefaultMaxCategories).
+func WithMaxCategories(n int) Option {
+	return func(s *Store) {
+		if n < 0 {
+			n = 0
+		}
+		s.maxCats = n
+	}
+}
+
 // WithSync makes a durable store fsync the WAL after every append. The
 // default flushes each record to the operating system (surviving a process
 // kill) without forcing it to the device (an OS crash can lose the tail);
@@ -132,8 +166,9 @@ func WithSync() Option {
 // durable one.
 func New(opts ...Option) *Store {
 	s := &Store{
-		shards: make([]shard, DefaultShards),
-		seed:   maphash.MakeSeed(),
+		shards:  make([]shard, DefaultShards),
+		seed:    maphash.MakeSeed(),
+		maxCats: DefaultMaxCategories,
 	}
 	for _, o := range opts {
 		o(s)
@@ -224,6 +259,12 @@ func (s *Store) insert(sp *trace.Span, key string, maxHistory int, p Point) erro
 	}
 	sh := s.shardOf(key)
 	sh.mu.Lock()
+	// Check the category cap before journaling: a rejected insert must not
+	// leave a record the next replay would also have to reject.
+	if err := s.roomFor(sh, key); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
 	if s.wal != nil {
 		wsp := sp.StartChild("histstore.wal_append")
 		err := s.wal.append(key, maxHistory, p)
@@ -236,8 +277,11 @@ func (s *Store) insert(sp *trace.Span, key string, maxHistory int, p Point) erro
 			return fmt.Errorf("histstore: wal append: %w", err)
 		}
 	}
-	s.applyLocked(sh, key, maxHistory, p)
+	aerr := s.applyLocked(sh, key, maxHistory, p)
 	sh.mu.Unlock()
+	if aerr != nil {
+		return aerr
+	}
 	if m != nil {
 		m.insertLat.Observe(time.Since(start).Seconds())
 		if s.wal != nil {
@@ -248,11 +292,33 @@ func (s *Store) insert(sp *trace.Span, key string, maxHistory int, p Point) erro
 	return nil
 }
 
+// roomFor reports whether key can be inserted under the category cap:
+// nil for existing keys, and for new keys while the store-wide count is
+// below maxCats. The caller holds sh's writer mutex, so the answer stays
+// true through the subsequent applyLocked for this shard's keys.
+func (s *Store) roomFor(sh *shard, key string) error {
+	if s.maxCats <= 0 {
+		return nil
+	}
+	if _, ok := sh.loadView().cats[key]; ok {
+		return nil
+	}
+	if s.nCats.Load() >= int64(s.maxCats) {
+		return fmt.Errorf("%w (%d categories; raise WithMaxCategories or fix the category key template)",
+			ErrCategoryLimit, s.maxCats)
+	}
+	return nil
+}
+
 // applyLocked inserts a point into a shard whose writer mutex the caller
 // holds: clone the current category snapshot (or start a new one), insert
 // off to the side, and publish with an atomic swap. Readers racing with
-// this observe either the old snapshot or the fully built new one.
-func (s *Store) applyLocked(sh *shard, key string, maxHistory int, p Point) {
+// this observe either the old snapshot or the fully built new one. The
+// only error is ErrCategoryLimit, when publishing a new key would exceed
+// the store's category cap.
+//
+// taint: sink publishes the key and point into the live category table
+func (s *Store) applyLocked(sh *shard, key string, maxHistory int, p Point) error {
 	v := sh.loadView()
 	if h, ok := v.cats[key]; ok {
 		c := h.cur.Load()
@@ -260,7 +326,10 @@ func (s *Store) applyLocked(sh *shard, key string, maxHistory int, p Point) {
 		nc := c.cowInsert(p)
 		h.cur.Store(nc)
 		s.nPoints.Add(int64(nc.Size() - before))
-		return
+		return nil
+	}
+	if err := s.roomFor(sh, key); err != nil {
+		return err
 	}
 	c := NewCategory(maxHistory)
 	c.Insert(p)
@@ -269,6 +338,7 @@ func (s *Store) applyLocked(sh *shard, key string, maxHistory int, p Point) {
 	sh.view.Store(v.withKey(key, h))
 	s.nCats.Add(1)
 	s.nPoints.Add(int64(c.Size()))
+	return nil
 }
 
 // withKey clones the view's key table with key bound to h.
@@ -359,6 +429,8 @@ func (s *Store) ViewCtx(ctx context.Context, key string, f func(*Category)) bool
 // It is the bulk-restore path (snapshot load, legacy-checkpoint migration)
 // and does not journal; durable callers snapshot afterwards to make the
 // restored state recoverable.
+//
+// taint: sink installs a fully built category into the live table without journaling
 func (s *Store) Put(key string, c *Category) {
 	c.finalize()
 	sh := s.shardOf(key)

@@ -100,7 +100,10 @@ func recordPayload(seq uint64, key string, maxHistory int, pt Point) []byte {
 	return p
 }
 
-// parseRecord decodes an insert record payload.
+// parseRecord decodes an insert record payload. It checks structure
+// (lengths) only; validateRecord judges the decoded values.
+//
+// taint: source wal bytes come from disk and can be corrupt, truncated, or forged
 func parseRecord(p []byte) (seq uint64, key string, maxHistory int, pt Point, err error) {
 	if len(p) < walRecFixed {
 		return 0, "", 0, Point{}, fmt.Errorf("histstore: wal record too short (%d bytes)", len(p))
@@ -118,8 +121,30 @@ func parseRecord(p []byte) (seq uint64, key string, maxHistory int, pt Point, er
 	return seq, key, maxHistory, pt, nil
 }
 
+// validateRecord rejects a decoded wal record whose values no healthy
+// writer produces: append only ever journals points that passed
+// Point.Validate, non-empty keys, and non-negative history bounds, so a
+// record violating any of those is disk corruption that happened to
+// parse — replay must not let it poison a live category.
+//
+// taint: sanitizer rejects decoded wal records no healthy writer could have journaled
+func validateRecord(key string, maxHistory int, pt Point) error {
+	if err := pt.Validate(); err != nil {
+		return err
+	}
+	if key == "" {
+		return errors.New("histstore: wal record has an empty category key")
+	}
+	if maxHistory < 0 {
+		return fmt.Errorf("histstore: wal record has negative history bound %d", maxHistory)
+	}
+	return nil
+}
+
 // append journals one insert and flushes it to the operating system. The
 // assigned sequence number becomes the wal's new last.
+//
+// taint: sink appended records replay into live categories on every open
 func (w *wal) append(key string, maxHistory int, pt Point) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -332,6 +357,12 @@ func openWAL(path string, s *Store, afterSeq uint64, syncAll bool) (w *wal, appl
 		if perr != nil {
 			break // structurally corrupt: treat like a torn tail
 		}
+		if verr := validateRecord(key, maxHistory, pt); verr != nil {
+			// Parses but could not have been written by a healthy append:
+			// semantic corruption, treated exactly like a torn tail so the
+			// poisoned suffix never reaches a live category.
+			break
+		}
 		goodOffset += int64(n)
 		if seq > lastSeq {
 			lastSeq = seq
@@ -341,8 +372,11 @@ func openWAL(path string, s *Store, afterSeq uint64, syncAll bool) (w *wal, appl
 		}
 		sh := s.shardOf(key)
 		sh.mu.Lock()
-		s.applyLocked(sh, key, maxHistory, pt)
+		aerr := s.applyLocked(sh, key, maxHistory, pt)
 		sh.mu.Unlock()
+		if aerr != nil {
+			continue // at the category cap: keep the record, skip the apply
+		}
 		applied++
 	}
 	if err := f.Close(); err != nil {

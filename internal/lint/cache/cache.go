@@ -1,0 +1,161 @@
+// Package cache is the persistent fact cache behind repolint's warm runs.
+//
+// An entry stores the post-suppression diagnostics one (package, analyzer
+// group) pair produced, keyed by a content hash of everything those
+// diagnostics could have depended on: the tool's own source, the group's
+// analyzer names, and either the package's transitive import closure
+// (package-scope analyzers) or the whole module (module-scope analyzers,
+// whose call-graph walks can read any loaded package). The key IS the
+// invalidation: any file edit changes the hash, the lookup misses, and
+// the runner falls back to a normal load-and-analyze. Nothing is ever
+// mutated in place and entries carry no timestamps, so a cache directory
+// can be shared across branches and the worst possible failure is a miss.
+//
+// The package is storage and hashing only — it does not import the lint
+// package; the runner converts diagnostics to and from the neutral Diag
+// shape at the boundary.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Version is folded into every key; bump it when the entry format or the
+// semantics of what an entry captures change.
+const Version = "repolint-cache-v1"
+
+// Diag is the stored shape of one diagnostic, flattened so the cache
+// needs no knowledge of go/token.
+type Diag struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// Cache is a directory of content-addressed entries.
+type Cache struct {
+	dir string
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the entry for key. A missing or unreadable entry is a miss,
+// never an error: the cache must only ever cost a recomputation.
+func (c *Cache) Get(key string) ([]Diag, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var diags []Diag
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, false
+	}
+	return diags, true
+}
+
+// Put stores the entry for key, atomically (write temp file, rename), so
+// a concurrent reader never observes a torn entry.
+func (c *Cache) Put(key string, diags []Diag) error {
+	if diags == nil {
+		diags = []Diag{} // marshal as [], so Get round-trips a hit
+	}
+	data, err := json.Marshal(diags)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()           // already failing; the write error is the one to report
+		_ = os.Remove(tmp.Name()) // best-effort temp cleanup
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name()) // best-effort temp cleanup
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// Key derives an entry key from its parts: a hex sha256 over the
+// length-prefixed parts, so no concatenation of distinct part lists can
+// collide.
+func Key(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:%s", len(p), p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Hasher memoizes per-file content hashes for one run, so a file shared
+// by many import closures is read once.
+type Hasher struct {
+	files map[string]string
+}
+
+// NewHasher creates an empty Hasher.
+func NewHasher() *Hasher {
+	return &Hasher{files: make(map[string]string)}
+}
+
+// File returns the hex sha256 of one file's content, memoized by path.
+func (h *Hasher) File(path string) (string, error) {
+	if sum, ok := h.files[path]; ok {
+		return sum, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	raw := sha256.Sum256(data)
+	sum := hex.EncodeToString(raw[:])
+	h.files[path] = sum
+	return sum, nil
+}
+
+// Files hashes a set of (path, hash) pairs into one digest: pairs are
+// sorted by path, then length-prefix-combined, so the digest is
+// independent of discovery order.
+func Files(pairs map[string]string) string {
+	paths := make([]string, 0, len(pairs))
+	for p := range pairs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	parts := make([]string, 0, 2*len(paths))
+	for _, p := range paths {
+		parts = append(parts, p, pairs[p])
+	}
+	return Key(parts...)
+}
+
+// Stats counts one run's cache traffic. The runner exposes it so CI can
+// assert the warm run actually hit.
+type Stats struct {
+	Hits   int
+	Misses int
+}

@@ -1,0 +1,194 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cache"
+)
+
+// The fact-cache tests run over a throwaway module in a temp directory so
+// they can edit files between runs without touching the repository. Each
+// run builds a fresh loader (as a new repolint process would) against a
+// shared cache directory.
+
+// writeTempModule materialises files (paths relative to the module root)
+// plus a go.mod, returning the root.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		full := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runCached is one cold-start repolint run: fresh loader, shared cache.
+func runCached(t *testing.T, root string, c *cache.Cache, analyzers []*lint.Analyzer, paths []string, opts lint.Options) ([]lint.Diagnostic, cache.Stats) {
+	t.Helper()
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = c
+	diags, stats, err := lint.RunWith(loader, analyzers, paths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, stats
+}
+
+// diagStrings flattens diagnostics for order-insensitive-free equality.
+func diagStrings(diags []lint.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCacheWarmRunHitsAndMatches: a second run over an unchanged tree is
+// served entirely from the cache and reproduces the cold run's
+// diagnostics exactly; editing a transitive dependency invalidates the
+// dependent package's entry even though its own files are untouched.
+func TestCacheWarmRunHitsAndMatches(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport (\n\t\"os\"\n\n\t\"tmpmod/b\"\n)\n\nfunc F() { os.Remove(b.Name()) }\n",
+		"b/b.go": "package b\n\nfunc Name() string { return \"x\" }\n",
+	})
+	c, err := cache.Open(filepath.Join(root, ".cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errdrop := []*lint.Analyzer{lint.ErrDrop}
+
+	cold, coldStats := runCached(t, root, c, errdrop, []string{"tmpmod/a"}, lint.Options{})
+	if coldStats.Hits != 0 || coldStats.Misses != 1 {
+		t.Fatalf("cold run stats = %+v, want 0 hits, 1 miss", coldStats)
+	}
+	if len(cold) != 1 {
+		t.Fatalf("cold run found %d diagnostics, want the seeded errdrop:\n%v", len(cold), cold)
+	}
+
+	warm, warmStats := runCached(t, root, c, errdrop, []string{"tmpmod/a"}, lint.Options{})
+	if warmStats.Hits != 1 || warmStats.Misses != 0 {
+		t.Fatalf("warm run stats = %+v, want 1 hit, 0 misses", warmStats)
+	}
+	if !equalStrings(diagStrings(cold), diagStrings(warm)) {
+		t.Fatalf("warm run diverged from cold run:\ncold %v\nwarm %v", cold, warm)
+	}
+
+	// Transitive invalidation: touching b (which a imports) must miss a's
+	// entry, and the re-analysis must agree with the original run.
+	if err := os.WriteFile(filepath.Join(root, "b", "b.go"),
+		[]byte("package b\n\n// edited\nfunc Name() string { return \"x\" }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited, editedStats := runCached(t, root, c, errdrop, []string{"tmpmod/a"}, lint.Options{})
+	if editedStats.Hits != 0 || editedStats.Misses != 1 {
+		t.Fatalf("post-edit stats = %+v, want 0 hits, 1 miss (transitive invalidation)", editedStats)
+	}
+	if !equalStrings(diagStrings(cold), diagStrings(edited)) {
+		t.Fatalf("post-edit run diverged:\ncold %v\nedited %v", cold, edited)
+	}
+}
+
+// TestCacheModuleScopeAndStrictKeying: module-scope entries warm-hit and
+// store post-suppression results, any file edit invalidates them (the
+// key folds the whole-module hash), and the strict flag is part of the
+// key — a strict run never reuses a lenient entry.
+func TestCacheModuleScopeAndStrictKeying(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		// The service segment opts the package into goleak; the spawn
+		// target is a function value, a finding only under -strict.
+		"service/a.go": "package service\n\nfunc Start(run func()) {\n\tgo run()\n}\n",
+		"other/o.go":   "package other\n\nfunc Tick() {}\n",
+	})
+	c, err := cache.Open(filepath.Join(root, ".cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goleak := []*lint.Analyzer{lint.GoLeak}
+	paths := []string{"tmpmod/service"}
+
+	lenient, coldStats := runCached(t, root, c, goleak, paths, lint.Options{})
+	if len(lenient) != 0 {
+		t.Fatalf("lenient run found %d diagnostics, want 0:\n%v", len(lenient), lenient)
+	}
+	if coldStats.Hits != 0 {
+		t.Fatalf("cold lenient stats = %+v, want 0 hits", coldStats)
+	}
+
+	_, warmStats := runCached(t, root, c, goleak, paths, lint.Options{})
+	if warmStats.Misses != 0 || warmStats.Hits == 0 {
+		t.Fatalf("warm lenient stats = %+v, want all hits", warmStats)
+	}
+
+	// Strict must miss the lenient entries and surface the finding.
+	strict, strictStats := runCached(t, root, c, goleak, paths, lint.Options{Strict: true})
+	if strictStats.Hits != 0 {
+		t.Fatalf("first strict stats = %+v, want 0 hits (strict is part of the key)", strictStats)
+	}
+	if len(strict) != 1 {
+		t.Fatalf("strict run found %d diagnostics, want the unresolvable spawn:\n%v", len(strict), strict)
+	}
+	strictWarm, strictWarmStats := runCached(t, root, c, goleak, paths, lint.Options{Strict: true})
+	if strictWarmStats.Misses != 0 || !equalStrings(diagStrings(strict), diagStrings(strictWarm)) {
+		t.Fatalf("warm strict run diverged: stats %+v\ncold %v\nwarm %v", strictWarmStats, strict, strictWarm)
+	}
+
+	// Editing any module file — even one outside the analyzed package's
+	// import closure — invalidates the module-scope entry. The package-
+	// scope entry legitimately still hits: the edit is outside the
+	// package's own closure.
+	if err := os.WriteFile(filepath.Join(root, "other", "o.go"),
+		[]byte("package other\n\n// edited\nfunc Tick() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, editedStats := runCached(t, root, c, goleak, paths, lint.Options{})
+	if editedStats.Misses != 1 || editedStats.Hits != 1 {
+		t.Fatalf("post-edit lenient stats = %+v, want the module entry to miss and the package entry to hit", editedStats)
+	}
+}
+
+// TestCacheSuppressionIsStored: cached entries are post-suppression — a
+// warm run must not resurrect findings a //lint:allow directive silenced.
+func TestCacheSuppressionIsStored(t *testing.T) {
+	root := writeTempModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"os\"\n\nfunc F() {\n\tos.Remove(\"x\") //lint:allow errdrop best-effort cleanup\n}\n",
+	})
+	c, err := cache.Open(filepath.Join(root, ".cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errdrop := []*lint.Analyzer{lint.ErrDrop}
+	cold, _ := runCached(t, root, c, errdrop, []string{"tmpmod/a"}, lint.Options{})
+	if len(cold) != 0 {
+		t.Fatalf("cold run: suppressed finding leaked:\n%v", cold)
+	}
+	warm, stats := runCached(t, root, c, errdrop, []string{"tmpmod/a"}, lint.Options{})
+	if stats.Hits != 1 || len(warm) != 0 {
+		t.Fatalf("warm run: stats %+v, %d diagnostics; want 1 hit, 0 diagnostics", stats, len(warm))
+	}
+}

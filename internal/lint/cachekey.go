@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+
+	"repro/internal/lint/cache"
+)
+
+// keyer computes cache keys for one run. All hashing happens on raw file
+// bytes and import declarations (parser.ImportsOnly) — no type-checking —
+// so a fully warm run's cost is reading the module's sources once.
+//
+// A key folds together, in order: the cache format version, the Go
+// toolchain version (standard-library behavior), the hash of the lint
+// tool's own sources (analyzer semantics), the strict flag, the analyzer
+// group's names, the package path, and the content hash of what the
+// group's findings can depend on — the package's transitive module-
+// internal import closure for package-scope groups, the whole module for
+// module-scope groups. An empty key means "not cacheable" (unreadable
+// file, import cycle); the runner then just analyzes normally.
+type keyer struct {
+	loader   *Loader
+	hasher   *cache.Hasher
+	fset     *token.FileSet // private: ImportsOnly parses, positions unused
+	strict   string
+	tool     string
+	mod      string
+	modDone  bool
+	toolDone bool
+	closure  map[string]string
+	visiting map[string]bool
+}
+
+func newKeyer(l *Loader, strict bool) *keyer {
+	s := "lenient"
+	if strict {
+		s = "strict"
+	}
+	return &keyer{
+		loader:   l,
+		hasher:   cache.NewHasher(),
+		fset:     token.NewFileSet(),
+		strict:   s,
+		closure:  make(map[string]string),
+		visiting: make(map[string]bool),
+	}
+}
+
+// groupNames renders an analyzer group's identity for the key.
+func groupNames(group []*Analyzer) string {
+	names := make([]string, len(group))
+	for i, a := range group {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}
+
+// packageKey is the cache key for path's package-scope entry, or "" when
+// the closure cannot be hashed.
+func (k *keyer) packageKey(path string, group []*Analyzer) string {
+	ch := k.closureHash(path)
+	if ch == "" || k.toolHash() == "" {
+		return ""
+	}
+	return cache.Key(cache.Version, runtime.Version(), k.tool, k.strict,
+		"pkg", groupNames(group), path, ch)
+}
+
+// moduleKey is the cache key for path's module-scope entry, or "" when
+// the group is empty (nothing to cache) or the module cannot be hashed.
+func (k *keyer) moduleKey(path string, group []*Analyzer) string {
+	if len(group) == 0 {
+		return ""
+	}
+	if k.moduleHash() == "" || k.toolHash() == "" {
+		return ""
+	}
+	return cache.Key(cache.Version, runtime.Version(), k.tool, k.strict,
+		"mod", groupNames(group), path, k.mod)
+}
+
+// closureHash hashes a package's sources and, recursively, its module-
+// internal imports. Standard-library (and any other extern) imports
+// reduce to a sentinel: their identity is in the hashed import lines and
+// their behavior in the toolchain version already folded into the key.
+func (k *keyer) closureHash(path string) string {
+	if h, ok := k.closure[path]; ok {
+		return h
+	}
+	if k.visiting[path] {
+		return "" // import cycle: a type error anyway, never cacheable
+	}
+	k.visiting[path] = true
+	defer delete(k.visiting, path)
+
+	dir, ok := k.loader.moduleResolve(path)
+	if !ok {
+		k.closure[path] = "extern"
+		return "extern"
+	}
+	names, err := goFileNames(dir)
+	if err != nil || len(names) == 0 {
+		return ""
+	}
+	parts := []string{path}
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		sum, err := k.hasher.File(full)
+		if err != nil {
+			return ""
+		}
+		parts = append(parts, name, sum)
+		f, err := parser.ParseFile(k.fset, full, nil, parser.ImportsOnly)
+		if err != nil {
+			return ""
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	for _, p := range imports {
+		ch := k.closureHash(p)
+		if ch == "" {
+			return ""
+		}
+		parts = append(parts, p, ch)
+	}
+	h := cache.Key(parts...)
+	k.closure[path] = h
+	return h
+}
+
+// dirsHash hashes every buildable Go file under each root (recursively,
+// with the loader's testdata/vendor/hidden skips), returning "" on any
+// read error. Missing roots contribute nothing.
+func (k *keyer) dirsHash(roots []string, extraFiles []string) string {
+	pairs := make(map[string]string)
+	for _, root := range roots {
+		if _, err := os.Stat(root); err != nil {
+			continue
+		}
+		dirs, err := k.loader.walkModule(root)
+		if err != nil {
+			return ""
+		}
+		for _, dir := range dirs {
+			names, err := goFileNames(dir)
+			if err != nil {
+				return ""
+			}
+			for _, name := range names {
+				full := filepath.Join(dir, name)
+				sum, err := k.hasher.File(full)
+				if err != nil {
+					return ""
+				}
+				pairs[full] = sum
+			}
+		}
+	}
+	for _, full := range extraFiles {
+		sum, err := k.hasher.File(full)
+		if err != nil {
+			continue // optional files (go.mod is checked by the loader)
+		}
+		pairs[full] = sum
+	}
+	return cache.Files(pairs)
+}
+
+// toolHash covers the lint tool's own sources, so editing an analyzer
+// invalidates package-scope entries whose closures do not import it.
+func (k *keyer) toolHash() string {
+	if !k.toolDone {
+		k.toolDone = true
+		k.tool = k.dirsHash([]string{
+			filepath.Join(k.loader.moduleDir, "internal", "lint"),
+			filepath.Join(k.loader.moduleDir, "cmd", "repolint"),
+		}, nil)
+	}
+	return k.tool
+}
+
+// moduleHash covers every buildable Go file in the module plus go.mod.
+func (k *keyer) moduleHash() string {
+	if !k.modDone {
+		k.modDone = true
+		k.mod = k.dirsHash(
+			[]string{k.loader.moduleDir},
+			[]string{filepath.Join(k.loader.moduleDir, "go.mod")},
+		)
+	}
+	return k.mod
+}

@@ -435,3 +435,73 @@ func grab() { mu.Lock() }
 		t.Fatalf("got %d findings, want 1 (dedup by effect site): %+v", len(findings), findings)
 	}
 }
+
+func TestReachEmbeddedInterfaceDispatch(t *testing.T) {
+	// Wide embeds Narrow; the call goes through the embedded method of a
+	// Wide value. Dispatch must resolve to every implementer of the
+	// *embedded* interface's method — Impl satisfies Wide via promotion
+	// through an embedded concrete type, two layers of embedding deep.
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "sync"
+
+type Narrow interface{ Step() }
+
+type Wide interface {
+	Narrow
+	Other()
+}
+
+type base struct{ mu sync.Mutex }
+
+func (b *base) Step() { b.mu.Lock() }
+
+type Impl struct{ *base }
+
+func (*Impl) Other() {}
+
+func top(w Wide) { w.Step() }
+`})
+	findings := g.Reach(fn(t, g, srcs["a"], "top"), callgraph.Lock, nil)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (via the embedded Step): %+v", len(findings), findings)
+	}
+	if got := chainNames(findings[0]); got != "top → Step" {
+		t.Errorf("chain = %q, want top → Step", got)
+	}
+}
+
+func TestReachMethodValueInStructField(t *testing.T) {
+	// The method value is only ever stored into a struct field and
+	// invoked through it; the reference alone must keep Locked on the
+	// graph, reachable from the function that takes the value.
+	g, srcs := load(t, pkgSrc{path: "a", src: `package a
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Locked() { s.mu.Lock() }
+
+type hooks struct {
+	onFlush func()
+}
+
+func top(s *S) hooks {
+	return hooks{onFlush: s.Locked}
+}
+
+func topAssign(s *S, h *hooks) {
+	h.onFlush = s.Locked
+}
+`})
+	for _, name := range []string{"top", "topAssign"} {
+		findings := g.Reach(fn(t, g, srcs["a"], name), callgraph.Lock, nil)
+		if len(findings) != 1 {
+			t.Fatalf("%s: got %d findings, want 1 (method value referenced in field): %+v", name, len(findings), findings)
+		}
+		if got := chainNames(findings[0]); got != name+" → Locked" {
+			t.Errorf("%s: chain = %q", name, got)
+		}
+	}
+}

@@ -39,7 +39,8 @@ var CtxFlow = &Analyzer{
 		"that has one — directly or through ctx-less helpers (resolved " +
 		"via the call graph) — passing its own ctx rather than " +
 		"context.Background()/TODO(), so trace span trees stay connected.",
-	Run: runCtxFlow,
+	Scope: ScopeModule,
+	Run:   runCtxFlow,
 }
 
 // ctxDrop is a transitive context-severing path: chain leads from the

@@ -53,7 +53,8 @@ var HotPath = &Analyzer{
 	Name: "hotpath",
 	Doc: "functions declaring a // hotpath: contract must not reach locks, " +
 		"allocations, clock reads, or blocked channels on any call path",
-	Run: runHotPath,
+	Scope: ScopeModule,
+	Run:   runHotPath,
 }
 
 // hotpathPrefix introduces both annotation forms.

@@ -28,6 +28,25 @@ import (
 	"strings"
 
 	"repro/internal/lint/callgraph"
+	"repro/internal/lint/taint"
+)
+
+// Scope describes how far an analyzer's findings for one package can
+// depend on source outside that package. It is what makes the fact
+// cache sound: a cache entry's key must hash everything the findings
+// could have read.
+type Scope int
+
+const (
+	// ScopePackage findings depend only on the analyzed package and its
+	// transitive imports. Cache entries are keyed by the import-closure
+	// content hash.
+	ScopePackage Scope = iota
+	// ScopeModule findings can depend on any package in the module — the
+	// analyzer walks the module-wide call graph (whose implements sets
+	// span every loaded package) or otherwise reads beyond the import
+	// closure. Cache entries are keyed by the whole-module content hash.
+	ScopeModule
 )
 
 // Analyzer is one named check. Run inspects a single type-checked package
@@ -38,6 +57,10 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description: what the check enforces and why.
 	Doc string
+	// Scope declares what source the findings can depend on (see Scope);
+	// the fact cache keys entries by it. The zero value, ScopePackage, is
+	// correct for purely local analyzers.
+	Scope Scope
 	// AppliesTo, when non-nil, restricts the analyzer to packages whose
 	// import path it accepts. A nil AppliesTo means every package.
 	AppliesTo func(pkgPath string) bool
@@ -63,6 +86,15 @@ type Pass struct {
 	// cross-package summaries of lockflow/ctxflow) traverse it. May be
 	// nil in hand-built passes; analyzers must tolerate that.
 	Graph *callgraph.Graph
+	// Taint is the interprocedural value-flow engine shared by every
+	// analyzer in one Run, memoizing per-function taint summaries over
+	// Graph. May be nil in hand-built passes; analyzers must tolerate
+	// that.
+	Taint *taint.Engine
+	// Strict widens conservative analyzers: findings that are normally
+	// silenced because the analysis could not resolve enough to be sure
+	// (goleak's unresolvable spawn sites) are reported. Off by default.
+	Strict bool
 
 	diags *[]Diagnostic
 }
@@ -123,6 +155,8 @@ func All() []*Analyzer {
 		AtomicField,
 		HotPath,
 		GoLeak,
+		ValidFlow,
+		BoundFlow,
 	}
 }
 

@@ -24,6 +24,73 @@ func TestCtxFlowFixture(t *testing.T)   { linttest.Run(t, lint.CtxFlow, "ctxflow
 func TestAtomicFieldFixture(t *testing.T) { linttest.Run(t, lint.AtomicField, "atomicfield/a") }
 func TestHotPathFixture(t *testing.T)     { linttest.Run(t, lint.HotPath, "hotpath/a") }
 func TestGoLeakFixture(t *testing.T)      { linttest.Run(t, lint.GoLeak, "goleak/service") }
+func TestValidFlowFixture(t *testing.T)   { linttest.Run(t, lint.ValidFlow, "validflow/a") }
+func TestBoundFlowFixture(t *testing.T)   { linttest.Run(t, lint.BoundFlow, "boundflow/service") }
+
+// TestGoLeakStrictFixture runs the unresolvable-spawn fixture in both
+// modes: lenient stays silent (bias toward no noise), strict surfaces
+// every spawn whose termination path the graph cannot verify, and the
+// resolvable spawn stays quiet in both.
+func TestGoLeakStrictFixture(t *testing.T) {
+	lenient, _ := linttest.RunRawWith(t, []*lint.Analyzer{lint.GoLeak}, "goleak/strict/service", lint.Options{})
+	if len(lenient) != 0 {
+		t.Fatalf("lenient mode reported %d findings, want 0:\n%v", len(lenient), lenient)
+	}
+	strict, _ := linttest.RunRawWith(t, []*lint.Analyzer{lint.GoLeak}, "goleak/strict/service", lint.Options{Strict: true})
+	if len(strict) != 2 {
+		t.Fatalf("strict mode reported %d findings, want 2:\n%v", len(strict), strict)
+	}
+	for _, d := range strict {
+		if d.Check != "goleak" || !strings.Contains(d.Message, "cannot be resolved statically") {
+			t.Errorf("unexpected strict finding: %s", d)
+		}
+	}
+}
+
+// TestValidFlowHygiene asserts the annotation-hygiene findings, which
+// land on the directive comments' own lines (so want comments cannot
+// annotate them): malformed roles, missing justifications, and
+// well-formed annotations outside a function declaration's doc comment.
+func TestValidFlowHygiene(t *testing.T) {
+	diags := linttest.RunRaw(t, []*lint.Analyzer{lint.ValidFlow}, "validflow/hygiene")
+	wantSubstrings := []string{
+		`taint: unknown role "wizard"`,
+		"taint: annotation needs a role",
+		"taint: source needs a justification after the role",
+		"taint: annotation must be in a function declaration's doc comment", // var decl
+		"taint: annotation must be in a function declaration's doc comment", // function body
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantSubstrings), diags)
+	}
+	for i, w := range wantSubstrings {
+		if diags[i].Check != "validflow" || !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %s, want validflow containing %q", i, diags[i], w)
+		}
+	}
+}
+
+// TestBoundFlowHygiene: a bounded annotation without a justification is
+// a finding on its own line, and it does not justify the field — the
+// growth finding fires too. Prose that merely shares the prefix
+// ("bounded byzantine") is not a directive.
+func TestBoundFlowHygiene(t *testing.T) {
+	diags := linttest.RunRaw(t, []*lint.Analyzer{lint.BoundFlow}, "boundflow/hygiene/service")
+	var hygiene, growth int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "bounded by needs a justification"):
+			hygiene++
+		case strings.Contains(d.Message, "without a statically evident bound"):
+			growth++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if hygiene != 1 || growth != 2 {
+		t.Errorf("got %d hygiene + %d growth findings, want 1 + 2:\n%v", hygiene, growth, diags)
+	}
+}
 
 // TestDirectives drives the suppression machinery through the directive
 // fixture: justified directives (trailing and standalone) silence their

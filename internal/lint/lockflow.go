@@ -51,7 +51,8 @@ var LockFlow = &Analyzer{
 		"outside their guard's critical section, and atomic " +
 		"Store/Swap/CompareAndSwap on '// swapped under <field>' " +
 		"annotated fields without the sibling mutex write-held.",
-	Run: runLockFlow,
+	Scope: ScopeModule,
+	Run:   runLockFlow,
 }
 
 // lockOp classifies one method of sync.Mutex/RWMutex.

@@ -1,0 +1,983 @@
+// Package taint is an interprocedural, field-insensitive value-flow
+// engine for the lint suite. It layers on the two substrates the suite
+// already has — per-function control-flow graphs with a forward fixpoint
+// engine (internal/lint/cfg) and the module-wide call graph
+// (internal/lint/callgraph) — and answers one question: can a value
+// born at a declared untrusted *source* reach a declared *sink* without
+// passing through a declared *sanitizer* on the way?
+//
+// The client (the validflow analyzer) supplies the catalog as three
+// predicates over *types.Func; the engine supplies the flow reasoning:
+//
+//   - Within a function, taint propagates through assignments, composite
+//     literals, unary/binary operators, conversions, selector and index
+//     reads, channel receives, and range statements. The analysis is
+//     flow-sensitive (an assignment of a clean value kills taint; a
+//     sanitizer call cleanses the objects it names) but field-insensitive:
+//     one taint value per named object, so a struct with one tainted
+//     field is a tainted struct.
+//   - Across calls, the engine computes one memoized Summary per
+//     call-graph node: which parameters flow to the result, whether the
+//     result is unconditionally tainted by a source inside the callee,
+//     which parameters the callee cleanses, and which parameters reach a
+//     sink inside the callee (with the call chain to report). Summaries
+//     compose: a caller maps its argument taint through the callee's
+//     summary instead of re-analyzing the callee body.
+//   - Dynamic edges (interface dispatch) are resolved conservatively
+//     through the call graph's implements sets: the call joins the
+//     summaries of every possible callee.
+//   - Callees without source (the standard library) propagate
+//     conservatively: the result carries the union of the argument
+//     taints, and writable arguments (pointers, slices, maps,
+//     interfaces) are tainted too, because the callee may store through
+//     them (io.ReadFull filling a buffer from a tainted reader).
+//
+// Known holes, accepted for a linter biased toward a quiet, fixable
+// finding set: function literals are analyzed only when reachable as
+// call-graph nodes and do not see their free variables' taint; calls
+// through function-typed variables fall back to the conservative
+// propagate-only rule (no sink checking); recursive cycles are resolved
+// optimistically (the in-progress callee contributes an empty summary).
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/cfg"
+)
+
+// Source describes where a tainted value was born.
+type Source struct {
+	Pos  token.Pos // the call that produced the value
+	Desc string    // the catalog's description of the source
+}
+
+// Val is the taint carried by one value: the set of enclosing-function
+// parameters it may derive from (a bitmask over parameter indices,
+// receiver first) and, independently, a concrete source it may derive
+// from. Both can be set at once — a value joined from a parameter on one
+// path and a source on another.
+type Val struct {
+	Params uint64
+	Src    *Source
+}
+
+func (v Val) zero() bool { return v.Params == 0 && v.Src == nil }
+
+// joinVal unions two taints; among two sources the least position wins,
+// so fixpoints are deterministic and the reported source is stable.
+// joinVals folds a slice of values into their join.
+func joinVals(vs []Val) Val {
+	var out Val
+	for _, v := range vs {
+		out = joinVal(out, v)
+	}
+	return out
+}
+
+func joinVal(a, b Val) Val {
+	out := Val{Params: a.Params | b.Params, Src: a.Src}
+	if b.Src != nil && (out.Src == nil || b.Src.Pos < out.Src.Pos) {
+		out.Src = b.Src
+	}
+	return out
+}
+
+// Step is one hop of a reported call chain.
+type Step struct {
+	Name string
+	Site token.Pos
+}
+
+// Flow records that some parameters of a function reach a sink inside it
+// (directly or through callees). Callers consult flows to extend taint
+// across the call: if any parameter in Params is tainted at a call site,
+// the argument's taint reaches the sink.
+type Flow struct {
+	Params  uint64
+	Sink    string    // sink description from the catalog
+	SinkPos token.Pos // the sink call deep in the chain
+	Via     []Step    // chain from this function to the sink, first hop inside this function
+}
+
+// Finding is one complete source→sink flow, detected at the frontier
+// call inside the function under analysis: either a direct sink call
+// with source-tainted arguments, or a call into a callee whose summary
+// sinks a parameter the caller passes source-tainted.
+type Finding struct {
+	Src     *Source
+	Sink    string
+	SinkPos token.Pos
+	Pos     token.Pos // frontier call site — where the diagnostic lands
+	Via     []Step
+}
+
+// Summary is the memoized interprocedural fact set of one function.
+type Summary struct {
+	ResultParams uint64  // result taint: union of these parameters' taint
+	ResultSrc    *Source // result taint: unconditionally from this source
+	Cleanses     uint64  // parameters whose objects a call to this function cleanses
+	Flows        []Flow
+	Findings     []Finding
+}
+
+// Catalog is the client's source/sanitizer/sink declarations, plus a
+// table for functions without source (flag.String, os.Getenv).
+type Catalog struct {
+	// Source returns the description of fn when fn is a declared source.
+	Source func(fn *types.Func) (string, bool)
+	// Sanitizer reports whether fn is a declared sanitizer. A sanitizer
+	// call cleanses the objects named by its receiver and arguments, and
+	// its results are clean.
+	Sanitizer func(fn *types.Func) bool
+	// Sink returns the description of fn when fn is a declared sink. Any
+	// tainted argument (receiver included) reaching a sink is a finding.
+	Sink func(fn *types.Func) (string, bool)
+}
+
+// Engine computes and memoizes summaries over one call graph.
+type Engine struct {
+	graph *callgraph.Graph
+	cat   Catalog
+	sums  map[*callgraph.Node]*Summary
+	busy  map[*callgraph.Node]bool
+}
+
+// New creates an engine over the graph with the given catalog.
+func New(g *callgraph.Graph, cat Catalog) *Engine {
+	return &Engine{
+		graph: g,
+		cat:   cat,
+		sums:  make(map[*callgraph.Node]*Summary),
+		busy:  make(map[*callgraph.Node]bool),
+	}
+}
+
+// Summary returns (computing once) the node's interprocedural summary.
+// Nodes without a body and nodes re-entered through recursion yield the
+// empty summary.
+func (e *Engine) Summary(n *callgraph.Node) *Summary {
+	if n == nil {
+		return &Summary{}
+	}
+	if s, ok := e.sums[n]; ok {
+		return s
+	}
+	if e.busy[n] {
+		return &Summary{} // optimistic resolution of recursive cycles
+	}
+	e.busy[n] = true
+	s := e.analyze(n)
+	delete(e.busy, n)
+	e.sums[n] = s
+	return s
+}
+
+// state is the per-block dataflow fact: taint per named object.
+type state map[types.Object]Val
+
+func cloneState(s state) state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func joinState(a, b state) state {
+	out := cloneState(a)
+	for k, v := range b {
+		out[k] = joinVal(out[k], v)
+	}
+	return out
+}
+
+func equalState(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || v.Params != w.Params {
+			return false
+		}
+		if (v.Src == nil) != (w.Src == nil) {
+			return false
+		}
+		if v.Src != nil && v.Src.Pos != w.Src.Pos {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzer carries one function's analysis.
+type analyzer struct {
+	eng    *Engine
+	node   *callgraph.Node
+	info   *types.Info
+	params []*types.Var // receiver first, then parameters
+	sum    *Summary
+
+	// report gates finding/flow recording: off during the fixpoint,
+	// on during the final deterministic pass over the blocks.
+	report bool
+	seen   map[string]bool // dedup key for findings/flows
+
+	// dynamic call targets by call position, built lazily.
+	dynAt map[token.Pos][]*callgraph.Node
+}
+
+func (e *Engine) analyze(n *callgraph.Node) *Summary {
+	body := n.Body()
+	if body == nil {
+		return &Summary{}
+	}
+	a := &analyzer{
+		eng:  e,
+		node: n,
+		info: n.Src.Info,
+		sum:  &Summary{},
+		seen: make(map[string]bool),
+	}
+	sig := a.signature()
+	if sig == nil {
+		return a.sum
+	}
+	if r := sig.Recv(); r != nil {
+		a.params = append(a.params, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		a.params = append(a.params, sig.Params().At(i))
+	}
+
+	entry := make(state, len(a.params))
+	for i, p := range a.params {
+		if i < 64 {
+			entry[p] = Val{Params: 1 << uint(i)}
+		}
+	}
+	g := cfg.New(body)
+	in := cfg.Forward(g, entry, cloneState, joinState, equalState, a.transfer)
+
+	// Reporting pass: replay every reachable block's transfer on its
+	// settled in-state, in block order, with recording enabled.
+	a.report = true
+	for _, b := range g.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		a.transfer(b, cloneState(s))
+	}
+	sortFlows(a.sum)
+	return a.sum
+}
+
+func (a *analyzer) signature() *types.Signature {
+	if a.node.Fn != nil {
+		sig, _ := a.node.Fn.Type().(*types.Signature)
+		return sig
+	}
+	if tv, ok := a.info.Types[a.node.Lit]; ok {
+		sig, _ := tv.Type.(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// sortFlows orders the summary's findings and flows by position so
+// memoized summaries are deterministic regardless of analysis order.
+func sortFlows(s *Summary) {
+	sort.Slice(s.Findings, func(i, j int) bool {
+		if s.Findings[i].Pos != s.Findings[j].Pos {
+			return s.Findings[i].Pos < s.Findings[j].Pos
+		}
+		return s.Findings[i].Sink < s.Findings[j].Sink
+	})
+	sort.Slice(s.Flows, func(i, j int) bool {
+		if s.Flows[i].SinkPos != s.Flows[j].SinkPos {
+			return s.Flows[i].SinkPos < s.Flows[j].SinkPos
+		}
+		return s.Flows[i].Params < s.Flows[j].Params
+	})
+}
+
+// transfer applies one block's nodes to the state.
+func (a *analyzer) transfer(b *cfg.Block, s state) state {
+	for _, n := range b.Nodes {
+		a.apply(n, s)
+	}
+	return s
+}
+
+func (a *analyzer) apply(n ast.Node, s state) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(n, s)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			a.valueSpec(vs, s)
+		}
+	case *ast.ExprStmt:
+		a.eval(n.X, s)
+	case *ast.ReturnStmt:
+		a.returnStmt(n, s)
+	case *ast.IncDecStmt:
+		a.eval(n.X, s)
+	case *ast.SendStmt:
+		// ch <- v: the channel object becomes as tainted as the value.
+		v := a.eval(n.Value, s)
+		a.eval(n.Chan, s)
+		a.weakAssign(n.Chan, v, s)
+	case *ast.DeferStmt:
+		a.evalCall(n.Call, s)
+	case *ast.GoStmt:
+		a.evalCall(n.Call, s)
+	case *ast.RangeStmt:
+		v := a.eval(n.X, s)
+		if n.Key != nil {
+			a.assignTo(n.Key, v, s, n.Tok == token.DEFINE)
+		}
+		if n.Value != nil {
+			a.assignTo(n.Value, v, s, n.Tok == token.DEFINE)
+		}
+	case ast.Expr:
+		// Control expressions (conditions, switch tags, case lists):
+		// evaluated for the calls they contain.
+		a.eval(n, s)
+	case *ast.LabeledStmt:
+		if n.Stmt != nil {
+			a.apply(n.Stmt, s)
+		}
+	}
+}
+
+func (a *analyzer) valueSpec(vs *ast.ValueSpec, s state) {
+	if len(vs.Values) == 0 {
+		return
+	}
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		v := a.eval(vs.Values[0], s)
+		for _, name := range vs.Names {
+			a.bind(name, v, s)
+		}
+		return
+	}
+	for i, name := range vs.Names {
+		if i < len(vs.Values) {
+			a.bind(name, a.eval(vs.Values[i], s), s)
+		}
+	}
+}
+
+func (a *analyzer) assign(n *ast.AssignStmt, s state) {
+	define := n.Tok == token.DEFINE
+	compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// a, b = f(): every left-hand side gets the call's joined taint
+		// (the engine is result-insensitive).
+		v := a.eval(n.Rhs[0], s)
+		for _, lhs := range n.Lhs {
+			a.assignTo(lhs, v, s, define)
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if i >= len(n.Rhs) {
+			break
+		}
+		v := a.eval(n.Rhs[i], s)
+		if compound {
+			v = joinVal(v, a.eval(lhs, s))
+		}
+		a.assignTo(lhs, v, s, define)
+	}
+}
+
+// assignTo routes taint into a left-hand side: a strong update for plain
+// identifiers, a weak update on the root object for selector, index, and
+// dereference targets (x.f = v taints x — field-insensitivity).
+func (a *analyzer) assignTo(lhs ast.Expr, v Val, s state, define bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		a.bind(lhs, v, s)
+	default:
+		a.eval(lhs, s)
+		a.weakAssign(lhs, v, s)
+	}
+}
+
+func (a *analyzer) bind(id *ast.Ident, v Val, s state) {
+	if id.Name == "_" {
+		return
+	}
+	obj := a.info.Defs[id]
+	if obj == nil {
+		obj = a.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if v.zero() {
+		delete(s, obj)
+		return
+	}
+	s[obj] = v
+}
+
+// weakAssign joins v into the root object of an lvalue expression.
+func (a *analyzer) weakAssign(lhs ast.Expr, v Val, s state) {
+	if v.zero() {
+		return
+	}
+	obj := a.rootObj(lhs)
+	if obj == nil {
+		return
+	}
+	s[obj] = joinVal(s[obj], v)
+}
+
+// rootObj descends selector/index/star/slice chains to the identifier at
+// the base of an lvalue, returning its object (nil when the base is not
+// a plain identifier).
+func (a *analyzer) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := a.info.Uses[x]
+			if obj == nil {
+				obj = a.info.Defs[x]
+			}
+			return obj
+		case *ast.SelectorExpr:
+			// A qualified reference (pkg.Var) roots at the package-level
+			// var; a field selector roots at its base.
+			if _, isPkg := a.info.Uses[x.Sel].(*types.PkgName); isPkg {
+				return nil
+			}
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := a.info.Uses[id].(*types.PkgName); isPkg {
+					return a.info.Uses[x.Sel]
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// eval computes the taint of an expression, recording sink findings for
+// the calls it contains.
+func (a *analyzer) eval(e ast.Expr, s state) Val {
+	switch e := e.(type) {
+	case nil:
+		return Val{}
+	case *ast.Ident:
+		obj := a.info.Uses[e]
+		if obj == nil {
+			obj = a.info.Defs[e]
+		}
+		if obj == nil {
+			return Val{}
+		}
+		return s[obj]
+	case *ast.BasicLit, *ast.FuncLit:
+		return Val{}
+	case *ast.ParenExpr:
+		return a.eval(e.X, s)
+	case *ast.BinaryExpr:
+		return joinVal(a.eval(e.X, s), a.eval(e.Y, s))
+	case *ast.UnaryExpr:
+		return a.eval(e.X, s)
+	case *ast.StarExpr:
+		return a.eval(e.X, s)
+	case *ast.SelectorExpr:
+		if _, isPkg := a.info.Uses[e.Sel].(*types.PkgName); isPkg {
+			return Val{}
+		}
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := a.info.Uses[id].(*types.PkgName); isPkg {
+				if obj := a.info.Uses[e.Sel]; obj != nil {
+					return s[obj] // qualified package-level var
+				}
+				return Val{}
+			}
+		}
+		return a.eval(e.X, s)
+	case *ast.IndexExpr:
+		if tv, ok := a.info.Types[e.X]; ok && tv.IsType() {
+			return Val{}
+		}
+		return a.eval(e.X, s)
+	case *ast.IndexListExpr:
+		return a.eval(e.X, s)
+	case *ast.SliceExpr:
+		return a.eval(e.X, s)
+	case *ast.TypeAssertExpr:
+		return a.eval(e.X, s)
+	case *ast.CompositeLit:
+		var v Val
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = joinVal(v, a.eval(kv.Value, s))
+				if _, isIdent := kv.Key.(*ast.Ident); !isIdent {
+					v = joinVal(v, a.eval(kv.Key, s)) // map literal keys carry taint
+				}
+				continue
+			}
+			v = joinVal(v, a.eval(el, s))
+		}
+		return v
+	case *ast.CallExpr:
+		return a.evalCall(e, s)
+	}
+	return Val{}
+}
+
+// evalCall handles calls: conversions, builtins, catalog hits, summary
+// composition, dynamic dispatch, and the conservative extern fallback.
+func (a *analyzer) evalCall(call *ast.CallExpr, s state) Val {
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions pass taint through.
+	if tv, ok := a.info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return a.eval(call.Args[0], s)
+		}
+		return Val{}
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := a.info.Uses[id].(*types.Builtin); ok {
+			return a.builtin(id.Name, call, s)
+		}
+	}
+
+	// Evaluate arguments (and the receiver, for method calls) once.
+	var recvExpr ast.Expr
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if sl, ok := a.info.Selections[sel]; ok && sl.Kind() == types.MethodVal {
+			recvExpr = sel.X
+		}
+	}
+	argExprs := call.Args
+	argVals := make([]Val, 0, len(argExprs)+1)
+	if recvExpr != nil {
+		argVals = append(argVals, a.eval(recvExpr, s))
+	}
+	for _, arg := range argExprs {
+		argVals = append(argVals, a.eval(arg, s))
+	}
+	allArgs := func() Val {
+		var v Val
+		for _, av := range argVals {
+			v = joinVal(v, av)
+		}
+		return v
+	}
+	rootExprs := func() []ast.Expr {
+		out := make([]ast.Expr, 0, len(argExprs)+1)
+		if recvExpr != nil {
+			out = append(out, recvExpr)
+		}
+		out = append(out, argExprs...)
+		return out
+	}
+
+	fn := calleeOf(a.info, call)
+	if fn != nil && !isAbstract(fn) {
+		return a.applyCallee(call, fn, recvExpr != nil, rootExprs(), argVals, s)
+	}
+
+	// Interface dispatch: join the effect of every possible callee.
+	if targets := a.dynTargets(call.Pos()); len(targets) > 0 {
+		var v Val
+		for _, t := range targets {
+			if t.Fn == nil {
+				continue
+			}
+			v = joinVal(v, a.applyCallee(call, t.Fn, recvExpr != nil, rootExprs(), argVals, s))
+		}
+		return v
+	}
+
+	// Unknown callee (extern without a summary, function-typed variable,
+	// closure call): propagate conservatively — the result and every
+	// writable argument carry the union of the argument taints.
+	v := allArgs()
+	if !v.zero() {
+		for i, arg := range rootExprs() {
+			if i < len(argVals) && writableArg(a.info, arg) {
+				a.weakAssign(arg, v, s)
+			}
+		}
+	}
+	return v
+}
+
+// applyCallee folds one resolved callee into the call's taint: catalog
+// roles first (source, sanitizer, sink), then summary composition.
+func (a *analyzer) applyCallee(call *ast.CallExpr, fn *types.Func, haveRecv bool, roots []ast.Expr, argVals []Val, s state) Val {
+	cat := a.eng.cat
+	if cat.Source != nil {
+		if desc, ok := cat.Source(fn); ok {
+			src := &Source{Pos: call.Pos(), Desc: desc}
+			// A source fills its writable arguments (decode(w, r, &v)) but
+			// not its receiver: the receiver is the parser or flag set doing
+			// the minting, and tainting it would smear the first source call
+			// over everything later accessed through the same object.
+			for i, arg := range roots {
+				if haveRecv && i == 0 {
+					continue
+				}
+				if writableArg(a.info, arg) {
+					a.weakAssign(arg, Val{Src: src}, s)
+				}
+			}
+			return Val{Src: src}
+		}
+	}
+	if cat.Sanitizer != nil && cat.Sanitizer(fn) {
+		// A sanitizer cleanses the objects its receiver and arguments
+		// name, and its results are clean.
+		for _, arg := range roots {
+			if obj := a.rootObj(arg); obj != nil {
+				delete(s, obj)
+			}
+		}
+		return Val{}
+	}
+	if cat.Sink != nil {
+		if desc, ok := cat.Sink(fn); ok {
+			v := joinVals(argVals)
+			a.recordSink(call, fn, desc, v)
+			return Val{}
+		}
+	}
+
+	node := a.eng.graph.NodeOf(fn)
+	if node == nil {
+		// Extern without source: conservative propagation. A pointer-receiver
+		// method implicitly takes the address of an addressable receiver, so
+		// the receiver expression is writable even when its static type is a
+		// plain value (b.WriteString taints b for a strings.Builder b).
+		v := joinVals(argVals)
+		if !v.zero() {
+			for i, arg := range roots {
+				if writableArg(a.info, arg) || (haveRecv && i == 0 && pointerRecv(fn)) {
+					a.weakAssign(arg, v, s)
+				}
+			}
+		}
+		return v
+	}
+
+	sum := a.eng.Summary(node)
+	callee := mapArgs(fn, haveRecv, argVals)
+
+	// Cleansing: the callee validated these parameters' objects.
+	if sum.Cleanses != 0 {
+		for i, arg := range roots {
+			idx := calleeIndex(fn, haveRecv, i)
+			if idx >= 0 && idx < 64 && sum.Cleanses&(1<<uint(idx)) != 0 {
+				if obj := a.rootObj(arg); obj != nil {
+					delete(s, obj)
+				}
+			}
+		}
+	}
+
+	// Param-dependent sink flows inside the callee.
+	for _, fl := range sum.Flows {
+		var v Val
+		for i, av := range callee {
+			if i < 64 && fl.Params&(1<<uint(i)) != 0 {
+				v = joinVal(v, av)
+			}
+		}
+		if v.zero() {
+			continue
+		}
+		via := append([]Step{{Name: fn.Name(), Site: call.Pos()}}, fl.Via...)
+		if v.Src != nil {
+			a.addFinding(Finding{Src: v.Src, Sink: fl.Sink, SinkPos: fl.SinkPos, Pos: call.Pos(), Via: via})
+		}
+		if v.Params != 0 {
+			a.addFlow(Flow{Params: v.Params, Sink: fl.Sink, SinkPos: fl.SinkPos, Via: via})
+		}
+	}
+
+	// Result taint through the callee's summary.
+	var out Val
+	if sum.ResultSrc != nil {
+		out = Val{Src: sum.ResultSrc}
+	}
+	for i, av := range callee {
+		if i < 64 && sum.ResultParams&(1<<uint(i)) != 0 {
+			out = joinVal(out, av)
+		}
+	}
+	return out
+}
+
+// recordSink reports every tainted argument arriving at a direct sink
+// call: a finding when a source reaches it, a flow when a parameter does.
+func (a *analyzer) recordSink(call *ast.CallExpr, fn *types.Func, desc string, v Val) {
+	if v.zero() {
+		return
+	}
+	via := []Step{{Name: fn.Name(), Site: call.Pos()}}
+	if v.Src != nil {
+		a.addFinding(Finding{Src: v.Src, Sink: desc, SinkPos: call.Pos(), Pos: call.Pos(), Via: via})
+	}
+	if v.Params != 0 {
+		a.addFlow(Flow{Params: v.Params, Sink: desc, SinkPos: call.Pos(), Via: via})
+	}
+}
+
+func (a *analyzer) addFinding(f Finding) {
+	if !a.report {
+		return
+	}
+	key := "f" + posKey(f.Pos) + posKey(f.SinkPos) + posKey(f.Src.Pos) + f.Sink
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	a.sum.Findings = append(a.sum.Findings, f)
+}
+
+func (a *analyzer) addFlow(f Flow) {
+	if !a.report {
+		return
+	}
+	key := "p" + posKey(f.SinkPos) + posKey(f.Via[0].Site) + f.Sink
+	if a.seen[key] {
+		// Merge parameter masks for an already-recorded flow.
+		for i := range a.sum.Flows {
+			if a.sum.Flows[i].SinkPos == f.SinkPos && a.sum.Flows[i].Sink == f.Sink &&
+				len(a.sum.Flows[i].Via) > 0 && a.sum.Flows[i].Via[0].Site == f.Via[0].Site {
+				a.sum.Flows[i].Params |= f.Params
+			}
+		}
+		return
+	}
+	a.seen[key] = true
+	a.sum.Flows = append(a.sum.Flows, f)
+}
+
+func posKey(p token.Pos) string {
+	const digits = "0123456789"
+	if p == token.NoPos {
+		return "-:"
+	}
+	n := int(p)
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf[i:]) + ":"
+}
+
+func (a *analyzer) returnStmt(n *ast.ReturnStmt, s state) {
+	results := n.Results
+	if len(results) == 0 {
+		// Naked return: named results carry the taint.
+		sig := a.signature()
+		if sig == nil {
+			return
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			r := sig.Results().At(i)
+			if r.Name() == "" {
+				continue
+			}
+			a.foldResult(s[r])
+		}
+		return
+	}
+	for _, r := range results {
+		a.foldResult(a.eval(r, s))
+	}
+}
+
+func (a *analyzer) foldResult(v Val) {
+	a.sum.ResultParams |= v.Params
+	if v.Src != nil && (a.sum.ResultSrc == nil || v.Src.Pos < a.sum.ResultSrc.Pos) {
+		a.sum.ResultSrc = v.Src
+	}
+}
+
+func (a *analyzer) builtin(name string, call *ast.CallExpr, s state) Val {
+	switch name {
+	case "append":
+		var v Val
+		for _, arg := range call.Args {
+			v = joinVal(v, a.eval(arg, s))
+		}
+		return v
+	case "copy":
+		if len(call.Args) == 2 {
+			v := a.eval(call.Args[1], s)
+			a.eval(call.Args[0], s)
+			a.weakAssign(call.Args[0], v, s)
+		}
+		return Val{}
+	case "len", "cap", "delete", "close", "make", "new", "clear", "min", "max":
+		for _, arg := range call.Args {
+			a.eval(arg, s)
+		}
+		return Val{}
+	default: // panic, print, println, complex, real, imag, recover, ...
+		var v Val
+		for _, arg := range call.Args {
+			v = joinVal(v, a.eval(arg, s))
+		}
+		return v
+	}
+}
+
+// dynTargets returns the dynamic-dispatch callees recorded at a call
+// position, indexing the node's call-graph edges once.
+func (a *analyzer) dynTargets(pos token.Pos) []*callgraph.Node {
+	if a.dynAt == nil {
+		a.dynAt = make(map[token.Pos][]*callgraph.Node)
+		for _, e := range a.eng.graph.Calls(a.node) {
+			if e.Dynamic {
+				a.dynAt[e.Site] = append(a.dynAt[e.Site], e.Callee)
+			}
+		}
+	}
+	return a.dynAt[pos]
+}
+
+// mapArgs places call-site taints into the callee's parameter slots
+// (receiver first), folding variadic surplus into the last slot.
+func mapArgs(fn *types.Func, haveRecv bool, argVals []Val) []Val {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return argVals
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Val, n)
+	for i, v := range argVals {
+		idx := i
+		if sig.Recv() != nil && !haveRecv {
+			// Method expression: the receiver travels as the first
+			// ordinary argument and the slots already line up.
+			idx = i
+		}
+		if idx >= n {
+			idx = n - 1 // variadic surplus
+		}
+		out[idx] = joinVal(out[idx], v)
+	}
+	return out
+}
+
+// calleeIndex maps a call-site root index (receiver first when present)
+// to the callee's parameter index, or -1 when out of range.
+func calleeIndex(fn *types.Func, haveRecv bool, i int) int {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return -1
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	if sig.Recv() != nil && !haveRecv {
+		// Method expression: positions line up already.
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// isAbstract reports whether fn is an interface method (no body to
+// analyze; calls dispatch dynamically).
+func isAbstract(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+}
+
+// pointerRecv reports whether fn is a method with a pointer receiver.
+func pointerRecv(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	_, ok := sig.Recv().Type().(*types.Pointer)
+	return ok
+}
+
+// writableArg reports whether an argument expression could be written
+// through by the callee: pointers, slices, maps, channels, interfaces,
+// and address-of expressions.
+func writableArg(info *types.Info, arg ast.Expr) bool {
+	if _, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok {
+		return true // &x
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// calleeOf resolves a call to the *types.Func it statically invokes.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f // generic instantiation
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package service seeds boundflow's annotation hygiene: a bounded
+// annotation without a justification is itself a finding, while text
+// that merely shares the prefix ("bounded byzantine") is prose. The
+// assertions live in a RunRaw test because the diagnostic lands on the
+// directive comment's own line.
+package service
+
+type Server struct {
+	// bounded by
+	bare map[string]int
+	// bounded byzantine generals reaching consensus
+	prose map[string]int
+}
+
+func (s *Server) grow(k string) {
+	s.bare[k] = 1
+	s.prose[k] = 1
+}

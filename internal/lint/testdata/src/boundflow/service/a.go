@@ -1,0 +1,63 @@
+// Package service seeds boundflow: growable fields in daemon-resident
+// structs with and without bound evidence, the copy-on-write publish
+// pattern, reachability through nested structs and generic type
+// arguments, and justified annotations.
+package service
+
+import "sync/atomic"
+
+type shard struct {
+	hot map[string]int // want `map field hot grows at a\.go:\d+ without a statically evident bound`
+}
+
+type Server struct {
+	sessions map[string]int // want `map field sessions grows at a\.go:\d+, a\.go:\d+ without a statically evident bound`
+	// bounded by the LRU eviction in trim, capped at maxCache entries
+	cache   map[string]int
+	ring    []int
+	log     []string // want `slice field log grows at a\.go:\d+ without a statically evident bound`
+	capped  map[string]int
+	dropped map[string]int
+	shards  []*shard
+	routes  atomic.Pointer[map[string]int] // reachability only; the map type itself has no fields
+	idle    map[string]int
+	swap    []string // want `slice field swap grows at a\.go:\d+ without a statically evident bound`
+}
+
+const maxCache = 128
+
+func (s *Server) observe(k string) {
+	s.sessions[k] = 1
+	s.sessions[k+"!"] = 2
+	s.cache[k] = 3
+	s.log = append(s.log, k)
+}
+
+func (s *Server) trim() {
+	if len(s.capped) > maxCache {
+		return
+	}
+	s.capped["k"] = 1
+	delete(s.dropped, "old")
+	s.dropped["new"] = 1
+	s.ring = append(s.ring, 1)
+	s.ring = s.ring[:0]
+}
+
+func (s *Server) shard0(k string) {
+	s.shards[0].hot[k] = 1
+}
+
+// publish grows a local and installs it into the field: the classic
+// copy-on-write pattern. The growth sites charge the published field.
+func (s *Server) publish(keys []string) {
+	next := make([]string, 0, len(keys))
+	for _, k := range keys {
+		next = append(next, k)
+	}
+	s.swap = next
+}
+
+// idleOnly never grows idle — a field with no growth site needs no
+// evidence at all.
+func (s *Server) idleOnly() int { return len(s.idle) }

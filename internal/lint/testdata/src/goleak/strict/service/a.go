@@ -1,0 +1,29 @@
+// Package service seeds goleak's strict mode: goroutine spawns whose
+// target the call graph cannot resolve (function values, interface
+// methods) are silent by default and findings under -strict. The
+// assertions live in a RunRawWith test so both modes run over the same
+// fixture.
+package service
+
+type runner interface{ Run() }
+
+// startValue spawns a caller-supplied function value: the target is
+// unresolvable, so strict mode flags it and lenient mode stays quiet.
+func startValue(run func()) {
+	go run()
+}
+
+// startIface spawns through an interface method: also unresolvable.
+func startIface(r runner) {
+	go r.Run()
+}
+
+// startNamed spawns a resolvable, terminating function: quiet in both
+// modes.
+func startNamed(done chan struct{}) {
+	go drain(done)
+}
+
+func drain(done chan struct{}) {
+	<-done
+}

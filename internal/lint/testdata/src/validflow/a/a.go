@@ -1,0 +1,89 @@
+// Package a seeds validflow's source→sink flows: direct sink calls,
+// interprocedural flows through callee summaries, sanitizer cleansing
+// (function and method form), extern sources (os.Getenv), and the
+// accumulator pattern where taint rides a strings.Builder.
+package a
+
+import (
+	"errors"
+	"os"
+	"strings"
+)
+
+// taint: source reads the request payload straight off the wire
+func readInput() string { return "x" }
+
+// taint: sanitizer rejects payloads that are not lowercase identifiers
+func validate(s string) (string, error) {
+	if s != strings.ToLower(s) {
+		return "", errors.New("not lowercase")
+	}
+	return s, nil
+}
+
+// taint: sink installs the payload into the durable class table
+func persist(s string) { _ = s }
+
+var table = map[string]bool{}
+
+func direct() {
+	v := readInput()
+	persist(v) // want `value from a\.readInput \(a\.go:\d+\) reaches sink a\.persist \(a\.go:\d+\) without passing a declared sanitizer`
+}
+
+func sanitized() {
+	v := readInput()
+	v, err := validate(v)
+	if err != nil {
+		return
+	}
+	persist(v)
+}
+
+// sinkVia reaches the sink one call deep; its summary carries the flow
+// and the finding materialises at the caller's frontier call.
+func sinkVia(s string) { persist(s) }
+
+func deep() {
+	sinkVia(readInput()) // want `value from a\.readInput .* reaches sink a\.persist .* via sinkVia \(a\.go:\d+\)`
+}
+
+func env() {
+	persist(os.Getenv("QWAIT_CLASSES")) // want `value from environment variable Getenv .* reaches sink a\.persist`
+}
+
+type trace struct{ name string }
+
+// taint: source parses the uploaded trace file
+func parseTrace() (*trace, error) { return &trace{}, nil }
+
+// taint: sanitizer rejects traces with inconsistent job records
+func (t *trace) Validate() error { return nil }
+
+func methodSanitized() {
+	tr, err := parseTrace()
+	if err != nil {
+		return
+	}
+	if err := tr.Validate(); err != nil {
+		return
+	}
+	persist(tr.name)
+}
+
+func methodUnsanitized() {
+	tr, err := parseTrace()
+	if err != nil {
+		return
+	}
+	persist(tr.name) // want `value from a\.parseTrace .* reaches sink a\.persist`
+}
+
+// builder proves taint survives a pointer-receiver accumulator: the
+// WriteString receiver is a plain value, but the method writes through
+// its implicit address, so the rendered key stays tainted.
+func builder() {
+	var b strings.Builder
+	b.WriteString(readInput())
+	persist(b.String()) // want `value from a\.readInput .* reaches sink a\.persist`
+}

@@ -1,0 +1,25 @@
+// Package hygiene seeds validflow's annotation-hygiene findings:
+// malformed directives and well-formed directives outside a function
+// declaration's doc comment. The assertions live in a RunRaw test
+// because these diagnostics land on the directive comment's own line.
+package hygiene
+
+// taint: wizard does magic
+func unknownRole() {}
+
+// taint:
+func bareDirective() {}
+
+// taint: source
+func missingJustification() {}
+
+// taint: sink this one is fine and silent
+func wellFormed() {}
+
+// taint: sanitizer misplaced on a variable declaration
+var notAFunc = 1
+
+func body() {
+	// taint: source misplaced inside a function body
+	_ = notAFunc
+}

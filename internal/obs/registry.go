@@ -65,10 +65,17 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // the metrics themselves are atomic, so steady-state instrumentation (the
 // instrument handle is usually cached by the caller) never contends.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter   // guarded by mu
-	gauges     map[string]*Gauge     // guarded by mu
-	histograms map[string]*Histogram // guarded by mu
+	mu sync.RWMutex
+	// The metric tables are guarded by mu and grow one entry per distinct
+	// metric name.
+
+	// bounded by the static metric-name set: the obsnames check makes every
+	// registration site pass a compile-time literal name
+	counters map[string]*Counter
+	// bounded by the static metric-name set (see counters)
+	gauges map[string]*Gauge
+	// bounded by the static metric-name set (see counters)
+	histograms map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.

@@ -412,6 +412,8 @@ func errorJSON(w http.ResponseWriter, status int, format string, args ...interfa
 }
 
 // decode reads a JSON request body into v.
+//
+// taint: source HTTP request bodies are caller-controlled and unvalidated
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	if r.Method != http.MethodPost {
 		errorJSON(w, http.StatusMethodNotAllowed, "POST required")
@@ -431,24 +433,33 @@ type ObserveRequest struct {
 	Job JobJSON `json:"job"`
 }
 
+// validateObserved rejects a reported completion whose fields would
+// corrupt the durable history: run time and node count must be positive
+// and the user-supplied maximum non-negative — the values the store (and
+// recovery) would refuse, rejected before they are journaled. The empty
+// string means the job may enter the history.
+//
+// taint: sanitizer rejects completions the durable history (and its recovery) would refuse
+func validateObserved(job *workload.Job) string {
+	switch {
+	case job.RunTime <= 0:
+		return "completed job needs a positive runTime"
+	case job.Nodes <= 0:
+		return "completed job needs a positive nodes count"
+	case job.MaxRunTime < 0:
+		return "maxRunTime must not be negative"
+	}
+	return ""
+}
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var req ObserveRequest
 	if !decode(w, r, &req) {
 		return
 	}
 	job := req.Job.toJob()
-	if job.RunTime <= 0 {
-		errorJSON(w, http.StatusBadRequest, "completed job needs a positive runTime")
-		return
-	}
-	// Nodes and maxRunTime feed straight into the durable history; reject
-	// values the store (and recovery) would refuse before they are journaled.
-	if job.Nodes <= 0 {
-		errorJSON(w, http.StatusBadRequest, "completed job needs a positive nodes count")
-		return
-	}
-	if job.MaxRunTime < 0 {
-		errorJSON(w, http.StatusBadRequest, "maxRunTime must not be negative")
+	if msg := validateObserved(job); msg != "" {
+		errorJSON(w, http.StatusBadRequest, "%s", msg)
 		return
 	}
 	ctx := r.Context()
